@@ -1,0 +1,123 @@
+// Shared benchmark harness reproducing the paper's measurement methodology
+// (§5.1):
+//  - 32-partition topics, ~100-byte messages;
+//  - containers run serially on this machine (we have one core); job
+//    throughput is computed the way the paper aggregates it: "The average
+//    throughput across containers was multiplied by the container count";
+//  - the broker charges a fixed simulated round-trip per consumer poll and
+//    caps per-partition fetch size, so per-container read throughput drops
+//    as partitions-per-container shrink — the paper's stated cause of
+//    sublinear scaling (fixed partition count across container counts).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/native_tasks.h"
+#include "core/executor.h"
+#include "workload/generators.h"
+
+namespace sqs::bench {
+
+inline constexpr int32_t kPartitions = 32;
+inline constexpr int64_t kPollLatencyNanos = 500'000;  // 0.5 ms broker RTT
+inline constexpr int32_t kMaxFetchPerPartition = 100;  // ~100 msgs/partition/poll
+
+struct ThroughputResult {
+  int64_t messages = 0;
+  double avg_container_tput = 0;  // messages/s, averaged over containers
+  double job_tput = 0;            // avg container throughput x container count
+};
+
+// Fresh environment with the paper's sources at 32 partitions.
+inline core::EnvironmentPtr MakeBenchEnv() {
+  auto env = core::SamzaSqlEnvironment::Make();
+  Status st = workload::SetupPaperSources(*env, kPartitions);
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+  return env;
+}
+
+// Baseline job config shared by native and SQL jobs.
+inline Config BenchJobConfig(int containers) {
+  Config config;
+  config.SetInt(cfg::kContainerCount, containers);
+  config.SetInt(cfg::kMaxPollMessages, 8192);
+  config.SetInt(cfg::kMaxFetchPerPartition, kMaxFetchPerPartition);
+  config.SetInt(cfg::kPollLatencyNanos, kPollLatencyNanos);
+  config.SetInt(cfg::kCommitEveryMessages, 0);  // commit on stop only
+  return config;
+}
+
+// Run all containers of a started job serially to completion and compute
+// the paper's throughput aggregate.
+inline ThroughputResult MeasureJob(JobRunner& job) {
+  ThroughputResult result;
+  double tput_sum = 0;
+  int counted = 0;
+  for (size_t c = 0; c < job.NumContainers(); ++c) {
+    Container* container = job.container(static_cast<int32_t>(c));
+    auto processed = container->RunUntilCaughtUp();
+    if (!processed.ok()) throw std::runtime_error(processed.status().ToString());
+    result.messages += processed.value();
+    double seconds = static_cast<double>(container->BusyNanos()) / 1e9;
+    if (seconds > 0) {
+      tput_sum += static_cast<double>(container->MessagesProcessed()) / seconds;
+      ++counted;
+    }
+  }
+  if (counted > 0) {
+    result.avg_container_tput = tput_sum / counted;
+    result.job_tput = result.avg_container_tput * static_cast<double>(counted);
+  }
+  return result;
+}
+
+// Submit + measure a SamzaSQL query on a fresh executor.
+inline ThroughputResult MeasureSqlQuery(core::EnvironmentPtr env, const std::string& sql,
+                                        Config config) {
+  core::QueryExecutor executor(env, std::move(config));
+  auto submitted = executor.Execute(sql);
+  if (!submitted.ok()) throw std::runtime_error(submitted.status().ToString());
+  JobRunner* job = executor.job(submitted.value().job_index);
+  ThroughputResult result = MeasureJob(*job);
+  Status st = job->Stop();
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+  return result;
+}
+
+// Create output topic + run a registered native task factory as a job.
+inline ThroughputResult MeasureNativeJob(core::EnvironmentPtr env, Config config,
+                                         const std::string& factory,
+                                         const std::string& inputs,
+                                         const std::string& bootstrap_inputs,
+                                         const std::string& output_topic) {
+  if (!env->broker->HasTopic(output_topic)) {
+    Status st =
+        env->broker->CreateTopic(output_topic, {.num_partitions = kPartitions});
+    if (!st.ok()) throw std::runtime_error(st.ToString());
+  }
+  config.Set(cfg::kJobName, factory + "-job");
+  config.Set(cfg::kTaskInputs, inputs);
+  if (!bootstrap_inputs.empty()) config.Set(cfg::kBootstrapInputs, bootstrap_inputs);
+  config.Set(cfg::kTaskFactory, factory);
+  JobRunner job(env->broker, config, env->clock);
+  Status st = job.Start();
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+  ThroughputResult result = MeasureJob(job);
+  st = job.Stop();
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+  return result;
+}
+
+inline void ReportThroughput(const char* figure, const char* variant, int containers,
+                             const ThroughputResult& r) {
+  std::printf("%-10s %-8s containers=%d  msgs=%lld  avg_container=%.0f msg/s  "
+              "job=%.0f msg/s\n",
+              figure, variant, containers, static_cast<long long>(r.messages),
+              r.avg_container_tput, r.job_tput);
+  std::fflush(stdout);
+}
+
+}  // namespace sqs::bench

@@ -1,0 +1,80 @@
+// Figure 5c: Stream-to-relation join throughput, SamzaSQL vs native Samza
+// API, vs container count (fixed 32 partitions).
+//   Join: SELECT STREAM o.rowtime, o.orderId, o.productId, o.units,
+//         p.supplierId FROM Orders o JOIN Products p
+//         ON o.productId = p.productId
+// Expected shape (paper §5.1): SQL is ~2x slower — "mainly due to key-value
+// store deserialization overhead" (Kryo-style generic deserialization vs
+// the native task's Avro) "and overheads of the operator router layer".
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace sqs::bench {
+namespace {
+
+constexpr int64_t kMessages = 60'000;
+constexpr int32_t kProducts = 1'000;
+
+void RegisterNativeJoin() {
+  static bool done = [] {
+    TaskFactoryRegistry::Instance().Register("bench-native-join", [] {
+      return std::make_unique<baseline::NativeJoinTask>("native-join-out", "Products");
+    });
+    return true;
+  }();
+  (void)done;
+}
+
+core::EnvironmentPtr MakeJoinEnv() {
+  auto env = MakeBenchEnv();
+  workload::OrdersGeneratorOptions options;
+  options.num_products = kProducts;
+  workload::OrdersGenerator gen(*env, options);
+  auto produced = gen.Produce(kMessages);
+  if (!produced.ok()) throw std::runtime_error(produced.status().ToString());
+  Status st = workload::ProduceProducts(*env, kProducts);
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+  return env;
+}
+
+void BM_Join_Native(benchmark::State& state) {
+  RegisterNativeJoin();
+  const int containers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto env = MakeJoinEnv();
+    Config config = BenchJobConfig(containers);
+    config.Set("stores.native-join-table.changelog", "native-join-table-changelog");
+    auto r = MeasureNativeJob(env, config, "bench-native-join", "Orders,Products",
+                              "Products", "native-join-out");
+    state.counters["job_msgs_per_s"] = r.job_tput;
+    state.counters["avg_container_msgs_per_s"] = r.avg_container_tput;
+    ReportThroughput("Fig5c", "native", containers, r);
+  }
+}
+
+void BM_Join_SamzaSQL(benchmark::State& state) {
+  const int containers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto env = MakeJoinEnv();
+    auto r = MeasureSqlQuery(
+        env,
+        "SELECT STREAM Orders.rowtime, Orders.orderId, Orders.productId, "
+        "Orders.units, Products.supplierId FROM Orders JOIN Products ON "
+        "Orders.productId = Products.productId",
+        BenchJobConfig(containers));
+    state.counters["job_msgs_per_s"] = r.job_tput;
+    state.counters["avg_container_msgs_per_s"] = r.avg_container_tput;
+    ReportThroughput("Fig5c", "sql", containers, r);
+  }
+}
+
+BENCHMARK(BM_Join_Native)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Join_SamzaSQL)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sqs::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Kappa-architecture reprocessing — the paper's §1 motivation: instead of
+// maintaining separate batch and streaming systems (Lambda), keep the
+// immutable input log and *reprocess* it through the same streaming query
+// when logic changes, "through increased parallelism and replay of
+// historical data at a speed as fast as possible".
+//
+// This demo runs a nearline query (v1) continuously, then deploys a
+// revised query (v2) that reprocesses the entire retained Orders log from
+// offset zero with more containers, writing to a fresh output stream —
+// no second system, no second codebase, just another SamzaSQL job.
+#include <cstdio>
+
+#include "core/executor.h"
+#include "workload/generators.h"
+
+using namespace sqs;
+
+int main() {
+  auto env = core::SamzaSqlEnvironment::Make();
+  if (auto st = workload::SetupPaperSources(*env, 8); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  workload::OrdersGenerator generator(*env, {});
+  if (auto r = generator.Produce(30'000); !r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- v1: the nearline query, running with 2 containers.
+  Config nearline;
+  nearline.SetInt(cfg::kContainerCount, 2);
+  core::QueryExecutor executor(env, nearline);
+  auto v1 = executor.Execute(
+      "INSERT INTO BigOrdersV1 SELECT STREAM rowtime, orderId, units "
+      "FROM Orders WHERE units > 90");
+  if (!v1.ok()) {
+    std::fprintf(stderr, "%s\n", v1.status().ToString().c_str());
+    return 1;
+  }
+  if (auto ran = executor.RunJobsUntilQuiescent(); !ran.ok()) {
+    std::fprintf(stderr, "%s\n", ran.status().ToString().c_str());
+    return 1;
+  }
+  auto v1_rows = executor.ReadOutputRows("BigOrdersV1").value();
+  std::printf("v1 nearline (units > 90, 2 containers): %zu rows\n", v1_rows.size());
+
+  // More data keeps arriving; v1 keeps up incrementally.
+  (void)generator.Produce(10'000);
+  (void)executor.RunJobsUntilQuiescent();
+  std::printf("v1 after more input: %zu rows\n",
+              executor.ReadOutputRows("BigOrdersV1").value().size());
+
+  // --- v2: business logic changed (threshold 80, extra column). Because
+  // the Orders log is retained and replayable, we simply submit the revised
+  // query with 8 containers; it reprocesses history from offset zero and
+  // catches up to the live stream — the Kappa reprocessing story.
+  Config reprocess;
+  reprocess.SetInt(cfg::kContainerCount, 8);
+  core::QueryExecutor reprocessor(env, reprocess);
+  int64_t t0 = MonotonicNanos();
+  auto v2 = reprocessor.Execute(
+      "INSERT INTO BigOrdersV2 SELECT STREAM rowtime, orderId, units, "
+      "units * 2 AS priority FROM Orders WHERE units > 80");
+  if (!v2.ok()) {
+    std::fprintf(stderr, "%s\n", v2.status().ToString().c_str());
+    return 1;
+  }
+  if (auto ran = reprocessor.RunJobsUntilQuiescent(); !ran.ok()) {
+    std::fprintf(stderr, "%s\n", ran.status().ToString().c_str());
+    return 1;
+  }
+  double seconds = static_cast<double>(MonotonicNanos() - t0) / 1e9;
+  auto v2_rows = reprocessor.ReadOutputRows("BigOrdersV2").value();
+  std::printf("v2 reprocessed the full 40000-message log with 8 containers in "
+              "%.2fs: %zu rows\n",
+              seconds, v2_rows.size());
+
+  // Both versions keep running side by side until v1 is retired.
+  (void)generator.Produce(5'000);
+  (void)executor.RunJobsUntilQuiescent();
+  (void)reprocessor.RunJobsUntilQuiescent();
+  std::printf("after cut-over traffic: v1=%zu rows, v2=%zu rows\n",
+              executor.ReadOutputRows("BigOrdersV1").value().size(),
+              reprocessor.ReadOutputRows("BigOrdersV2").value().size());
+  std::printf("one system, one query language, two query versions — no Lambda.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Interactive SamzaSQL shell (paper §4.1) over an in-process deployment
+// pre-loaded with the paper's example streams and some generated data.
+//
+//   $ ./samzasql_shell
+//   samzasql> !tables
+//   samzasql> SELECT COUNT(*) FROM Orders GROUP BY FLOOR(rowtime TO DAY);
+//   samzasql> SELECT STREAM * FROM Orders WHERE units > 90;
+//   samzasql> !run
+//   samzasql> !output samzasql-query-0-output 5
+//
+// Also scriptable: echo "SELECT 1 FROM Orders;" | ./samzasql_shell
+#include <iostream>
+
+#include "core/shell.h"
+#include "workload/generators.h"
+
+using namespace sqs;
+
+int main() {
+  auto env = core::SamzaSqlEnvironment::Make();
+  if (auto st = workload::SetupPaperSources(*env, 4); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  workload::OrdersGenerator orders(*env, {});
+  if (auto r = orders.Produce(20'000); !r.ok()) {
+    std::cerr << r.status().ToString() << "\n";
+    return 1;
+  }
+  if (auto st = workload::ProduceProducts(*env, 100); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (auto r = workload::ProducePackets(*env, 5'000); !r.ok()) {
+    std::cerr << r.status().ToString() << "\n";
+    return 1;
+  }
+
+  Config defaults;
+  defaults.SetInt(cfg::kContainerCount, 2);
+  core::Shell shell(env, defaults);
+  shell.Repl(std::cin, std::cout);
+  return 0;
+}

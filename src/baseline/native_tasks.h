@@ -1,0 +1,110 @@
+// Hand-written native Samza-API implementations of the paper's four
+// benchmark queries (§5.1). These are the baselines the evaluation compares
+// SamzaSQL against, written the way the paper describes:
+//
+//  - NativeFilterTask: "directly reads from incoming Avro message and
+//    writes back the message into the output stream without any
+//    modification" — decodes the record, checks the predicate with
+//    hard-coded field indexes, and forwards the *original bytes*.
+//  - NativeProjectTask: "we create Avro messages directly from incoming
+//    Avro messages" — builds the small output record straight from the
+//    decoded input (no array conversion steps, no expression machinery).
+//  - NativeJoinTask: caches Products (bootstrap changelog) in a local store
+//    with *Avro* serialization (vs. SamzaSQL's Kryo-style reflective serde,
+//    the paper's explanation for the 2x gap) and joins by productId.
+//  - NativeSlidingWindowTask: Algorithm 1 with hard-coded fields — the same
+//    KV-store access pattern as the SQL operator, which is why Figure 6
+//    shows near parity. Note: unlike the SQL operator it purges eagerly,
+//    so replayed tuples whose window was partially purged recompute a
+//    smaller aggregate — exactly the subtle correctness hazard that the
+//    framework-managed SQL operator eliminates (it retains entries until
+//    the committed watermark passes them).
+//
+// All four implement the same semantics as the corresponding SQL queries;
+// tests assert output equality.
+#pragma once
+
+#include <optional>
+
+#include "kv/store.h"
+#include "serde/serde.h"
+#include "task/api.h"
+
+namespace sqs::baseline {
+
+SchemaPtr NativeOrdersSchema();
+SchemaPtr NativeProductsSchema();
+
+// SELECT STREAM * FROM Orders WHERE units > <threshold>
+class NativeFilterTask : public StreamTask {
+ public:
+  explicit NativeFilterTask(std::string output_topic, int32_t threshold = 50)
+      : output_topic_(std::move(output_topic)),
+        threshold_(threshold),
+        serde_(NativeOrdersSchema()) {}
+
+  Status Process(const IncomingMessage& message, MessageCollector& collector,
+                 TaskCoordinator& coordinator) override;
+
+ private:
+  std::string output_topic_;
+  int32_t threshold_;
+  AvroRowSerde serde_;
+};
+
+// SELECT STREAM rowtime, productId, units FROM Orders
+class NativeProjectTask : public StreamTask {
+ public:
+  explicit NativeProjectTask(std::string output_topic);
+
+  Status Process(const IncomingMessage& message, MessageCollector& collector,
+                 TaskCoordinator& coordinator) override;
+
+ private:
+  std::string output_topic_;
+  AvroRowSerde in_serde_;
+  AvroRowSerde out_serde_;
+};
+
+// SELECT STREAM o.rowtime, o.orderId, o.productId, o.units, p.supplierId
+// FROM Orders o JOIN Products p ON o.productId = p.productId
+class NativeJoinTask : public StreamTask {
+ public:
+  // `products_topic` must be configured as a bootstrap input; the local
+  // store "native-join-table" must be configured with a changelog.
+  NativeJoinTask(std::string output_topic, std::string products_topic);
+
+  Status Init(TaskContext& context) override;
+  Status Process(const IncomingMessage& message, MessageCollector& collector,
+                 TaskCoordinator& coordinator) override;
+
+ private:
+  std::string output_topic_;
+  std::string products_topic_;
+  AvroRowSerde orders_serde_;
+  AvroRowSerde products_serde_;
+  AvroRowSerde out_serde_;
+  KeyValueStorePtr table_;
+};
+
+// SELECT STREAM rowtime, productId, units, SUM(units) OVER (PARTITION BY
+// productId ORDER BY rowtime RANGE INTERVAL '5' MINUTE PRECEDING) FROM Orders
+class NativeSlidingWindowTask : public StreamTask {
+ public:
+  // Needs stores "native-win-msgs" and "native-win-agg".
+  NativeSlidingWindowTask(std::string output_topic, int64_t window_ms);
+
+  Status Init(TaskContext& context) override;
+  Status Process(const IncomingMessage& message, MessageCollector& collector,
+                 TaskCoordinator& coordinator) override;
+
+ private:
+  std::string output_topic_;
+  int64_t window_ms_;
+  AvroRowSerde in_serde_;
+  AvroRowSerde out_serde_;
+  KeyValueStorePtr messages_;
+  KeyValueStorePtr aggs_;
+};
+
+}  // namespace sqs::baseline

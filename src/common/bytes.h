@@ -1,0 +1,165 @@
+// Binary encode/decode helpers used by the serde layer and the log.
+// Varint/zigzag encoding mirrors Avro's binary encoding so that the
+// "avro" serde has realistic per-byte costs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqs {
+
+using Bytes = std::vector<uint8_t>;
+
+class BytesWriter {
+ public:
+  BytesWriter() = default;
+  explicit BytesWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  void WriteByte(uint8_t b) { buf_.push_back(b); }
+  void WriteRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  // Zigzag varint (Avro long encoding).
+  void WriteVarint(int64_t v) {
+    uint64_t z = (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+    while (z >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(z) | 0x80);
+      z >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(z));
+  }
+
+  void WriteDouble(double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+
+  void WriteBool(bool b) { buf_.push_back(b ? 1 : 0); }
+
+  void WriteString(std::string_view s) {
+    WriteVarint(static_cast<int64_t>(s.size()));
+    WriteRaw(s.data(), s.size());
+  }
+
+  void WriteBytes(const Bytes& b) {
+    WriteVarint(static_cast<int64_t>(b.size()));
+    WriteRaw(b.data(), b.size());
+  }
+
+  // Fixed-width little-endian (used for framing, offsets).
+  void WriteFixed32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void WriteFixed64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  const Bytes& data() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class BytesReader {
+ public:
+  explicit BytesReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  BytesReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool AtEnd() const { return pos_ >= size_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  Result<uint8_t> ReadByte() {
+    if (pos_ >= size_) return Status::SerdeError("unexpected end of buffer");
+    return data_[pos_++];
+  }
+
+  Result<int64_t> ReadVarint() {
+    uint64_t z = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return Status::SerdeError("truncated varint");
+      uint8_t b = data_[pos_++];
+      z |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      if (shift > 63) return Status::SerdeError("varint too long");
+    }
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  Result<double> ReadDouble() {
+    if (remaining() < 8) return Status::SerdeError("truncated double");
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+
+  Result<bool> ReadBool() {
+    SQS_ASSIGN_OR_RETURN(b, ReadByte());
+    return b != 0;
+  }
+
+  Result<std::string> ReadString() {
+    SQS_ASSIGN_OR_RETURN(len, ReadVarint());
+    if (len < 0 || static_cast<uint64_t>(len) > remaining()) {
+      return Status::SerdeError("truncated string");
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return s;
+  }
+
+  Result<Bytes> ReadBytes() {
+    SQS_ASSIGN_OR_RETURN(len, ReadVarint());
+    if (len < 0 || static_cast<uint64_t>(len) > remaining()) {
+      return Status::SerdeError("truncated bytes");
+    }
+    Bytes b(data_ + pos_, data_ + pos_ + len);
+    pos_ += static_cast<size_t>(len);
+    return b;
+  }
+
+  Result<uint32_t> ReadFixed32() {
+    if (remaining() < 4) return Status::SerdeError("truncated fixed32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadFixed64() {
+    if (remaining() < 8) return Status::SerdeError("truncated fixed64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+inline std::string FromBytes(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace sqs

@@ -1,0 +1,51 @@
+// Clock abstraction: production code uses SystemClock; tests and the
+// deterministic-replay harness use ManualClock so that window boundaries
+// and checkpoint timing are reproducible.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace sqs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Milliseconds since epoch.
+  virtual int64_t NowMillis() const = 0;
+};
+
+class SystemClock : public Clock {
+ public:
+  int64_t NowMillis() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+  static std::shared_ptr<Clock> Instance() {
+    static std::shared_ptr<Clock> clock = std::make_shared<SystemClock>();
+    return clock;
+  }
+};
+
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_millis = 0) : now_(start_millis) {}
+  int64_t NowMillis() const override { return now_.load(std::memory_order_relaxed); }
+  void Advance(int64_t delta_millis) { now_.fetch_add(delta_millis, std::memory_order_relaxed); }
+  void Set(int64_t millis) { now_.store(millis, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+// Monotonic nanosecond timer for throughput measurement.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace sqs

@@ -1,0 +1,79 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sqs {
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = props_.find(key);
+  if (it == props_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = props_.find(key);
+  if (it == props_.end()) return def;
+  return it->second == "true" || it->second == "1";
+}
+
+std::map<std::string, std::string> Config::Subset(const std::string& prefix) const {
+  std::map<std::string, std::string> out;
+  for (auto it = props_.lower_bound(prefix); it != props_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace(it->first.substr(prefix.size()), it->second);
+  }
+  return out;
+}
+
+std::vector<std::string> Config::GetList(const std::string& key) const {
+  std::vector<std::string> out;
+  std::string raw = Get(key);
+  if (raw.empty()) return out;
+  std::stringstream ss(raw);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void Config::SetList(const std::string& key, const std::vector<std::string>& values) {
+  std::string joined;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) joined += ',';
+    joined += values[i];
+  }
+  props_[key] = joined;
+}
+
+std::string Config::ToProperties() const {
+  std::string out;
+  for (const auto& [k, v] : props_) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Config> Config::FromProperties(const std::string& text) {
+  std::map<std::string, std::string> props;
+  std::stringstream ss(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("config line " + std::to_string(lineno) +
+                                " missing '=': " + line);
+    }
+    props[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return Config(std::move(props));
+}
+
+}  // namespace sqs

@@ -1,0 +1,58 @@
+// Property-based configuration, mirroring Samza's job configuration files.
+// A SamzaSQL query compiles into one of these (JobConfigGenerator), and the
+// task side reads it back at init — the paper's two-step planning (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqs {
+
+class Config {
+ public:
+  Config() = default;
+  explicit Config(std::map<std::string, std::string> props)
+      : props_(std::move(props)) {}
+
+  void Set(const std::string& key, std::string value) {
+    props_[key] = std::move(value);
+  }
+  void SetInt(const std::string& key, int64_t value) {
+    props_[key] = std::to_string(value);
+  }
+  void SetBool(const std::string& key, bool value) {
+    props_[key] = value ? "true" : "false";
+  }
+
+  bool Has(const std::string& key) const { return props_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    auto it = props_.find(key);
+    return it == props_.end() ? def : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t def = 0) const;
+  bool GetBool(const std::string& key, bool def = false) const;
+
+  // All keys with the given prefix, with the prefix stripped.
+  std::map<std::string, std::string> Subset(const std::string& prefix) const;
+
+  // Comma-separated list values.
+  std::vector<std::string> GetList(const std::string& key) const;
+  void SetList(const std::string& key, const std::vector<std::string>& values);
+
+  const std::map<std::string, std::string>& properties() const { return props_; }
+
+  // Serialize to / parse from "key=value\n" lines (the .properties format
+  // Samza jobs ship with).
+  std::string ToProperties() const;
+  static Result<Config> FromProperties(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> props_;
+};
+
+}  // namespace sqs

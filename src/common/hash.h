@@ -1,0 +1,25 @@
+// Stable hashes used for key partitioning (producer -> partition) so that
+// partition assignment is deterministic across runs and replays.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace sqs {
+
+inline uint64_t Fnv1a64(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+inline uint64_t Fnv1a64(const Bytes& b) { return Fnv1a64(b.data(), b.size()); }
+
+}  // namespace sqs

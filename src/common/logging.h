@@ -1,0 +1,52 @@
+// Minimal leveled logger. Disabled below the configured level at runtime;
+// kept deliberately simple (single mutex) because hot paths never log.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sqs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& Instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Log(LogLevel level, const std::string& msg) {
+    if (level < level_) return;
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lock(mu_);
+    std::cerr << "[" << names[static_cast<int>(level)] << "] " << msg << "\n";
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+#define SQS_LOG(lvl, expr)                                          \
+  do {                                                              \
+    if (static_cast<int>(lvl) >=                                    \
+        static_cast<int>(::sqs::Logger::Instance().level())) {      \
+      std::ostringstream _os;                                       \
+      _os << expr;                                                  \
+      ::sqs::Logger::Instance().Log(lvl, _os.str());                \
+    }                                                               \
+  } while (0)
+
+#define SQS_DEBUG(expr) SQS_LOG(::sqs::LogLevel::kDebug, expr)
+#define SQS_INFO(expr) SQS_LOG(::sqs::LogLevel::kInfo, expr)
+#define SQS_WARN(expr) SQS_LOG(::sqs::LogLevel::kWarn, expr)
+#define SQS_ERROR(expr) SQS_LOG(::sqs::LogLevel::kError, expr)
+
+}  // namespace sqs

@@ -1,0 +1,12 @@
+#include "common/metrics.h"
+
+#include "common/clock.h"
+
+namespace sqs {
+
+ScopedTimer::ScopedTimer(Timer& timer)
+    : timer_(timer), start_nanos_(MonotonicNanos()) {}
+
+ScopedTimer::~ScopedTimer() { timer_.Add(MonotonicNanos() - start_nanos_); }
+
+}  // namespace sqs

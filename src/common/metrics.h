@@ -1,0 +1,95 @@
+// Minimal metrics registry: counters, gauges, and busy-time timers.
+// Containers report per-task metrics here; the bench harness reads
+// messages-processed counters and busy-time timers to compute throughput
+// the way the paper does (avg container throughput x container count).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqs {
+
+class Counter {
+ public:
+  void Inc(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Accumulates nanoseconds of busy time.
+class Timer {
+ public:
+  void Add(int64_t nanos) { nanos_.fetch_add(nanos, std::memory_order_relaxed); }
+  int64_t TotalNanos() const { return nanos_.load(std::memory_order_relaxed); }
+  void Reset() { nanos_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> nanos_{0};
+};
+
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+  Gauge& GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+  }
+  Timer& GetTimer(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = timers_[name];
+    if (!slot) slot = std::make_unique<Timer>();
+    return *slot;
+  }
+
+  std::map<std::string, int64_t> SnapshotCounters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, int64_t> out;
+    for (const auto& [k, c] : counters_) out[k] = c->Get();
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+// RAII scope that adds elapsed wall time to a Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+  int64_t start_nanos_;
+};
+
+}  // namespace sqs

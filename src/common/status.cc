@@ -1,0 +1,22 @@
+#include "common/status.h"
+
+namespace sqs {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kParseError: return "ParseError";
+    case ErrorCode::kValidationError: return "ValidationError";
+    case ErrorCode::kPlanError: return "PlanError";
+    case ErrorCode::kSerdeError: return "SerdeError";
+    case ErrorCode::kStateError: return "StateError";
+    case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace sqs

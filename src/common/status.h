@@ -1,0 +1,131 @@
+// Lightweight Status / Result types for recoverable errors (parse errors,
+// validation failures, missing metadata). Unrecoverable programming errors
+// use assertions/exceptions instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sqs {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kValidationError,
+  kPlanError,
+  kSerdeError,
+  kStateError,
+  kUnsupported,
+  kInternal,
+};
+
+// to_string for diagnostics.
+const char* ErrorCodeName(ErrorCode code);
+
+// A Status is either OK or carries an error code + message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(ErrorCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(ErrorCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(ErrorCode::kAlreadyExists, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(ErrorCode::kParseError, std::move(m));
+  }
+  static Status ValidationError(std::string m) {
+    return Status(ErrorCode::kValidationError, std::move(m));
+  }
+  static Status PlanError(std::string m) {
+    return Status(ErrorCode::kPlanError, std::move(m));
+  }
+  static Status SerdeError(std::string m) {
+    return Status(ErrorCode::kSerdeError, std::move(m));
+  }
+  static Status StateError(std::string m) {
+    return Status(ErrorCode::kStateError, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(ErrorCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(ErrorCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + status().ToString());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + status().ToString());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + status().ToString());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+#define SQS_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::sqs::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define SQS_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto lhs##_result = (expr);                      \
+  if (!lhs##_result.ok()) return lhs##_result.status(); \
+  auto lhs = std::move(lhs##_result).value()
+
+}  // namespace sqs

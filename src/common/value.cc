@@ -1,0 +1,180 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace sqs {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull: return "NULL";
+    case TypeKind::kBool: return "BOOLEAN";
+    case TypeKind::kInt32: return "INTEGER";
+    case TypeKind::kInt64: return "BIGINT";
+    case TypeKind::kDouble: return "DOUBLE";
+    case TypeKind::kString: return "VARCHAR";
+    case TypeKind::kArray: return "ARRAY";
+    case TypeKind::kMap: return "MAP";
+  }
+  return "UNKNOWN";
+}
+
+int64_t Value::ToInt64() const {
+  switch (kind()) {
+    case TypeKind::kBool: return as_bool() ? 1 : 0;
+    case TypeKind::kInt32: return as_int32();
+    case TypeKind::kInt64: return as_int64();
+    case TypeKind::kDouble: return static_cast<int64_t>(as_double());
+    default: return 0;
+  }
+}
+
+double Value::ToDouble() const {
+  switch (kind()) {
+    case TypeKind::kBool: return as_bool() ? 1.0 : 0.0;
+    case TypeKind::kInt32: return as_int32();
+    case TypeKind::kInt64: return static_cast<double>(as_int64());
+    case TypeKind::kDouble: return as_double();
+    default: return 0.0;
+  }
+}
+
+namespace {
+int CompareDouble(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const bool lnull = is_null();
+  const bool rnull = other.is_null();
+  if (lnull || rnull) return (lnull ? 0 : 1) - (rnull ? 0 : 1);
+
+  if (is_numeric() && other.is_numeric()) {
+    // Compare exactly within integers, via double across kinds.
+    if (kind() != TypeKind::kDouble && other.kind() != TypeKind::kDouble) {
+      int64_t a = ToInt64(), b = other.ToInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    return CompareDouble(ToDouble(), other.ToDouble());
+  }
+  if (kind() != other.kind()) {
+    return static_cast<int>(kind()) < static_cast<int>(other.kind()) ? -1 : 1;
+  }
+  switch (kind()) {
+    case TypeKind::kBool:
+      return static_cast<int>(as_bool()) - static_cast<int>(other.as_bool());
+    case TypeKind::kString:
+      return as_string().compare(other.as_string());
+    case TypeKind::kArray: {
+      const ValueArray& a = as_array();
+      const ValueArray& b = other.as_array();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      return a.size() < b.size() ? -1 : (a.size() > b.size() ? 1 : 0);
+    }
+    case TypeKind::kMap: {
+      const ValueMap& a = as_map();
+      const ValueMap& b = other.as_map();
+      auto ia = a.begin();
+      auto ib = b.begin();
+      for (; ia != a.end() && ib != b.end(); ++ia, ++ib) {
+        int c = ia->first.compare(ib->first);
+        if (c != 0) return c;
+        c = ia->second.Compare(ib->second);
+        if (c != 0) return c;
+      }
+      if (ia != a.end()) return 1;
+      if (ib != b.end()) return -1;
+      return 0;
+    }
+    default:
+      return 0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case TypeKind::kNull: return "NULL";
+    case TypeKind::kBool: return as_bool() ? "true" : "false";
+    case TypeKind::kInt32: return std::to_string(as_int32());
+    case TypeKind::kInt64: return std::to_string(as_int64());
+    case TypeKind::kDouble: {
+      std::ostringstream os;
+      os << as_double();
+      return os.str();
+    }
+    case TypeKind::kString: return as_string();
+    case TypeKind::kArray: {
+      std::string out = "[";
+      const ValueArray& a = as_array();
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (i) out += ", ";
+        out += a[i].ToString();
+      }
+      return out + "]";
+    }
+    case TypeKind::kMap: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : as_map()) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + ": " + v.ToString();
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  constexpr size_t kSeed = 0x9e3779b97f4a7c15ull;
+  switch (kind()) {
+    case TypeKind::kNull: return kSeed;
+    case TypeKind::kBool: return std::hash<bool>{}(as_bool()) ^ kSeed;
+    case TypeKind::kInt32: return std::hash<int64_t>{}(as_int32());
+    case TypeKind::kInt64: return std::hash<int64_t>{}(as_int64());
+    case TypeKind::kDouble: {
+      double d = as_double();
+      // Hash integral doubles like their integer counterparts so that
+      // numeric equality implies hash equality.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case TypeKind::kString: return std::hash<std::string>{}(as_string());
+    case TypeKind::kArray: {
+      size_t h = kSeed;
+      for (const Value& v : as_array()) h = h * 1099511628211ull ^ v.Hash();
+      return h;
+    }
+    case TypeKind::kMap: {
+      size_t h = kSeed;
+      for (const auto& [k, v] : as_map()) {
+        h = h * 1099511628211ull ^ std::hash<std::string>{}(k);
+        h = h * 1099511628211ull ^ v.Hash();
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ", ";
+    out += row[i].ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace sqs

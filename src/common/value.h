@@ -1,0 +1,121 @@
+// Value: the dynamically-typed cell used in SamzaSQL rows ("tuple as array",
+// the calling convention the paper's generated operators use — Figure 4).
+// Supports the paper's data model (§3.1): integers, floating point, strings,
+// booleans, timestamps/dates, and nestable arrays / maps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sqs {
+
+enum class TypeKind {
+  kNull = 0,
+  kBool,
+  kInt32,
+  kInt64,     // also used for timestamps (epoch millis) and intervals (millis)
+  kDouble,
+  kString,
+  kArray,
+  kMap,
+};
+
+const char* TypeKindName(TypeKind kind);
+
+class Value;
+using ValueArray = std::vector<Value>;
+using ValueMap = std::map<std::string, Value>;
+
+// A Row is a tuple represented as a flat array of values, positionally
+// matching a Schema. This is the representation SQL operators work over.
+using Row = std::vector<Value>;
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(int32_t i) : data_(i) {}
+  explicit Value(int64_t i) : data_(i) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+  explicit Value(ValueArray a) : data_(std::make_shared<ValueArray>(std::move(a))) {}
+  explicit Value(ValueMap m) : data_(std::make_shared<ValueMap>(std::move(m))) {}
+
+  static Value Null() { return Value(); }
+
+  TypeKind kind() const {
+    switch (data_.index()) {
+      case 0: return TypeKind::kNull;
+      case 1: return TypeKind::kBool;
+      case 2: return TypeKind::kInt32;
+      case 3: return TypeKind::kInt64;
+      case 4: return TypeKind::kDouble;
+      case 5: return TypeKind::kString;
+      case 6: return TypeKind::kArray;
+      case 7: return TypeKind::kMap;
+    }
+    return TypeKind::kNull;
+  }
+
+  bool is_null() const { return data_.index() == 0; }
+  bool is_numeric() const {
+    TypeKind k = kind();
+    return k == TypeKind::kInt32 || k == TypeKind::kInt64 || k == TypeKind::kDouble;
+  }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  int32_t as_int32() const { return std::get<int32_t>(data_); }
+  int64_t as_int64() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const ValueArray& as_array() const { return *std::get<std::shared_ptr<ValueArray>>(data_); }
+  const ValueMap& as_map() const { return *std::get<std::shared_ptr<ValueMap>>(data_); }
+
+  // Numeric widening accessors (null -> 0; used by aggregates and arithmetic
+  // after the validator has proven numeric types).
+  int64_t ToInt64() const;
+  double ToDouble() const;
+
+  // Total ordering for use in ordered containers and ORDER BY. Nulls sort
+  // first; numerics compare by value across int/double; otherwise values of
+  // different kinds compare by kind.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  std::string ToString() const;
+
+  // Stable hash (used by the hash partitioner and GROUP BY key maps).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, bool, int32_t, int64_t, double, std::string,
+               std::shared_ptr<ValueArray>, std::shared_ptr<ValueMap>>
+      data_;
+};
+
+std::string RowToString(const Row& row);
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct RowHasher {
+  size_t operator()(const Row& row) const {
+    size_t h = 1469598103934665603ull;
+    for (const Value& v : row) {
+      h ^= v.Hash();
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace sqs

@@ -1,0 +1,333 @@
+#include "core/executor.h"
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "core/task.h"
+#include "ops/router.h"
+#include "sql/lexer.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+
+namespace sqs::core {
+
+namespace {
+
+std::string UniqueFactoryName() {
+  static std::atomic<int> counter{0};
+  return "samzasql-" + std::to_string(counter.fetch_add(1));
+}
+
+void CollectScans(const sql::LogicalNode& node,
+                  std::vector<const sql::LogicalNode*>& scans) {
+  if (node.kind == sql::LogicalKind::kScan) scans.push_back(&node);
+  for (const auto& input : node.inputs) CollectScans(*input, scans);
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(EnvironmentPtr env, Config job_defaults)
+    : env_(std::move(env)),
+      defaults_(std::move(job_defaults)),
+      factory_name_(UniqueFactoryName()) {
+  EnvironmentPtr captured = env_;
+  TaskFactoryRegistry::Instance().Register(factory_name_, [captured] {
+    return std::make_unique<SamzaSqlTask>(captured);
+  });
+}
+
+QueryExecutor::~QueryExecutor() {
+  for (auto& job : jobs_) {
+    if (job) (void)job->Stop();
+  }
+}
+
+Result<QueryExecutor::ExecutionResult> QueryExecutor::Execute(
+    const std::string& statement_sql) {
+  SQS_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(statement_sql));
+
+  if (stmt.create_view) {
+    // Validate the view body by planning it before registering.
+    sql::QueryPlanner planner(env_->catalog);
+    SQS_RETURN_IF_ERROR(planner.Plan(*stmt.create_view->select).status());
+    std::string name = stmt.create_view->name;
+    SQS_RETURN_IF_ERROR(env_->catalog->RegisterView(
+        name, stmt.create_view->column_names, std::move(stmt.create_view->select)));
+    // Keep the original text so task-side planning can rebuild the view.
+    views_script_ += statement_sql;
+    if (statement_sql.find(';') == std::string::npos) views_script_ += ";";
+    views_script_ += "\n";
+    ExecutionResult result;
+    result.kind = ExecutionResult::Kind::kViewCreated;
+    result.text = "view " + name + " created";
+    return result;
+  }
+
+  if (stmt.explain) {
+    sql::QueryPlanner planner(env_->catalog);
+    SQS_ASSIGN_OR_RETURN(plan, planner.Plan(*stmt.explain->select));
+    plan = sql::Optimize(plan);
+    ExecutionResult result;
+    result.kind = ExecutionResult::Kind::kExplained;
+    result.text = plan->ToString();
+    result.schema = plan->schema;
+    return result;
+  }
+
+  if (stmt.insert) {
+    if (!stmt.insert->select->stream) {
+      return Status::Unsupported("INSERT INTO requires SELECT STREAM");
+    }
+    return SubmitStreamingJob(*stmt.insert->select, stmt.insert->target, statement_sql);
+  }
+
+  if (stmt.select) {
+    if (stmt.select->stream) {
+      return SubmitStreamingJob(*stmt.select, "", statement_sql);
+    }
+    return RunBatchQuery(*stmt.select);
+  }
+  return Status::Internal("unhandled statement");
+}
+
+Result<std::vector<QueryExecutor::ExecutionResult>> QueryExecutor::ExecuteScript(
+    const std::string& script) {
+  // Split at top-level semicolons using the lexer's token positions so that
+  // ';' inside string literals is handled correctly.
+  SQS_ASSIGN_OR_RETURN(tokens, sql::Lex(script));
+  std::vector<ExecutionResult> results;
+  size_t start = 0;
+  for (const sql::Token& tok : tokens) {
+    bool at_end = tok.type == sql::TokenType::kEnd;
+    if (tok.type != sql::TokenType::kSemicolon && !at_end) continue;
+    std::string piece = script.substr(start, tok.position - start);
+    start = tok.position + 1;
+    // Skip empty pieces (trailing semicolons / whitespace).
+    if (piece.find_first_not_of(" \t\r\n") == std::string::npos) {
+      if (at_end) break;
+      continue;
+    }
+    SQS_ASSIGN_OR_RETURN(result, Execute(piece));
+    results.push_back(std::move(result));
+    if (at_end) break;
+  }
+  return results;
+}
+
+sql::TableProvider QueryExecutor::MakeTableProvider() const {
+  EnvironmentPtr env = env_;
+  return [env](const sql::SourceDef& source) -> Result<std::vector<Row>> {
+    SQS_ASSIGN_OR_RETURN(serde, ops::SerdeForFormat(source.format, source.schema));
+    SQS_ASSIGN_OR_RETURN(nparts, env->broker->NumPartitions(source.topic));
+    if (source.kind == sql::SourceKind::kRelation) {
+      // Snapshot: last write per message key wins; empty value = tombstone.
+      std::map<Bytes, Row> snapshot;
+      for (int32_t p = 0; p < nparts; ++p) {
+        SQS_ASSIGN_OR_RETURN(begin, env->broker->BeginOffset({source.topic, p}));
+        SQS_ASSIGN_OR_RETURN(end, env->broker->EndOffset({source.topic, p}));
+        int64_t pos = begin;
+        while (pos < end) {
+          SQS_ASSIGN_OR_RETURN(batch, env->broker->Fetch({source.topic, p}, pos, 1024));
+          if (batch.empty()) break;
+          for (const auto& m : batch) {
+            if (m.message.value.empty()) {
+              snapshot.erase(m.message.key);
+            } else {
+              SQS_ASSIGN_OR_RETURN(row, serde->DeserializeBytes(m.message.value));
+              snapshot[m.message.key] = std::move(row);
+            }
+          }
+          pos += static_cast<int64_t>(batch.size());
+        }
+      }
+      std::vector<Row> rows;
+      rows.reserve(snapshot.size());
+      for (auto& [k, row] : snapshot) rows.push_back(std::move(row));
+      return rows;
+    }
+    // Stream history: every retained message.
+    std::vector<Row> rows;
+    for (int32_t p = 0; p < nparts; ++p) {
+      SQS_ASSIGN_OR_RETURN(begin, env->broker->BeginOffset({source.topic, p}));
+      SQS_ASSIGN_OR_RETURN(end, env->broker->EndOffset({source.topic, p}));
+      int64_t pos = begin;
+      while (pos < end) {
+        SQS_ASSIGN_OR_RETURN(batch, env->broker->Fetch({source.topic, p}, pos, 1024));
+        if (batch.empty()) break;
+        for (const auto& m : batch) {
+          SQS_ASSIGN_OR_RETURN(row, serde->DeserializeBytes(m.message.value));
+          rows.push_back(std::move(row));
+        }
+        pos += static_cast<int64_t>(batch.size());
+      }
+    }
+    return rows;
+  };
+}
+
+Result<QueryExecutor::ExecutionResult> QueryExecutor::RunBatchQuery(
+    const sql::SelectStmt& select) {
+  sql::QueryPlanner planner(env_->catalog);
+  SQS_ASSIGN_OR_RETURN(plan, planner.Plan(select));
+  plan = sql::Optimize(plan);
+  SQS_ASSIGN_OR_RETURN(rows, sql::EvaluatePlan(*plan, MakeTableProvider()));
+  ExecutionResult result;
+  result.kind = ExecutionResult::Kind::kRows;
+  result.rows = std::move(rows);
+  result.schema = plan->schema;
+  return result;
+}
+
+Result<QueryExecutor::ExecutionResult> QueryExecutor::SubmitStreamingJob(
+    const sql::SelectStmt& select, const std::string& insert_target,
+    const std::string& original_sql) {
+  sql::QueryPlanner planner(env_->catalog);
+  SQS_ASSIGN_OR_RETURN(plan, planner.Plan(select));
+  plan = sql::Optimize(plan);
+
+  const int query_id = query_counter_++;
+  const std::string job_name = "samzasql-query-" + std::to_string(query_id);
+
+  // --- inputs ---
+  std::vector<const sql::LogicalNode*> scans;
+  CollectScans(*plan, scans);
+  if (scans.empty()) return Status::Internal("plan has no scans");
+  std::vector<std::string> inputs;
+  std::vector<std::string> bootstrap;
+  for (const sql::LogicalNode* scan : scans) {
+    const std::string& topic = scan->source.topic;
+    if (!env_->broker->HasTopic(topic)) {
+      return Status::NotFound("input topic missing on broker: " + topic);
+    }
+    if (std::find(inputs.begin(), inputs.end(), topic) == inputs.end()) {
+      inputs.push_back(topic);
+    }
+    if (!scan->source.is_stream() &&
+        std::find(bootstrap.begin(), bootstrap.end(), topic) == bootstrap.end()) {
+      bootstrap.push_back(topic);
+    }
+  }
+  SQS_ASSIGN_OR_RETURN(num_partitions, env_->broker->NumPartitions(inputs[0]));
+
+  // --- output topic + schema ---
+  std::string output_topic;
+  std::string output_format = defaults_.Get(sqlcfg::kOutputFormat, "avro");
+  SchemaPtr output_schema = plan->schema;
+  if (!insert_target.empty()) {
+    if (env_->catalog->HasSource(insert_target)) {
+      SQS_ASSIGN_OR_RETURN(target, env_->catalog->GetSource(insert_target));
+      if (!target.is_stream()) {
+        return Status::ValidationError("INSERT target must be a stream: " + insert_target);
+      }
+      if (target.schema->num_fields() != plan->schema->num_fields()) {
+        return Status::ValidationError(
+            "INSERT arity mismatch: target " + insert_target + " has " +
+            std::to_string(target.schema->num_fields()) + " columns, query has " +
+            std::to_string(plan->schema->num_fields()));
+      }
+      for (size_t i = 0; i < target.schema->num_fields(); ++i) {
+        if (!KindAssignable(target.schema->field(i).type.kind,
+                            plan->schema->field(i).type.kind)) {
+          return Status::ValidationError("INSERT type mismatch at column " +
+                                         target.schema->field(i).name);
+        }
+      }
+      output_topic = target.topic;
+      output_format = target.format;
+      output_schema = target.schema;
+    } else {
+      output_topic = insert_target;
+      // Register the derived stream in the catalog so later queries can
+      // consume it (Kappa-style pipelines, paper §2).
+      sql::SourceDef derived;
+      derived.name = insert_target;
+      derived.kind = sql::SourceKind::kStream;
+      derived.topic = insert_target;
+      derived.format = output_format;
+      std::vector<Field> fields(plan->schema->fields().begin(),
+                                plan->schema->fields().end());
+      derived.schema = Schema::Make(insert_target, std::move(fields));
+      if (plan->rowtime_index >= 0) {
+        derived.rowtime_column =
+            plan->schema->field(static_cast<size_t>(plan->rowtime_index)).name;
+      }
+      output_schema = derived.schema;
+      SQS_RETURN_IF_ERROR(env_->catalog->RegisterSource(std::move(derived)));
+    }
+  } else {
+    output_topic = job_name + "-output";
+  }
+  if (!env_->broker->HasTopic(output_topic)) {
+    SQS_RETURN_IF_ERROR(
+        env_->broker->CreateTopic(output_topic, {.num_partitions = num_partitions}));
+  }
+  SQS_RETURN_IF_ERROR(env_->registry->Register(output_topic, output_schema).status());
+
+  // --- metadata to ZooKeeper (two-step planning hand-off) ---
+  const std::string zk_prefix = "/samzasql/queries/" + job_name;
+  SQS_RETURN_IF_ERROR(env_->zk->Put(zk_prefix + "/sql", original_sql));
+  SQS_RETURN_IF_ERROR(env_->zk->Put(zk_prefix + "/model", env_->catalog->ToJsonModel()));
+  SQS_RETURN_IF_ERROR(env_->zk->Put(zk_prefix + "/views", views_script_));
+
+  // --- job configuration ---
+  Config config = defaults_;
+  config.Set(cfg::kJobName, job_name);
+  config.SetList(cfg::kTaskInputs, inputs);
+  if (!bootstrap.empty()) config.SetList(cfg::kBootstrapInputs, bootstrap);
+  config.Set(cfg::kTaskFactory, factory_name_);
+  config.Set(sqlcfg::kZkPrefix, zk_prefix);
+  config.Set(sqlcfg::kOutputTopic, output_topic);
+  config.Set(sqlcfg::kOutputSchema, output_schema->Canonical());
+  config.Set(sqlcfg::kOutputFormat, output_format);
+  if (!config.Has(sqlcfg::kStateSerde)) config.Set(sqlcfg::kStateSerde, "reflective");
+
+  SQS_ASSIGN_OR_RETURN(stores, ops::MessageRouter::RequiredStores(*plan));
+  for (const std::string& store : stores) {
+    config.Set(std::string(cfg::kStoresPrefix) + store + ".changelog",
+               job_name + "-" + store + "-changelog");
+  }
+
+  auto runner = std::make_unique<JobRunner>(env_->broker, config, env_->clock);
+  SQS_RETURN_IF_ERROR(runner->Start());
+  jobs_.push_back(std::move(runner));
+
+  ExecutionResult result;
+  result.kind = ExecutionResult::Kind::kJobSubmitted;
+  result.text = "job " + job_name + " submitted";
+  result.schema = output_schema;
+  result.output_topic = output_topic;
+  result.job_index = static_cast<int>(jobs_.size()) - 1;
+  return result;
+}
+
+Result<int64_t> QueryExecutor::RunJobsUntilQuiescent() {
+  std::vector<JobRunner*> raw;
+  raw.reserve(jobs_.size());
+  for (auto& job : jobs_) raw.push_back(job.get());
+  return JobRunner::RunPipelineUntilQuiescent(raw);
+}
+
+Result<std::vector<Row>> QueryExecutor::ReadOutputRows(const std::string& topic) const {
+  SQS_ASSIGN_OR_RETURN(registered, env_->registry->GetLatest(topic));
+  SQS_ASSIGN_OR_RETURN(serde, ops::SerdeForFormat("avro", registered.schema));
+  SQS_ASSIGN_OR_RETURN(nparts, env_->broker->NumPartitions(topic));
+  std::vector<Row> rows;
+  for (int32_t p = 0; p < nparts; ++p) {
+    SQS_ASSIGN_OR_RETURN(begin, env_->broker->BeginOffset({topic, p}));
+    SQS_ASSIGN_OR_RETURN(end, env_->broker->EndOffset({topic, p}));
+    int64_t pos = begin;
+    while (pos < end) {
+      SQS_ASSIGN_OR_RETURN(batch, env_->broker->Fetch({topic, p}, pos, 1024));
+      if (batch.empty()) break;
+      for (const auto& m : batch) {
+        SQS_ASSIGN_OR_RETURN(row, serde->DeserializeBytes(m.message.value));
+        rows.push_back(std::move(row));
+      }
+      pos += static_cast<int64_t>(batch.size());
+    }
+  }
+  return rows;
+}
+
+}  // namespace sqs::core

@@ -1,0 +1,84 @@
+// QueryExecutor: the shell-side half of SamzaSQL (paper §4.1–4.2, the
+// JDBC-driver + query-executor role). For each statement it:
+//  - CREATE VIEW: validates and registers the view in the catalog;
+//  - EXPLAIN: returns the optimized plan as text;
+//  - SELECT (no STREAM): runs the query against stream history / relation
+//    snapshots with the reference evaluator and returns rows (§3.3);
+//  - SELECT STREAM / INSERT INTO ... SELECT STREAM: plans the query,
+//    generates the Samza job configuration (stores, inputs, bootstrap
+//    inputs, serdes), stashes the SQL + catalog model + views in ZooKeeper,
+//    and submits a JobRunner — the shell-side half of two-step planning.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/environment.h"
+#include "sql/batch_eval.h"
+#include "sql/planner.h"
+#include "task/runner.h"
+
+namespace sqs::core {
+
+class QueryExecutor {
+ public:
+  // `job_defaults` seeds every generated job config (container count,
+  // commit interval, state serde choice, ...).
+  explicit QueryExecutor(EnvironmentPtr env, Config job_defaults = Config());
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  struct ExecutionResult {
+    enum class Kind { kViewCreated, kExplained, kJobSubmitted, kRows };
+    Kind kind = Kind::kRows;
+    std::string text;          // explain output / informational message
+    std::vector<Row> rows;     // batch query results
+    SchemaPtr schema;          // output schema (batch and streaming)
+    std::string output_topic;  // streaming job output
+    int job_index = -1;        // index into job(i) for streaming queries
+  };
+
+  Result<ExecutionResult> Execute(const std::string& statement_sql);
+
+  // Executes a ';'-separated script, returning one result per statement.
+  Result<std::vector<ExecutionResult>> ExecuteScript(const std::string& script);
+
+  // Drive all submitted jobs round-robin until globally quiescent (handles
+  // query pipelines chained through intermediate topics).
+  Result<int64_t> RunJobsUntilQuiescent();
+
+  JobRunner* job(int index) {
+    return index >= 0 && index < static_cast<int>(jobs_.size()) ? jobs_[index].get()
+                                                                : nullptr;
+  }
+  size_t num_jobs() const { return jobs_.size(); }
+
+  // Materialize the contents of an output topic as rows (uses the schema
+  // registered under `topic` in the schema registry).
+  Result<std::vector<Row>> ReadOutputRows(const std::string& topic) const;
+
+  // Batch provider: stream sources yield their full history; relation
+  // sources yield a last-write-wins snapshot keyed by message key.
+  sql::TableProvider MakeTableProvider() const;
+
+  const EnvironmentPtr& env() const { return env_; }
+
+ private:
+  Result<ExecutionResult> SubmitStreamingJob(const sql::SelectStmt& select,
+                                             const std::string& insert_target,
+                                             const std::string& original_sql);
+  Result<ExecutionResult> RunBatchQuery(const sql::SelectStmt& select);
+
+  EnvironmentPtr env_;
+  Config defaults_;
+  std::string factory_name_;
+  std::vector<std::unique_ptr<JobRunner>> jobs_;
+  std::string views_script_;
+  int query_counter_ = 0;
+};
+
+}  // namespace sqs::core

@@ -1,0 +1,206 @@
+#include "core/shell.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace sqs::core {
+
+Shell::Shell(EnvironmentPtr env, Config job_defaults)
+    : env_(env), executor_(std::make_unique<QueryExecutor>(env, std::move(job_defaults))) {}
+
+std::string Shell::FormatTable(const SchemaPtr& schema, const std::vector<Row>& rows,
+                               size_t max_rows) {
+  if (!schema) return "(no schema)\n";
+  std::vector<std::string> headers;
+  std::vector<size_t> widths;
+  for (const Field& f : schema->fields()) {
+    headers.push_back(f.name);
+    widths.push_back(f.name.size());
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < rows[r].size() && c < headers.size(); ++c) {
+      line.push_back(rows[r][c].ToString());
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto row_line = [&](const std::vector<std::string>& line) {
+    os << '|';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < line.size() ? line[c] : "";
+      os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  rule();
+  row_line(headers);
+  rule();
+  for (const auto& line : cells) row_line(line);
+  rule();
+  os << rows.size() << " row(s)";
+  if (rows.size() > max_rows) os << " (showing first " << max_rows << ")";
+  os << '\n';
+  return os.str();
+}
+
+void Shell::ExecuteBuffered(std::ostream& out) {
+  std::string statement;
+  statement.swap(buffer_);
+  if (statement.find_first_not_of(" \t\r\n;") == std::string::npos) return;
+  auto result = executor_->Execute(statement);
+  if (!result.ok()) {
+    out << "ERROR: " << result.status().ToString() << "\n";
+    return;
+  }
+  const auto& r = result.value();
+  switch (r.kind) {
+    case QueryExecutor::ExecutionResult::Kind::kViewCreated:
+      out << r.text << "\n";
+      break;
+    case QueryExecutor::ExecutionResult::Kind::kExplained:
+      out << r.text;
+      break;
+    case QueryExecutor::ExecutionResult::Kind::kJobSubmitted:
+      out << r.text << "\noutput stream: " << r.output_topic
+          << "   (use !run to process, !output " << r.output_topic
+          << " to sample)\n";
+      break;
+    case QueryExecutor::ExecutionResult::Kind::kRows:
+      out << FormatTable(r.schema, r.rows);
+      break;
+  }
+}
+
+void Shell::MetaCommand(const std::string& command, std::ostream& out) {
+  std::istringstream iss(command);
+  std::string cmd;
+  iss >> cmd;
+  if (cmd == "!help") {
+    out << "statements end with ';'. meta commands:\n"
+           "  !tables               list streams, tables and views\n"
+           "  !describe <name>      show a source's schema\n"
+           "  !jobs                 list submitted streaming jobs\n"
+           "  !run                  drive all jobs until caught up\n"
+           "  !output <topic> [n]   show up to n rows from an output stream\n"
+           "  !quit                 exit\n";
+    return;
+  }
+  if (cmd == "!tables") {
+    for (const std::string& name : env_->catalog->SourceNames()) {
+      auto source = env_->catalog->GetSource(name);
+      if (source.ok()) {
+        out << (source.value().is_stream() ? "stream " : "table  ") << name
+            << "  (topic: " << source.value().topic << ")\n";
+      }
+    }
+    return;
+  }
+  if (cmd == "!describe") {
+    std::string name;
+    iss >> name;
+    auto source = env_->catalog->GetSource(name);
+    if (!source.ok()) {
+      out << "ERROR: " << source.status().ToString() << "\n";
+      return;
+    }
+    out << source.value().schema->ToString() << "\n";
+    if (!source.value().rowtime_column.empty()) {
+      out << "rowtime column: " << source.value().rowtime_column << "\n";
+    }
+    return;
+  }
+  if (cmd == "!jobs") {
+    for (size_t i = 0; i < executor_->num_jobs(); ++i) {
+      JobRunner* job = executor_->job(static_cast<int>(i));
+      if (!job) continue;
+      out << "job " << i << ": " << job->job_model().job_name << "  containers="
+          << job->NumContainers() << "  processed=" << job->TotalProcessed() << "\n";
+    }
+    return;
+  }
+  if (cmd == "!run") {
+    auto n = executor_->RunJobsUntilQuiescent();
+    if (!n.ok()) {
+      out << "ERROR: " << n.status().ToString() << "\n";
+    } else {
+      out << "processed " << n.value() << " message(s)\n";
+    }
+    return;
+  }
+  if (cmd == "!output") {
+    std::string topic;
+    size_t limit = 10;
+    iss >> topic >> limit;
+    auto rows = executor_->ReadOutputRows(topic);
+    if (!rows.ok()) {
+      out << "ERROR: " << rows.status().ToString() << "\n";
+      return;
+    }
+    auto registered = env_->registry->GetLatest(topic);
+    out << FormatTable(registered.ok() ? registered.value().schema : nullptr,
+                       rows.value(), limit);
+    return;
+  }
+  out << "unknown command " << cmd << " (try !help)\n";
+}
+
+bool Shell::ProcessLine(const std::string& line, std::ostream& out) {
+  std::string trimmed = line;
+  size_t start = trimmed.find_first_not_of(" \t");
+  if (start == std::string::npos) return true;
+  if (buffer_.empty() && trimmed[start] == '!') {
+    std::string cmd = trimmed.substr(start);
+    while (!cmd.empty() && (cmd.back() == '\r' || cmd.back() == '\n' || cmd.back() == ' ')) {
+      cmd.pop_back();
+    }
+    if (cmd == "!quit" || cmd == "!exit") return false;
+    MetaCommand(cmd, out);
+    return true;
+  }
+  buffer_ += line;
+  buffer_ += '\n';
+  // Execute complete statements (everything up to a ';' outside quotes).
+  while (true) {
+    bool in_string = false;
+    size_t split = std::string::npos;
+    for (size_t i = 0; i < buffer_.size(); ++i) {
+      char c = buffer_[i];
+      if (c == '\'') in_string = !in_string;
+      if (c == ';' && !in_string) {
+        split = i;
+        break;
+      }
+    }
+    if (split == std::string::npos) break;
+    std::string statement = buffer_.substr(0, split);
+    std::string rest = buffer_.substr(split + 1);
+    buffer_ = std::move(statement);
+    ExecuteBuffered(out);
+    buffer_ = std::move(rest);
+  }
+  // Whitespace-only leftovers do not keep a statement "open".
+  if (buffer_.find_first_not_of(" \t\r\n") == std::string::npos) buffer_.clear();
+  return true;
+}
+
+void Shell::Repl(std::istream& in, std::ostream& out) {
+  out << "SamzaSQL shell — statements end with ';', !help for commands\n";
+  std::string line;
+  out << "samzasql> " << std::flush;
+  while (std::getline(in, line)) {
+    if (!ProcessLine(line, out)) break;
+    out << (buffer_.empty() ? "samzasql> " : "       -> ") << std::flush;
+  }
+  out << "\n";
+}
+
+}  // namespace sqs::core

@@ -1,0 +1,36 @@
+// SamzaSqlTask: the generated stream task that executes a streaming SQL
+// query (paper §2: "A SamzaSQL query is a Samza job with SamzaSQL specific
+// stream task implementation"). At Init it performs the paper's task-side
+// half of two-step planning (§4.2): fetch the SQL text, catalog model and
+// view definitions from ZooKeeper, re-run parsing/validation/planning/
+// optimization, and generate the operator DAG (message router) with
+// compiled expressions.
+#pragma once
+
+#include <memory>
+
+#include "core/environment.h"
+#include "ops/router.h"
+#include "task/api.h"
+
+namespace sqs::core {
+
+class SamzaSqlTask : public StreamTask {
+ public:
+  explicit SamzaSqlTask(EnvironmentPtr env) : env_(std::move(env)) {}
+
+  Status Init(TaskContext& context) override;
+  Status Process(const IncomingMessage& message, MessageCollector& collector,
+                 TaskCoordinator& coordinator) override;
+  Status Window(MessageCollector& collector, TaskCoordinator& coordinator) override;
+  Status OnCommit() override;
+
+  const ops::MessageRouter* router() const { return router_.get(); }
+
+ private:
+  EnvironmentPtr env_;
+  TaskContext* context_ = nullptr;
+  std::unique_ptr<ops::MessageRouter> router_;
+};
+
+}  // namespace sqs::core

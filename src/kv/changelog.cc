@@ -1,0 +1,54 @@
+#include "kv/changelog.h"
+
+#include "common/logging.h"
+
+namespace sqs {
+
+void ChangelogBackedStore::Put(const Bytes& key, Bytes value) {
+  Message m;
+  m.key = key;
+  m.value = value;
+  auto st = broker_->Append(sp_, std::move(m));
+  if (!st.ok()) {
+    throw std::runtime_error("changelog append failed: " + st.status().ToString());
+  }
+  backing_->Put(key, std::move(value));
+}
+
+void ChangelogBackedStore::Delete(const Bytes& key) {
+  Message m;
+  m.key = key;
+  m.value = Bytes{};  // tombstone
+  auto st = broker_->Append(sp_, std::move(m));
+  if (!st.ok()) {
+    throw std::runtime_error("changelog append failed: " + st.status().ToString());
+  }
+  backing_->Delete(key);
+}
+
+void ChangelogBackedStore::Clear() { backing_->Clear(); }
+
+Status ChangelogBackedStore::Restore() {
+  backing_->Clear();
+  SQS_ASSIGN_OR_RETURN(begin, broker_->BeginOffset(sp_));
+  SQS_ASSIGN_OR_RETURN(end, broker_->EndOffset(sp_));
+  int64_t pos = begin;
+  int64_t restored = 0;
+  while (pos < end) {
+    SQS_ASSIGN_OR_RETURN(batch, broker_->Fetch(sp_, pos, 1024));
+    if (batch.empty()) break;
+    for (auto& m : batch) {
+      if (m.message.value.empty()) {
+        backing_->Delete(m.message.key);
+      } else {
+        backing_->Put(m.message.key, std::move(m.message.value));
+      }
+      ++restored;
+    }
+    pos += static_cast<int64_t>(batch.size());
+  }
+  SQS_DEBUG("restored " << restored << " changelog entries from " << sp_.ToString());
+  return Status::Ok();
+}
+
+}  // namespace sqs

@@ -1,0 +1,48 @@
+// Changelog-backed store: every write is mirrored to one partition of a
+// (compacted) changelog topic; Restore() rebuilds the in-memory state by
+// replaying that partition. This is how Samza makes task-local state
+// fault tolerant (§2), and how the paper's sliding-window operator and
+// stream-to-relation join survive task failure (§4.3–4.4).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "kv/store.h"
+#include "log/broker.h"
+
+namespace sqs {
+
+class ChangelogBackedStore : public KeyValueStore {
+ public:
+  // `sp` is the changelog partition for this task (same partition id as the
+  // task's input partitions, so restore-after-reschedule finds its data).
+  ChangelogBackedStore(KeyValueStorePtr backing, BrokerPtr broker, StreamPartition sp)
+      : backing_(std::move(backing)), broker_(std::move(broker)), sp_(std::move(sp)) {}
+
+  std::optional<Bytes> Get(const Bytes& key) const override { return backing_->Get(key); }
+
+  void Put(const Bytes& key, Bytes value) override;
+  void Delete(const Bytes& key) override;
+
+  void Range(const Bytes& from, const Bytes& to, const RangeCallback& cb) const override {
+    backing_->Range(from, to, cb);
+  }
+  void All(const RangeCallback& cb) const override { backing_->All(cb); }
+  size_t Size() const override { return backing_->Size(); }
+  void Clear() override;
+
+  // Replay the changelog partition from the beginning into the (cleared)
+  // backing store. An empty changelog value is a tombstone (delete).
+  Status Restore();
+
+  const StreamPartition& changelog_partition() const { return sp_; }
+
+ private:
+  KeyValueStorePtr backing_;
+  BrokerPtr broker_;
+  StreamPartition sp_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,88 @@
+// In-process broker: the Kafka substitute. Topics of append-only
+// partitions; dense offsets from a log-start offset; fetch by offset with
+// batch limits; time/size-based retention that advances the log-start
+// offset (old elements become unavailable, like Kafka retention).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "log/message.h"
+
+namespace sqs {
+
+struct TopicConfig {
+  int32_t num_partitions = 1;
+  // Retain at most this many messages per partition (0 = unbounded).
+  int64_t retention_messages = 0;
+  // Log-compacted topic (changelogs): retain only the newest message per
+  // key when Compact() runs.
+  bool compacted = false;
+};
+
+class Broker {
+ public:
+  // Simulated network round-trip cost charged (as real CPU spin) on every
+  // Fetch call. A real Kafka fetch pays a broker RTT regardless of how much
+  // data it returns; this knob reproduces that fixed cost so poll batch
+  // size affects throughput the way it does on a cluster. Defaults to 0
+  // (off) — the bench harness turns it on.
+  void SetFetchLatencyNanos(int64_t nanos) { fetch_latency_nanos_ = nanos; }
+  int64_t fetch_latency_nanos() const { return fetch_latency_nanos_; }
+
+  Status CreateTopic(const std::string& name, TopicConfig config);
+  bool HasTopic(const std::string& name) const;
+  Result<int32_t> NumPartitions(const std::string& topic) const;
+  std::vector<std::string> Topics() const;
+
+  // Append; returns the assigned offset.
+  Result<int64_t> Append(const StreamPartition& sp, Message message);
+
+  // Fetch up to max_messages starting at `offset`. Returns fewer (possibly
+  // zero) if the log is short. Fetching below the log-start offset is an
+  // error (the data was retained away); fetching at/after the end offset
+  // returns an empty batch.
+  Result<std::vector<IncomingMessage>> Fetch(const StreamPartition& sp,
+                                             int64_t offset,
+                                             int32_t max_messages) const;
+
+  // Next offset to be assigned (== high watermark).
+  Result<int64_t> EndOffset(const StreamPartition& sp) const;
+  // Oldest available offset.
+  Result<int64_t> BeginOffset(const StreamPartition& sp) const;
+
+  // Apply retention/compaction policy to all partitions of a topic.
+  Status EnforceRetention(const std::string& topic);
+  Status Compact(const std::string& topic);
+
+  // Total messages currently held in a topic (across partitions).
+  Result<int64_t> TopicSize(const std::string& topic) const;
+
+  Status DeleteTopic(const std::string& name);
+
+ private:
+  struct Partition {
+    mutable std::mutex mu;
+    int64_t log_start = 0;
+    std::vector<Message> entries;  // entries[i] has offset log_start + i
+  };
+  struct Topic {
+    TopicConfig config;
+    std::vector<std::unique_ptr<Partition>> partitions;
+  };
+
+  Result<Partition*> GetPartition(const StreamPartition& sp) const;
+
+  mutable std::mutex mu_;  // guards the topic map, not partition contents
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  int64_t fetch_latency_nanos_ = 0;
+};
+
+using BrokerPtr = std::shared_ptr<Broker>;
+
+}  // namespace sqs

@@ -1,0 +1,83 @@
+#include "log/consumer.h"
+
+#include "common/clock.h"
+
+namespace sqs {
+
+Status Consumer::Assign(const StreamPartition& sp, int64_t offset) {
+  if (!broker_->HasTopic(sp.topic)) return Status::NotFound("no topic: " + sp.topic);
+  SQS_ASSIGN_OR_RETURN(nparts, broker_->NumPartitions(sp.topic));
+  if (sp.partition < 0 || sp.partition >= nparts) {
+    return Status::InvalidArgument("no partition " + sp.ToString());
+  }
+  positions_[sp] = offset;
+  return Status::Ok();
+}
+
+Status Consumer::Unassign(const StreamPartition& sp) {
+  if (positions_.erase(sp) == 0) return Status::NotFound("not assigned: " + sp.ToString());
+  return Status::Ok();
+}
+
+Result<int64_t> Consumer::Position(const StreamPartition& sp) const {
+  auto it = positions_.find(sp);
+  if (it == positions_.end()) return Status::NotFound("not assigned: " + sp.ToString());
+  return it->second;
+}
+
+Status Consumer::Seek(const StreamPartition& sp, int64_t offset) {
+  auto it = positions_.find(sp);
+  if (it == positions_.end()) return Status::NotFound("not assigned: " + sp.ToString());
+  it->second = offset;
+  return Status::Ok();
+}
+
+Result<std::vector<IncomingMessage>> Consumer::Poll() {
+  std::vector<IncomingMessage> batch;
+  if (positions_.empty()) return batch;
+  if (poll_latency_nanos_ > 0) {
+    int64_t until = MonotonicNanos() + poll_latency_nanos_;
+    while (MonotonicNanos() < until) {
+      // busy-wait: simulated broker RTT must consume measurable CPU time
+    }
+  }
+  // Visit assignments starting from a rotating index so no partition starves
+  // when max_poll_messages is reached before visiting them all.
+  std::vector<std::map<StreamPartition, int64_t>::iterator> order;
+  order.reserve(positions_.size());
+  for (auto it = positions_.begin(); it != positions_.end(); ++it) order.push_back(it);
+  size_t start = next_start_ % order.size();
+  next_start_ = (next_start_ + 1) % order.size();
+
+  int32_t budget = max_poll_messages_;
+  for (size_t i = 0; i < order.size() && budget > 0; ++i) {
+    auto& [sp, pos] = *order[(start + i) % order.size()];
+    int32_t want = budget;
+    if (max_fetch_per_partition_ > 0) want = std::min(want, max_fetch_per_partition_);
+    SQS_ASSIGN_OR_RETURN(msgs, broker_->Fetch(sp, pos, want));
+    if (msgs.empty()) continue;
+    pos += static_cast<int64_t>(msgs.size());
+    budget -= static_cast<int32_t>(msgs.size());
+    for (auto& m : msgs) batch.push_back(std::move(m));
+  }
+  return batch;
+}
+
+Result<bool> Consumer::CaughtUp() const {
+  for (const auto& [sp, pos] : positions_) {
+    SQS_ASSIGN_OR_RETURN(end, broker_->EndOffset(sp));
+    if (pos < end) return false;
+  }
+  return true;
+}
+
+Result<int64_t> Consumer::Lag() const {
+  int64_t lag = 0;
+  for (const auto& [sp, pos] : positions_) {
+    SQS_ASSIGN_OR_RETURN(end, broker_->EndOffset(sp));
+    lag += std::max<int64_t>(0, end - pos);
+  }
+  return lag;
+}
+
+}  // namespace sqs

@@ -1,0 +1,51 @@
+// Message and stream-partition addressing types for the log substrate
+// (the Kafka stand-in). A stream is a topic of ordered, offset-addressed,
+// replayable partitions; elements are uniquely identified by
+// (topic, partition, offset) — paper §3.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "common/bytes.h"
+
+namespace sqs {
+
+// Identifies one partition of one stream ("SystemStreamPartition" in Samza).
+struct StreamPartition {
+  std::string topic;
+  int32_t partition = 0;
+
+  bool operator==(const StreamPartition& o) const {
+    return partition == o.partition && topic == o.topic;
+  }
+  bool operator<(const StreamPartition& o) const {
+    return std::tie(topic, partition) < std::tie(o.topic, o.partition);
+  }
+  std::string ToString() const { return topic + "[" + std::to_string(partition) + "]"; }
+};
+
+struct StreamPartitionHasher {
+  size_t operator()(const StreamPartition& sp) const {
+    return std::hash<std::string>{}(sp.topic) * 31 +
+           static_cast<size_t>(sp.partition);
+  }
+};
+
+// A message as stored in / fetched from the log. `timestamp` is the log
+// append time (the *event* time lives inside the payload as `rowtime`).
+struct Message {
+  Bytes key;
+  Bytes value;
+  int64_t timestamp = 0;
+};
+
+// A fetched message together with its provenance.
+struct IncomingMessage {
+  StreamPartition origin;
+  int64_t offset = 0;
+  Message message;
+};
+
+}  // namespace sqs

@@ -1,0 +1,29 @@
+#include "log/producer.h"
+
+namespace sqs {
+
+Producer::Producer(BrokerPtr broker, std::shared_ptr<Clock> clock)
+    : broker_(std::move(broker)),
+      clock_(clock ? std::move(clock) : SystemClock::Instance()) {}
+
+Result<int64_t> Producer::Send(const std::string& topic, Bytes key, Bytes value) {
+  SQS_ASSIGN_OR_RETURN(nparts, broker_->NumPartitions(topic));
+  int32_t partition = PartitionForKey(key, nparts);
+  return SendTo({topic, partition}, std::move(key), std::move(value));
+}
+
+Result<int64_t> Producer::Send(const std::string& topic, Bytes value) {
+  SQS_ASSIGN_OR_RETURN(nparts, broker_->NumPartitions(topic));
+  int32_t partition = round_robin_[topic]++ % nparts;
+  return SendTo({topic, partition}, Bytes{}, std::move(value));
+}
+
+Result<int64_t> Producer::SendTo(const StreamPartition& sp, Bytes key, Bytes value) {
+  Message m;
+  m.key = std::move(key);
+  m.value = std::move(value);
+  m.timestamp = clock_->NowMillis();
+  return broker_->Append(sp, std::move(m));
+}
+
+}  // namespace sqs

@@ -1,0 +1,42 @@
+// Producer: routes messages to partitions. Keyed messages go to
+// hash(key) % num_partitions (deterministic, so co-partitioned streams and
+// changelogs line up — the paper's stream-to-relation join relies on this,
+// §4.4); unkeyed messages round-robin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "log/broker.h"
+
+namespace sqs {
+
+class Producer {
+ public:
+  explicit Producer(BrokerPtr broker, std::shared_ptr<Clock> clock = nullptr);
+
+  // Keyed send: partition chosen by key hash. Returns assigned offset.
+  Result<int64_t> Send(const std::string& topic, Bytes key, Bytes value);
+
+  // Unkeyed send: round-robin across partitions.
+  Result<int64_t> Send(const std::string& topic, Bytes value);
+
+  // Explicit-partition send.
+  Result<int64_t> SendTo(const StreamPartition& sp, Bytes key, Bytes value);
+
+  static int32_t PartitionForKey(const Bytes& key, int32_t num_partitions) {
+    return static_cast<int32_t>(Fnv1a64(key) % static_cast<uint64_t>(num_partitions));
+  }
+
+ private:
+  BrokerPtr broker_;
+  std::shared_ptr<Clock> clock_;
+  std::map<std::string, int32_t> round_robin_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,82 @@
+// Physical operator layer (paper §4.2–4.4). A SamzaSQL task hosts a
+// *message router*: a DAG of operators built from the physical plan at task
+// init. Scan operators sit at the leaves (one per input stream) and convert
+// serialized records to the tuple-as-array representation (AvroToArray);
+// the stream-insert operator at the root converts back (ArrayToAvro) and
+// writes to the output stream — exactly the message processing flow of
+// Figure 4, including its overheads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "serde/serde.h"
+#include "task/api.h"
+
+namespace sqs::ops {
+
+// A tuple flowing between operators.
+struct TupleEvent {
+  Row row;
+  int64_t rowtime = 0;      // event time from the tuple (0 when absent)
+  int32_t partition = 0;    // originating input partition id
+  int64_t offset = 0;       // originating input offset (for idempotence)
+  int side = 0;             // for joins: 0 = left input, 1 = right input
+};
+
+class Operator;
+using OperatorPtr = std::shared_ptr<Operator>;
+
+// Shared services available to operators at init time.
+struct OperatorContext {
+  TaskContext* task = nullptr;                 // stores, config, metrics
+  MessageCollector* collector = nullptr;       // bound per Process call
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual std::string name() const = 0;
+
+  // One-time setup (compile expressions, open stores). Called at task init —
+  // the paper's task-side "operator code generation" step.
+  virtual Status Init(OperatorContext& ctx) = 0;
+
+  // Process one tuple, forwarding results downstream via next().
+  virtual Status Process(const TupleEvent& event, OperatorContext& ctx) = 0;
+
+  // Timer callback (window emission). Default: no-op.
+  virtual Status OnTimer(OperatorContext& /*ctx*/) { return Status::Ok(); }
+
+  // Called just before the task's offsets are checkpointed (replay-safe
+  // cleanup barrier). Default: no-op.
+  virtual Status OnCommit(OperatorContext& /*ctx*/) { return Status::Ok(); }
+
+  // Wire a downstream operator. `side` tells a binary downstream operator
+  // (join) which input this edge feeds.
+  void SetNext(OperatorPtr next, int side = 0) {
+    next_ = std::move(next);
+    next_side_ = side;
+  }
+  Operator* next() const { return next_.get(); }
+
+ protected:
+  // Forward an event downstream, tagging the configured side.
+  Status EmitNext(TupleEvent event, OperatorContext& ctx) {
+    if (!next_) return Status::Ok();
+    event.side = next_side_;
+    return next_->Process(event, ctx);
+  }
+
+ private:
+  OperatorPtr next_;
+  int next_side_ = 0;
+};
+
+}  // namespace sqs::ops

@@ -1,0 +1,299 @@
+#include "ops/router.h"
+
+#include <algorithm>
+
+#include "serde/json.h"
+
+namespace sqs::ops {
+
+Result<RowSerdePtr> SerdeForFormat(const std::string& format, SchemaPtr schema) {
+  if (format == "avro" || format.empty()) {
+    return RowSerdePtr(std::make_shared<AvroRowSerde>(std::move(schema)));
+  }
+  if (format == "json") {
+    return RowSerdePtr(std::make_shared<JsonRowSerde>(std::move(schema)));
+  }
+  if (format == "reflective") {
+    return RowSerdePtr(std::make_shared<ReflectiveRowSerde>(std::move(schema)));
+  }
+  return Status::InvalidArgument("unknown message format: " + format);
+}
+
+namespace {
+
+// Shared plan traversal so Build() and RequiredStores() assign identical
+// store prefixes (operator ids are preorder positions).
+class Builder {
+ public:
+  Builder(const RouterConfig* config, MessageRouter* router,
+          std::vector<std::string>* stores_out)
+      : config_(config), router_(router), stores_out_(stores_out) {}
+
+  Result<OperatorPtr> BuildNode(const sql::LogicalNode& node);
+
+  std::vector<OperatorPtr> operators_;
+  std::vector<std::pair<std::string, bool>> scan_topics_;  // topic, bootstrap
+  std::vector<std::shared_ptr<ScanOperator>> scan_ops_;
+
+ private:
+  Result<RowSerdePtr> StateSerde(SchemaPtr schema) const {
+    return SerdeForFormat(config_ ? config_->state_serde : "reflective",
+                          std::move(schema));
+  }
+
+  const RouterConfig* config_;   // null during RequiredStores traversal
+  MessageRouter* router_;        // unused; kept for future bindings
+  std::vector<std::string>* stores_out_;
+  int next_id_ = 0;
+};
+
+Result<OperatorPtr> Builder::BuildNode(const sql::LogicalNode& node) {
+  const int id = next_id_++;
+  const std::string prefix = "op" + std::to_string(id);
+  const bool collecting = config_ == nullptr;
+
+  switch (node.kind) {
+    case sql::LogicalKind::kScan: {
+      OperatorPtr op;
+      if (!collecting) {
+        SQS_ASSIGN_OR_RETURN(serde,
+                             SerdeForFormat(node.source.format, node.source.schema));
+        int rowtime = -1;
+        if (!node.source.rowtime_column.empty()) {
+          auto idx = node.source.schema->FieldIndex(node.source.rowtime_column);
+          if (idx) rowtime = static_cast<int>(*idx);
+        }
+        auto scan = std::make_shared<ScanOperator>(serde, node.source.schema, rowtime,
+                                                   config_->fuse_conversions);
+        scan_ops_.push_back(scan);
+        scan_topics_.emplace_back(node.source.topic, !node.source.is_stream());
+        op = scan;
+        operators_.push_back(op);
+      } else {
+        scan_topics_.emplace_back(node.source.topic, !node.source.is_stream());
+      }
+      return op;
+    }
+
+    case sql::LogicalKind::kFilter: {
+      SQS_ASSIGN_OR_RETURN(child, BuildNode(*node.inputs[0]));
+      OperatorPtr op;
+      if (!collecting) {
+        op = std::make_shared<FilterOperator>(node.predicate->Clone());
+        child->SetNext(op, 0);
+        operators_.push_back(op);
+      }
+      return op;
+    }
+
+    case sql::LogicalKind::kProject: {
+      SQS_ASSIGN_OR_RETURN(child, BuildNode(*node.inputs[0]));
+      OperatorPtr op;
+      if (!collecting) {
+        std::vector<sql::ExprPtr> exprs;
+        exprs.reserve(node.exprs.size());
+        for (const auto& e : node.exprs) exprs.push_back(e->Clone());
+        op = std::make_shared<ProjectOperator>(std::move(exprs), node.rowtime_index);
+        child->SetNext(op, 0);
+        operators_.push_back(op);
+      }
+      return op;
+    }
+
+    case sql::LogicalKind::kSlidingWindow: {
+      SQS_ASSIGN_OR_RETURN(child, BuildNode(*node.inputs[0]));
+      if (stores_out_) {
+        for (auto& s :
+             SlidingWindowOperator::RequiredStores(prefix, node.window_calls.size())) {
+          stores_out_->push_back(std::move(s));
+        }
+      }
+      OperatorPtr op;
+      if (!collecting) {
+        std::vector<sql::WindowCallSpec> calls;
+        for (const auto& c : node.window_calls) {
+          sql::WindowCallSpec copy;
+          copy.kind = c.kind;
+          if (c.arg) copy.arg = c.arg->Clone();
+          for (const auto& p : c.partition_by) copy.partition_by.push_back(p->Clone());
+          copy.ts_index = c.ts_index;
+          copy.range_based = c.range_based;
+          copy.preceding_ms = c.preceding_ms;
+          copy.preceding_rows = c.preceding_rows;
+          copy.output_name = c.output_name;
+          copy.type = c.type;
+          calls.push_back(std::move(copy));
+        }
+        op = std::make_shared<SlidingWindowOperator>(std::move(calls), prefix);
+        child->SetNext(op, 0);
+        operators_.push_back(op);
+      }
+      return op;
+    }
+
+    case sql::LogicalKind::kAggregate: {
+      SQS_ASSIGN_OR_RETURN(child, BuildNode(*node.inputs[0]));
+      if (stores_out_) {
+        for (auto& s : WindowAggregateOperator::RequiredStores(prefix)) {
+          stores_out_->push_back(std::move(s));
+        }
+      }
+      OperatorPtr op;
+      if (!collecting) {
+        if (node.group_window.type == sql::GroupWindowSpec::Type::kNone) {
+          return Status::Unsupported(
+              "streaming aggregate requires a group window (TUMBLE/HOP/FLOOR)");
+        }
+        std::vector<sql::ExprPtr> groups;
+        for (const auto& g : node.group_exprs) groups.push_back(g->Clone());
+        std::vector<sql::AggCallSpec> aggs;
+        for (const auto& a : node.aggs) {
+          sql::AggCallSpec copy;
+          copy.kind = a.kind;
+          copy.udaf_id = a.udaf_id;
+          if (a.arg) copy.arg = a.arg->Clone();
+          copy.output_name = a.output_name;
+          copy.type = a.type;
+          aggs.push_back(std::move(copy));
+        }
+        op = std::make_shared<WindowAggregateOperator>(
+            std::move(groups), node.group_window, std::move(aggs), prefix,
+            config_->grace_ms);
+        child->SetNext(op, 0);
+        operators_.push_back(op);
+      }
+      return op;
+    }
+
+    case sql::LogicalKind::kJoin: {
+      SQS_ASSIGN_OR_RETURN(left, BuildNode(*node.inputs[0]));
+      SQS_ASSIGN_OR_RETURN(right, BuildNode(*node.inputs[1]));
+      if (node.join_type == sql::JoinType::kStreamRelation) {
+        if (stores_out_) {
+          for (auto& s : StreamTableJoinOperator::RequiredStores(prefix)) {
+            stores_out_->push_back(std::move(s));
+          }
+        }
+        OperatorPtr op;
+        if (!collecting) {
+          SQS_ASSIGN_OR_RETURN(serde, StateSerde(node.inputs[1]->schema));
+          op = std::make_shared<StreamTableJoinOperator>(
+              node.equi_keys, node.residual ? node.residual->Clone() : nullptr, serde,
+              prefix);
+          left->SetNext(op, 0);
+          right->SetNext(op, 1);
+          operators_.push_back(op);
+        }
+        return op;
+      }
+      if (stores_out_) {
+        for (auto& s : StreamStreamJoinOperator::RequiredStores(prefix)) {
+          stores_out_->push_back(std::move(s));
+        }
+      }
+      OperatorPtr op;
+      if (!collecting) {
+        SQS_ASSIGN_OR_RETURN(left_serde, StateSerde(node.inputs[0]->schema));
+        SQS_ASSIGN_OR_RETURN(right_serde, StateSerde(node.inputs[1]->schema));
+        op = std::make_shared<StreamStreamJoinOperator>(
+            node.equi_keys, node.left_ts_index, node.right_ts_index,
+            node.window_before_ms, node.window_after_ms,
+            node.residual ? node.residual->Clone() : nullptr, left_serde, right_serde,
+            prefix, config_->grace_ms);
+        left->SetNext(op, 0);
+        right->SetNext(op, 1);
+        operators_.push_back(op);
+      }
+      return op;
+    }
+  }
+  return Status::Internal("unhandled logical node in router build");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MessageRouter>> MessageRouter::Build(
+    const sql::LogicalNode& plan, const RouterConfig& config) {
+  auto router = std::make_unique<MessageRouter>();
+  Builder builder(&config, router.get(), nullptr);
+  SQS_ASSIGN_OR_RETURN(root, builder.BuildNode(plan));
+
+  auto insert = std::make_shared<InsertOperator>(config.output_topic,
+                                                 config.output_serde,
+                                                 config.out_key_index,
+                                                 config.fuse_conversions);
+  root->SetNext(insert, 0);
+  builder.operators_.push_back(insert);
+
+  router->operators_ = std::move(builder.operators_);
+  for (size_t i = 0; i < builder.scan_ops_.size(); ++i) {
+    ScanBinding binding;
+    binding.topic = builder.scan_topics_[i].first;
+    binding.bootstrap = builder.scan_topics_[i].second;
+    binding.scan = builder.scan_ops_[i];
+    router->by_topic_[binding.topic].push_back(binding.scan.get());
+    router->scans_.push_back(std::move(binding));
+  }
+  return router;
+}
+
+Result<std::vector<std::string>> MessageRouter::RequiredStores(
+    const sql::LogicalNode& plan) {
+  std::vector<std::string> stores;
+  Builder builder(nullptr, nullptr, &stores);
+  SQS_RETURN_IF_ERROR(builder.BuildNode(plan).status());
+  return stores;
+}
+
+Status MessageRouter::Init(OperatorContext& ctx) {
+  for (auto& op : operators_) {
+    SQS_RETURN_IF_ERROR(op->Init(ctx));
+  }
+  return Status::Ok();
+}
+
+Status MessageRouter::Route(const IncomingMessage& message, OperatorContext& ctx) {
+  auto it = by_topic_.find(message.origin.topic);
+  if (it == by_topic_.end()) {
+    return Status::Internal("no scan for topic " + message.origin.topic);
+  }
+  for (ScanOperator* scan : it->second) {
+    SQS_RETURN_IF_ERROR(scan->ProcessMessage(message, ctx));
+  }
+  return Status::Ok();
+}
+
+Status MessageRouter::OnTimer(OperatorContext& ctx) {
+  for (auto& op : operators_) {
+    SQS_RETURN_IF_ERROR(op->OnTimer(ctx));
+  }
+  return Status::Ok();
+}
+
+Status MessageRouter::OnCommit(OperatorContext& ctx) {
+  for (auto& op : operators_) {
+    SQS_RETURN_IF_ERROR(op->OnCommit(ctx));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> MessageRouter::InputTopics() const {
+  std::vector<std::string> out;
+  for (const auto& s : scans_) {
+    if (std::find(out.begin(), out.end(), s.topic) == out.end()) out.push_back(s.topic);
+  }
+  return out;
+}
+
+std::vector<std::string> MessageRouter::BootstrapTopics() const {
+  std::vector<std::string> out;
+  for (const auto& s : scans_) {
+    if (s.bootstrap &&
+        std::find(out.begin(), out.end(), s.topic) == out.end()) {
+      out.push_back(s.topic);
+    }
+  }
+  return out;
+}
+
+}  // namespace sqs::ops

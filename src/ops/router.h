@@ -1,0 +1,80 @@
+// MessageRouter: the DAG of streaming SQL operators instantiated from the
+// physical plan inside a SamzaSQL task (paper §4.2: "operator and message
+// router generation ... happens during Samza stream task initialization").
+// Incoming messages are dispatched by topic to the matching scan operator(s)
+// and flow through the operator chain to the stream-insert at the root.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ops/basic.h"
+#include "ops/join.h"
+#include "ops/operator.h"
+#include "ops/window.h"
+#include "sql/logical.h"
+
+namespace sqs::ops {
+
+struct RouterConfig {
+  std::string output_topic;
+  RowSerdePtr output_serde;
+  // Serde used for join/window state rows. The paper's implementation used
+  // Kryo-style generic serialization here (the 2x join gap, §5.1); pass a
+  // ReflectiveRowSerde factory to reproduce, AvroRowSerde for the ablation.
+  std::string state_serde = "reflective";  // "reflective" | "avro"
+  int64_t grace_ms = 0;
+  // Skip the RecordToArray / ArrayToRecord copies of Figure 4 (the paper's
+  // §7 item 5 planned optimization; ablation A1 in DESIGN.md).
+  bool fuse_conversions = false;
+  // Hash-partition output by this column instead of preserving the input
+  // partition (-1 = preserve).
+  int out_key_index = -1;
+};
+
+class MessageRouter {
+ public:
+  // Builds the operator DAG for `plan` (an optimized logical plan).
+  static Result<std::unique_ptr<MessageRouter>> Build(const sql::LogicalNode& plan,
+                                                      const RouterConfig& config);
+
+  // Store names the plan's stateful operators require, in the same order
+  // Build() assigns them. Used by the job config generator (shell side).
+  static Result<std::vector<std::string>> RequiredStores(const sql::LogicalNode& plan);
+
+  Status Init(OperatorContext& ctx);
+
+  // Dispatch one raw input message to the scan(s) reading its topic.
+  Status Route(const IncomingMessage& message, OperatorContext& ctx);
+
+  // Fire window timers (early-results emission).
+  Status OnTimer(OperatorContext& ctx);
+
+  // Pre-checkpoint barrier, forwarded to all operators.
+  Status OnCommit(OperatorContext& ctx);
+
+  // Topics this router consumes; relation-backed topics must be configured
+  // as bootstrap inputs.
+  std::vector<std::string> InputTopics() const;
+  std::vector<std::string> BootstrapTopics() const;
+
+  size_t num_operators() const { return operators_.size(); }
+
+ private:
+  struct ScanBinding {
+    std::string topic;
+    bool bootstrap = false;
+    std::shared_ptr<ScanOperator> scan;
+  };
+
+  std::vector<OperatorPtr> operators_;  // all, in build order
+  std::vector<ScanBinding> scans_;
+  std::map<std::string, std::vector<ScanOperator*>> by_topic_;
+};
+
+// Serde for a source according to its declared format.
+Result<RowSerdePtr> SerdeForFormat(const std::string& format, SchemaPtr schema);
+
+}  // namespace sqs::ops

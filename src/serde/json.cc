@@ -1,0 +1,325 @@
+#include "serde/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace sqs {
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<Value> Parse() {
+    SkipWs();
+    SQS_ASSIGN_OR_RETURN(v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters at offset " + std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError("JSON: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  Result<Value> ParseValue() {
+    if (pos_ >= text_.size()) return Err("unexpected end");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        SQS_ASSIGN_OR_RETURN(s, ParseString());
+        return Value(std::move(s));
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return Value(true);
+        }
+        return Err("bad literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return Value(false);
+        }
+        return Err("bad literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return Value::Null();
+        }
+        return Err("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject() {
+    ++pos_;  // '{'
+    ValueMap m;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Value(std::move(m));
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return Err("expected key string");
+      SQS_ASSIGN_OR_RETURN(key, ParseString());
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Err("expected ':'");
+      ++pos_;
+      SkipWs();
+      SQS_ASSIGN_OR_RETURN(v, ParseValue());
+      m[std::move(key)] = std::move(v);
+      SkipWs();
+      if (pos_ >= text_.size()) return Err("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Value(std::move(m));
+      }
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    ++pos_;  // '['
+    ValueArray arr;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      SkipWs();
+      SQS_ASSIGN_OR_RETURN(v, ParseValue());
+      arr.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return Err("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Value(std::move(arr));
+      }
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+            unsigned code = std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            // UTF-8 encode (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Err("bad escape char");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Err("expected number");
+    std::string num = text_.substr(start, pos_ - start);
+    if (is_double) return Value(std::strtod(num.c_str(), nullptr));
+    return Value(static_cast<int64_t>(std::strtoll(num.c_str(), nullptr, 10)));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void EscapeJsonString(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void ToJsonImpl(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case TypeKind::kNull: out += "null"; return;
+    case TypeKind::kBool: out += v.as_bool() ? "true" : "false"; return;
+    case TypeKind::kInt32: out += std::to_string(v.as_int32()); return;
+    case TypeKind::kInt64: out += std::to_string(v.as_int64()); return;
+    case TypeKind::kDouble: {
+      double d = v.as_double();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        out += std::to_string(static_cast<int64_t>(d));
+        out += ".0";
+      } else {
+        std::ostringstream os;
+        os.precision(17);
+        os << d;
+        out += os.str();
+      }
+      return;
+    }
+    case TypeKind::kString: EscapeJsonString(v.as_string(), out); return;
+    case TypeKind::kArray: {
+      out += '[';
+      const ValueArray& arr = v.as_array();
+      for (size_t i = 0; i < arr.size(); ++i) {
+        if (i) out += ',';
+        ToJsonImpl(arr[i], out);
+      }
+      out += ']';
+      return;
+    }
+    case TypeKind::kMap: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_map()) {
+        if (!first) out += ',';
+        first = false;
+        EscapeJsonString(k, out);
+        out += ':';
+        ToJsonImpl(e, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+std::string ToJson(const Value& v) {
+  std::string out;
+  ToJsonImpl(v, out);
+  return out;
+}
+
+Status JsonRowSerde::Serialize(const Row& row, BytesWriter& out) const {
+  if (row.size() != schema_->num_fields()) {
+    return Status::SerdeError("row arity mismatch for schema " + schema_->name());
+  }
+  ValueMap obj;
+  for (size_t i = 0; i < row.size(); ++i) {
+    obj[schema_->field(i).name] = row[i];
+  }
+  std::string text = ToJson(Value(std::move(obj)));
+  out.WriteRaw(text.data(), text.size());
+  return Status::Ok();
+}
+
+Result<Row> JsonRowSerde::Deserialize(BytesReader& in) const {
+  std::string text;
+  text.reserve(in.remaining());
+  while (!in.AtEnd()) {
+    auto b = in.ReadByte();
+    text += static_cast<char>(b.value());
+  }
+  SQS_ASSIGN_OR_RETURN(v, ParseJson(text));
+  if (v.kind() != TypeKind::kMap) return Status::SerdeError("JSON row must be an object");
+  const ValueMap& obj = v.as_map();
+  Row row;
+  row.reserve(schema_->num_fields());
+  for (const Field& f : schema_->fields()) {
+    auto it = obj.find(f.name);
+    if (it == obj.end()) {
+      if (!f.nullable) {
+        return Status::SerdeError("missing non-nullable field " + f.name);
+      }
+      row.push_back(Value::Null());
+      continue;
+    }
+    // JSON integers arrive as int64; narrow to the declared kind.
+    const Value& raw = it->second;
+    if (f.type.kind == TypeKind::kInt32 && raw.kind() == TypeKind::kInt64) {
+      row.push_back(Value(static_cast<int32_t>(raw.as_int64())));
+    } else if (f.type.kind == TypeKind::kDouble && raw.kind() == TypeKind::kInt64) {
+      row.push_back(Value(static_cast<double>(raw.as_int64())));
+    } else {
+      row.push_back(raw);
+    }
+  }
+  return row;
+}
+
+}  // namespace sqs

@@ -1,0 +1,36 @@
+// Minimal JSON parser/printer over sqs::Value (objects -> ValueMap, arrays ->
+// ValueArray). Used by the JSON row serde and by Calcite-style JSON model
+// files that describe schemas to the query planner (paper §3.2).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "serde/serde.h"
+
+namespace sqs {
+
+// Parse a JSON document into a Value. Numbers without '.', 'e' parse as
+// int64; otherwise double.
+Result<Value> ParseJson(const std::string& text);
+
+// Render a Value as JSON. Null/bool/number/string map directly; arrays and
+// maps recurse.
+std::string ToJson(const Value& v);
+
+// Row serde that renders rows as JSON objects keyed by schema field names.
+class JsonRowSerde : public RowSerde {
+ public:
+  explicit JsonRowSerde(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  std::string name() const override { return "json"; }
+
+  Status Serialize(const Row& row, BytesWriter& out) const override;
+  Result<Row> Deserialize(BytesReader& in) const override;
+
+ private:
+  SchemaPtr schema_;
+};
+
+}  // namespace sqs

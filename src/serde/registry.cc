@@ -1,0 +1,90 @@
+#include "serde/registry.h"
+
+namespace sqs {
+
+Status SchemaRegistry::CheckBackwardCompatible(const Schema& older,
+                                               const Schema& newer) {
+  for (const Field& of : older.fields()) {
+    auto idx = newer.FieldIndex(of.name);
+    if (!idx) {
+      return Status::ValidationError("field removed: " + of.name);
+    }
+    const Field& nf = newer.field(*idx);
+    if (!KindAssignable(nf.type.kind, of.type.kind)) {
+      return Status::ValidationError("incompatible type change for field " + of.name +
+                                     ": " + of.type.ToString() + " -> " +
+                                     nf.type.ToString());
+    }
+    if (of.nullable && !nf.nullable) {
+      return Status::ValidationError("field became non-nullable: " + of.name);
+    }
+  }
+  for (const Field& nf : newer.fields()) {
+    if (!older.FieldIndex(nf.name) && !nf.nullable) {
+      return Status::ValidationError("new field must be nullable: " + nf.name);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<SchemaRegistry::Registered> SchemaRegistry::Register(
+    const std::string& subject, SchemaPtr schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& versions = subjects_[subject];
+  for (const Registered& r : versions) {
+    if (r.schema->Equals(*schema)) return r;
+  }
+  if (!versions.empty()) {
+    SQS_RETURN_IF_ERROR(CheckBackwardCompatible(*versions.back().schema, *schema));
+  }
+  Registered r;
+  r.id = next_id_++;
+  r.version = static_cast<int32_t>(versions.size()) + 1;
+  r.schema = std::move(schema);
+  versions.push_back(r);
+  by_id_[r.id] = r;
+  return r;
+}
+
+Result<SchemaRegistry::Registered> SchemaRegistry::GetLatest(
+    const std::string& subject) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subjects_.find(subject);
+  if (it == subjects_.end() || it->second.empty()) {
+    return Status::NotFound("no schema for subject " + subject);
+  }
+  return it->second.back();
+}
+
+Result<SchemaRegistry::Registered> SchemaRegistry::GetById(int32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("no schema id " + std::to_string(id));
+  return it->second;
+}
+
+Result<SchemaRegistry::Registered> SchemaRegistry::GetVersion(
+    const std::string& subject, int32_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subjects_.find(subject);
+  if (it == subjects_.end()) return Status::NotFound("no subject " + subject);
+  for (const Registered& r : it->second) {
+    if (r.version == version) return r;
+  }
+  return Status::NotFound("no version " + std::to_string(version) + " for " + subject);
+}
+
+std::vector<std::string> SchemaRegistry::Subjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(subjects_.size());
+  for (const auto& [k, _] : subjects_) out.push_back(k);
+  return out;
+}
+
+bool SchemaRegistry::HasSubject(const std::string& subject) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subjects_.count(subject) > 0;
+}
+
+}  // namespace sqs

@@ -1,0 +1,48 @@
+// In-process schema registry (stand-in for the Confluent Kafka schema
+// registry the paper depends on, §3.2/§4.1). Subjects (stream/table names)
+// map to versioned schemas with ids; registration enforces backward
+// compatibility (new versions may add nullable fields or widen numerics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serde/schema.h"
+
+namespace sqs {
+
+class SchemaRegistry {
+ public:
+  struct Registered {
+    int32_t id = 0;
+    int32_t version = 0;
+    SchemaPtr schema;
+  };
+
+  // Register a schema under `subject`. Re-registering an identical schema
+  // returns the existing id. Incompatible changes are rejected.
+  Result<Registered> Register(const std::string& subject, SchemaPtr schema);
+
+  Result<Registered> GetLatest(const std::string& subject) const;
+  Result<Registered> GetById(int32_t id) const;
+  Result<Registered> GetVersion(const std::string& subject, int32_t version) const;
+
+  std::vector<std::string> Subjects() const;
+  bool HasSubject(const std::string& subject) const;
+
+  // Backward compatibility: every old field must still exist with an
+  // assignable type; new fields must be nullable.
+  static Status CheckBackwardCompatible(const Schema& older, const Schema& newer);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Registered>> subjects_;
+  std::map<int32_t, Registered> by_id_;
+  int32_t next_id_ = 1;
+};
+
+}  // namespace sqs

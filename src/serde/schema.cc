@@ -1,0 +1,160 @@
+#include "serde/schema.h"
+
+#include <sstream>
+
+namespace sqs {
+
+namespace {
+
+const char* KindToken(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull: return "null";
+    case TypeKind::kBool: return "boolean";
+    case TypeKind::kInt32: return "int";
+    case TypeKind::kInt64: return "long";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kString: return "string";
+    case TypeKind::kArray: return "array";
+    case TypeKind::kMap: return "map";
+  }
+  return "?";
+}
+
+Result<TypeKind> KindFromToken(const std::string& tok) {
+  if (tok == "null") return TypeKind::kNull;
+  if (tok == "boolean") return TypeKind::kBool;
+  if (tok == "int") return TypeKind::kInt32;
+  if (tok == "long") return TypeKind::kInt64;
+  if (tok == "double") return TypeKind::kDouble;
+  if (tok == "string") return TypeKind::kString;
+  if (tok == "array") return TypeKind::kArray;
+  if (tok == "map") return TypeKind::kMap;
+  return Status::ParseError("unknown type token: " + tok);
+}
+
+}  // namespace
+
+std::string FieldType::ToString() const {
+  if (kind == TypeKind::kArray) {
+    return std::string("array<") + KindToken(element) + ">";
+  }
+  if (kind == TypeKind::kMap) {
+    return std::string("map<") + KindToken(element) + ">";
+  }
+  return KindToken(kind);
+}
+
+std::optional<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool KindAssignable(TypeKind decl, TypeKind actual) {
+  if (decl == actual) return true;
+  if (decl == TypeKind::kInt64 && actual == TypeKind::kInt32) return true;
+  if (decl == TypeKind::kDouble &&
+      (actual == TypeKind::kInt32 || actual == TypeKind::kInt64)) {
+    return true;
+  }
+  return false;
+}
+
+Status Schema::Validate(const Row& row) const {
+  if (row.size() != fields_.size()) {
+    return Status::ValidationError(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(fields_.size()) + " for " + name_);
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Field& f = fields_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!f.nullable) {
+        return Status::ValidationError("null in non-nullable field " + f.name);
+      }
+      continue;
+    }
+    if (!KindAssignable(f.type.kind, v.kind())) {
+      return Status::ValidationError(
+          "field " + f.name + " expects " + f.type.ToString() + " got " +
+          TypeKindName(v.kind()));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << name_ << " (";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].name << " " << fields_[i].type.ToString();
+    if (fields_[i].nullable) os << " NULL";
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string Schema::Canonical() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ',';
+    const Field& f = fields_[i];
+    out += f.name;
+    out += ':';
+    if (f.type.kind == TypeKind::kArray || f.type.kind == TypeKind::kMap) {
+      out += KindToken(f.type.kind);
+      out += '<';
+      out += KindToken(f.type.element);
+      out += '>';
+    } else {
+      out += KindToken(f.type.kind);
+    }
+    if (f.nullable) out += '?';
+  }
+  return out + ")";
+}
+
+Result<SchemaPtr> Schema::ParseCanonical(const std::string& text) {
+  size_t open = text.find('(');
+  if (open == std::string::npos || text.back() != ')') {
+    return Status::ParseError("bad canonical schema: " + text);
+  }
+  std::string name = text.substr(0, open);
+  std::string body = text.substr(open + 1, text.size() - open - 2);
+  std::vector<Field> fields;
+  if (!body.empty()) {
+    std::stringstream ss(body);
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+      size_t colon = part.find(':');
+      if (colon == std::string::npos) {
+        return Status::ParseError("bad field spec: " + part);
+      }
+      Field f;
+      f.name = part.substr(0, colon);
+      std::string ty = part.substr(colon + 1);
+      if (!ty.empty() && ty.back() == '?') {
+        f.nullable = true;
+        ty.pop_back();
+      }
+      size_t lt = ty.find('<');
+      if (lt != std::string::npos) {
+        if (ty.back() != '>') return Status::ParseError("bad collection type: " + ty);
+        SQS_ASSIGN_OR_RETURN(outer, KindFromToken(ty.substr(0, lt)));
+        SQS_ASSIGN_OR_RETURN(
+            elem, KindFromToken(ty.substr(lt + 1, ty.size() - lt - 2)));
+        f.type = {outer, elem};
+      } else {
+        SQS_ASSIGN_OR_RETURN(kind, KindFromToken(ty));
+        f.type = {kind, TypeKind::kNull};
+      }
+      fields.push_back(std::move(f));
+    }
+  }
+  return Schema::Make(std::move(name), std::move(fields));
+}
+
+}  // namespace sqs

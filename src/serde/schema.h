@@ -1,0 +1,91 @@
+// Record schemas for streams and relations (paper §3.1): named, typed,
+// optionally nullable fields with nestable array/map types. Schemas are
+// shared immutable objects; the registry hands out shared_ptrs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sqs {
+
+// Full field type: scalar kind plus element/value kinds for collections.
+struct FieldType {
+  TypeKind kind = TypeKind::kNull;
+  // For kArray: element type. For kMap: value type (keys are strings).
+  TypeKind element = TypeKind::kNull;
+
+  static FieldType Bool() { return {TypeKind::kBool, TypeKind::kNull}; }
+  static FieldType Int32() { return {TypeKind::kInt32, TypeKind::kNull}; }
+  static FieldType Int64() { return {TypeKind::kInt64, TypeKind::kNull}; }
+  static FieldType Double() { return {TypeKind::kDouble, TypeKind::kNull}; }
+  static FieldType String() { return {TypeKind::kString, TypeKind::kNull}; }
+  static FieldType Array(TypeKind elem) { return {TypeKind::kArray, elem}; }
+  static FieldType Map(TypeKind val) { return {TypeKind::kMap, val}; }
+
+  bool operator==(const FieldType& o) const {
+    return kind == o.kind && element == o.element;
+  }
+  std::string ToString() const;
+};
+
+struct Field {
+  std::string name;
+  FieldType type;
+  bool nullable = false;
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type && nullable == o.nullable;
+  }
+};
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+class Schema {
+ public:
+  Schema(std::string name, std::vector<Field> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  static SchemaPtr Make(std::string name, std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(name), std::move(fields));
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  // Index of the named field, or nullopt.
+  std::optional<size_t> FieldIndex(const std::string& name) const;
+
+  bool Equals(const Schema& other) const {
+    return name_ == other.name_ && fields_ == other.fields_;
+  }
+
+  // Does `row` structurally conform to this schema (arity, per-field kind,
+  // nullability)? Int32 values are accepted where Int64 is declared.
+  Status Validate(const Row& row) const;
+
+  std::string ToString() const;
+
+  // Compact canonical text form used for registry storage and equality:
+  //   name(field:type[?],field:type[?],...)
+  std::string Canonical() const;
+  static Result<SchemaPtr> ParseCanonical(const std::string& text);
+
+ private:
+  std::string name_;
+  std::vector<Field> fields_;
+};
+
+// Whether a value of kind `actual` can be stored in a field declared `decl`
+// (identity plus int32 -> int64 widening and int -> double widening).
+bool KindAssignable(TypeKind decl, TypeKind actual);
+
+}  // namespace sqs

@@ -1,0 +1,302 @@
+#include "serde/serde.h"
+
+namespace sqs {
+
+namespace {
+
+Status SerializeScalar(const Value& v, TypeKind kind, BytesWriter& out) {
+  switch (kind) {
+    case TypeKind::kBool:
+      out.WriteBool(v.as_bool());
+      return Status::Ok();
+    case TypeKind::kInt32:
+      out.WriteVarint(v.ToInt64());
+      return Status::Ok();
+    case TypeKind::kInt64:
+      out.WriteVarint(v.ToInt64());
+      return Status::Ok();
+    case TypeKind::kDouble:
+      out.WriteDouble(v.ToDouble());
+      return Status::Ok();
+    case TypeKind::kString:
+      out.WriteString(v.as_string());
+      return Status::Ok();
+    default:
+      return Status::SerdeError(std::string("not a scalar kind: ") + TypeKindName(kind));
+  }
+}
+
+Result<Value> DeserializeScalar(TypeKind kind, BytesReader& in) {
+  switch (kind) {
+    case TypeKind::kBool: {
+      SQS_ASSIGN_OR_RETURN(b, in.ReadBool());
+      return Value(b);
+    }
+    case TypeKind::kInt32: {
+      SQS_ASSIGN_OR_RETURN(i, in.ReadVarint());
+      return Value(static_cast<int32_t>(i));
+    }
+    case TypeKind::kInt64: {
+      SQS_ASSIGN_OR_RETURN(i, in.ReadVarint());
+      return Value(i);
+    }
+    case TypeKind::kDouble: {
+      SQS_ASSIGN_OR_RETURN(d, in.ReadDouble());
+      return Value(d);
+    }
+    case TypeKind::kString: {
+      SQS_ASSIGN_OR_RETURN(s, in.ReadString());
+      return Value(std::move(s));
+    }
+    default:
+      return Status::SerdeError(std::string("not a scalar kind: ") + TypeKindName(kind));
+  }
+}
+
+Status SerializeTyped(const Value& v, const FieldType& type, BytesWriter& out) {
+  switch (type.kind) {
+    case TypeKind::kArray: {
+      const ValueArray& arr = v.as_array();
+      out.WriteVarint(static_cast<int64_t>(arr.size()));
+      for (const Value& e : arr) {
+        SQS_RETURN_IF_ERROR(SerializeScalar(e, type.element, out));
+      }
+      return Status::Ok();
+    }
+    case TypeKind::kMap: {
+      const ValueMap& m = v.as_map();
+      out.WriteVarint(static_cast<int64_t>(m.size()));
+      for (const auto& [k, e] : m) {
+        out.WriteString(k);
+        SQS_RETURN_IF_ERROR(SerializeScalar(e, type.element, out));
+      }
+      return Status::Ok();
+    }
+    default:
+      return SerializeScalar(v, type.kind, out);
+  }
+}
+
+Result<Value> DeserializeTyped(const FieldType& type, BytesReader& in) {
+  switch (type.kind) {
+    case TypeKind::kArray: {
+      SQS_ASSIGN_OR_RETURN(n, in.ReadVarint());
+      if (n < 0) return Status::SerdeError("negative array length");
+      ValueArray arr;
+      arr.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        SQS_ASSIGN_OR_RETURN(e, DeserializeScalar(type.element, in));
+        arr.push_back(std::move(e));
+      }
+      return Value(std::move(arr));
+    }
+    case TypeKind::kMap: {
+      SQS_ASSIGN_OR_RETURN(n, in.ReadVarint());
+      if (n < 0) return Status::SerdeError("negative map length");
+      ValueMap m;
+      for (int64_t i = 0; i < n; ++i) {
+        SQS_ASSIGN_OR_RETURN(k, in.ReadString());
+        SQS_ASSIGN_OR_RETURN(e, DeserializeScalar(type.element, in));
+        m.emplace(std::move(k), std::move(e));
+      }
+      return Value(std::move(m));
+    }
+    default:
+      return DeserializeScalar(type.kind, in);
+  }
+}
+
+}  // namespace
+
+Status AvroRowSerde::Serialize(const Row& row, BytesWriter& out) const {
+  if (row.size() != schema_->num_fields()) {
+    return Status::SerdeError("row arity mismatch for schema " + schema_->name());
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Field& f = schema_->field(i);
+    if (f.nullable) {
+      // Union index: 0 = null, 1 = value (Avro ["null", T]).
+      out.WriteByte(row[i].is_null() ? 0 : 1);
+      if (row[i].is_null()) continue;
+    } else if (row[i].is_null()) {
+      return Status::SerdeError("null in non-nullable field " + f.name);
+    }
+    SQS_RETURN_IF_ERROR(SerializeTyped(row[i], f.type, out));
+  }
+  return Status::Ok();
+}
+
+Result<Row> AvroRowSerde::Deserialize(BytesReader& in) const {
+  Row row;
+  row.reserve(schema_->num_fields());
+  for (const Field& f : schema_->fields()) {
+    if (f.nullable) {
+      SQS_ASSIGN_OR_RETURN(tag, in.ReadByte());
+      if (tag == 0) {
+        row.push_back(Value::Null());
+        continue;
+      }
+    }
+    SQS_ASSIGN_OR_RETURN(v, DeserializeTyped(f.type, in));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Status SerializeTaggedValue(const Value& v, BytesWriter& out) {
+  out.WriteByte(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      return Status::Ok();
+    case TypeKind::kArray: {
+      const ValueArray& arr = v.as_array();
+      out.WriteVarint(static_cast<int64_t>(arr.size()));
+      for (const Value& e : arr) SQS_RETURN_IF_ERROR(SerializeTaggedValue(e, out));
+      return Status::Ok();
+    }
+    case TypeKind::kMap: {
+      const ValueMap& m = v.as_map();
+      out.WriteVarint(static_cast<int64_t>(m.size()));
+      for (const auto& [k, e] : m) {
+        out.WriteString(k);
+        SQS_RETURN_IF_ERROR(SerializeTaggedValue(e, out));
+      }
+      return Status::Ok();
+    }
+    default:
+      return SerializeScalar(v, v.kind(), out);
+  }
+}
+
+Result<Value> DeserializeTaggedValue(BytesReader& in) {
+  SQS_ASSIGN_OR_RETURN(tag, in.ReadByte());
+  TypeKind kind = static_cast<TypeKind>(tag);
+  switch (kind) {
+    case TypeKind::kNull:
+      return Value::Null();
+    case TypeKind::kArray: {
+      SQS_ASSIGN_OR_RETURN(n, in.ReadVarint());
+      if (n < 0) return Status::SerdeError("negative array length");
+      ValueArray arr;
+      arr.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        SQS_ASSIGN_OR_RETURN(e, DeserializeTaggedValue(in));
+        arr.push_back(std::move(e));
+      }
+      return Value(std::move(arr));
+    }
+    case TypeKind::kMap: {
+      SQS_ASSIGN_OR_RETURN(n, in.ReadVarint());
+      if (n < 0) return Status::SerdeError("negative map length");
+      ValueMap m;
+      for (int64_t i = 0; i < n; ++i) {
+        SQS_ASSIGN_OR_RETURN(k, in.ReadString());
+        SQS_ASSIGN_OR_RETURN(e, DeserializeTaggedValue(in));
+        m.emplace(std::move(k), std::move(e));
+      }
+      return Value(std::move(m));
+    }
+    case TypeKind::kBool:
+    case TypeKind::kInt32:
+    case TypeKind::kInt64:
+    case TypeKind::kDouble:
+    case TypeKind::kString:
+      return DeserializeScalar(kind, in);
+  }
+  return Status::SerdeError("bad type tag " + std::to_string(tag));
+}
+
+Status ReflectiveRowSerde::Serialize(const Row& row, BytesWriter& out) const {
+  if (row.size() != schema_->num_fields()) {
+    return Status::SerdeError("row arity mismatch for schema " + schema_->name());
+  }
+  out.WriteString(schema_->name());
+  out.WriteVarint(static_cast<int64_t>(row.size()));
+  for (size_t i = 0; i < row.size(); ++i) {
+    out.WriteString(schema_->field(i).name);
+    SQS_RETURN_IF_ERROR(SerializeTaggedValue(row[i], out));
+  }
+  return Status::Ok();
+}
+
+Result<Row> ReflectiveRowSerde::Deserialize(BytesReader& in) const {
+  SQS_ASSIGN_OR_RETURN(record_name, in.ReadString());
+  (void)record_name;  // Self-description; not needed once the schema is known.
+  SQS_ASSIGN_OR_RETURN(n, in.ReadVarint());
+  if (n < 0) return Status::SerdeError("negative field count");
+  // Kryo-style generic deserialization materializes the object graph first
+  // (a name -> value map) and only then maps it onto the target type. The
+  // per-record map construction plus per-field name resolution is the cost
+  // center the paper blames for the ~2x slower SQL join (§5.1).
+  ValueMap graph;
+  for (int64_t i = 0; i < n; ++i) {
+    SQS_ASSIGN_OR_RETURN(field_name, in.ReadString());
+    SQS_ASSIGN_OR_RETURN(v, DeserializeTaggedValue(in));
+    graph.emplace(std::move(field_name), std::move(v));
+  }
+  Row row;
+  row.reserve(schema_->num_fields());
+  for (const Field& f : schema_->fields()) {
+    auto it = graph.find(f.name);
+    row.push_back(it == graph.end() ? Value::Null() : it->second);
+  }
+  return row;
+}
+
+Bytes EncodeOrderedKey(const Value& v) {
+  BytesWriter w(16);
+  w.WriteByte(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      break;
+    case TypeKind::kBool:
+      w.WriteByte(v.as_bool() ? 1 : 0);
+      break;
+    case TypeKind::kInt32:
+    case TypeKind::kInt64: {
+      // Offset-binary big-endian so byte order == numeric order.
+      uint64_t u = static_cast<uint64_t>(v.ToInt64()) ^ (1ull << 63);
+      for (int i = 7; i >= 0; --i) w.WriteByte(static_cast<uint8_t>(u >> (8 * i)));
+      break;
+    }
+    case TypeKind::kDouble: {
+      double d = v.as_double();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      // IEEE754 total-order trick.
+      if (bits & (1ull << 63)) {
+        bits = ~bits;
+      } else {
+        bits ^= (1ull << 63);
+      }
+      for (int i = 7; i >= 0; --i) w.WriteByte(static_cast<uint8_t>(bits >> (8 * i)));
+      break;
+    }
+    case TypeKind::kString: {
+      const std::string& s = v.as_string();
+      w.WriteRaw(s.data(), s.size());
+      w.WriteByte(0);  // terminator; assumes no embedded NULs in keys
+      break;
+    }
+    default: {
+      // Collections are not usable as ordered keys; fall back to tagged form.
+      BytesWriter tagged;
+      (void)SerializeTaggedValue(v, tagged);
+      Bytes b = tagged.Take();
+      w.WriteRaw(b.data(), b.size());
+      break;
+    }
+  }
+  return w.Take();
+}
+
+Bytes EncodeOrderedKey(const Row& values) {
+  BytesWriter w(32);
+  for (const Value& v : values) {
+    Bytes part = EncodeOrderedKey(v);
+    w.WriteRaw(part.data(), part.size());
+  }
+  return w.Take();
+}
+
+}  // namespace sqs

@@ -1,0 +1,65 @@
+// AnyAccumulator: uniform incremental-aggregate interface over built-in
+// aggregates (AggState) and user-defined aggregates (UdafAccumulator), with
+// byte-level state round-tripping for changelog-backed window state.
+// Used by the GROUP BY window-aggregate operator and the batch evaluator.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "sql/expr.h"
+#include "sql/functions.h"
+
+namespace sqs::sql {
+
+class AnyAccumulator {
+ public:
+  // `udaf_id < 0` selects the built-in aggregate `kind`; otherwise the
+  // registered UDAF with that id.
+  static ::sqs::Result<AnyAccumulator> Make(AggKind kind, int32_t udaf_id) {
+    AnyAccumulator acc;
+    if (udaf_id >= 0) {
+      acc.udaf_ = FunctionRegistry::Instance().CreateAccumulator(udaf_id);
+      if (!acc.udaf_) return Status::NotFound("unknown UDAF id");
+    } else {
+      acc.builtin_.emplace(kind);
+    }
+    return acc;
+  }
+
+  void Add(const Value& v) {
+    if (udaf_) {
+      udaf_->Add(v);
+    } else {
+      builtin_->Add(v);
+    }
+  }
+
+  Value Result() const { return udaf_ ? udaf_->Result() : builtin_->Result(); }
+
+  void EncodeTo(BytesWriter& out) const {
+    if (udaf_) {
+      udaf_->EncodeTo(out);
+    } else {
+      builtin_->EncodeTo(out);
+    }
+  }
+
+  static ::sqs::Result<AnyAccumulator> Decode(AggKind kind, int32_t udaf_id,
+                                              BytesReader& in) {
+    SQS_ASSIGN_OR_RETURN(acc, Make(kind, udaf_id));
+    if (acc.udaf_) {
+      SQS_RETURN_IF_ERROR(acc.udaf_->DecodeFrom(in));
+    } else {
+      SQS_ASSIGN_OR_RETURN(state, AggState::Decode(kind, in));
+      acc.builtin_ = std::move(state);
+    }
+    return acc;
+  }
+
+ private:
+  std::optional<AggState> builtin_;
+  std::unique_ptr<UdafAccumulator> udaf_;
+};
+
+}  // namespace sqs::sql

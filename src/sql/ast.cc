@@ -1,0 +1,232 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace sqs::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.kind() == TypeKind::kString) {
+        os << "'" << literal.as_string() << "'";
+      } else {
+        os << literal.ToString();
+      }
+      break;
+    case ExprKind::kColumnRef:
+      if (resolved_index >= 0) {
+        os << "$" << resolved_index;
+      } else if (!qualifier.empty()) {
+        os << qualifier << "." << column;
+      } else {
+        os << column;
+      }
+      break;
+    case ExprKind::kStar:
+      os << "*";
+      break;
+    case ExprKind::kBinary:
+      os << "(" << children[0]->ToString() << " " << BinaryOpName(binary_op) << " "
+         << children[1]->ToString() << ")";
+      break;
+    case ExprKind::kUnary:
+      os << (unary_op == UnaryOp::kNeg ? "-" : "NOT ") << children[0]->ToString();
+      break;
+    case ExprKind::kFuncCall:
+    case ExprKind::kAggCall:
+    case ExprKind::kWindowCall: {
+      os << func_name << "(";
+      if (star_arg) {
+        os << "*";
+      } else {
+        for (size_t i = 0; i < children.size(); ++i) {
+          if (i) os << ", ";
+          os << children[i]->ToString();
+        }
+      }
+      os << ")";
+      if (kind == ExprKind::kWindowCall && window) {
+        os << " OVER (";
+        if (!window->partition_by.empty()) {
+          os << "PARTITION BY ";
+          for (size_t i = 0; i < window->partition_by.size(); ++i) {
+            if (i) os << ", ";
+            os << window->partition_by[i]->ToString();
+          }
+          os << " ";
+        }
+        os << "ORDER BY " << window->order_by << " ";
+        if (window->range_based) {
+          os << "RANGE " << window->preceding_millis << "ms PRECEDING";
+        } else {
+          os << "ROWS " << window->preceding_rows << " PRECEDING";
+        }
+        os << ")";
+      }
+      break;
+    }
+    case ExprKind::kCase: {
+      os << "CASE";
+      size_t pairs = children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        os << " WHEN " << children[2 * i]->ToString() << " THEN "
+           << children[2 * i + 1]->ToString();
+      }
+      if (has_else) os << " ELSE " << children.back()->ToString();
+      os << " END";
+      break;
+    }
+    case ExprKind::kCast:
+      os << "CAST(" << children[0]->ToString() << " AS " << cast_type.ToString() << ")";
+      break;
+    case ExprKind::kBetween:
+      os << "(" << children[0]->ToString() << " BETWEEN " << children[1]->ToString()
+         << " AND " << children[2]->ToString() << ")";
+      break;
+    case ExprKind::kIsNull:
+      os << "(" << children[0]->ToString() << " IS " << (negated ? "NOT " : "")
+         << "NULL)";
+      break;
+    case ExprKind::kIn: {
+      os << "(" << children[0]->ToString() << " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << "))";
+      break;
+    }
+  }
+  return os.str();
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->qualifier = qualifier;
+  e->column = column;
+  e->binary_op = binary_op;
+  e->unary_op = unary_op;
+  e->func_name = func_name;
+  e->star_arg = star_arg;
+  e->has_else = has_else;
+  e->cast_type = cast_type;
+  e->negated = negated;
+  e->resolved_index = resolved_index;
+  e->resolved_type = resolved_type;
+  if (window) {
+    e->window = std::make_unique<WindowSpec>();
+    for (const auto& p : window->partition_by) {
+      e->window->partition_by.push_back(p->Clone());
+    }
+    e->window->order_by = window->order_by;
+    e->window->range_based = window->range_based;
+    e->window->preceding_millis = window->preceding_millis;
+    e->window->preceding_rows = window->preceding_rows;
+  }
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string SelectStmt::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (stream) os << "STREAM ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) os << ", ";
+    os << items[i].expr->ToString();
+    if (!items[i].alias.empty()) os << " AS " << items[i].alias;
+  }
+  os << " FROM ";
+  if (from.subquery) {
+    os << "(" << from.subquery->ToString() << ")";
+  } else {
+    os << from.name;
+  }
+  if (!from.alias.empty()) os << " AS " << from.alias;
+  for (const auto& j : joins) {
+    os << " JOIN ";
+    if (j.table.subquery) {
+      os << "(" << j.table.subquery->ToString() << ")";
+    } else {
+      os << j.table.name;
+    }
+    if (!j.table.alias.empty()) os << " AS " << j.table.alias;
+    os << " ON " << j.condition->ToString();
+  }
+  if (where) os << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) os << ", ";
+      os << group_by[i]->ToString();
+    }
+  }
+  if (having) os << " HAVING " << having->ToString();
+  return os.str();
+}
+
+}  // namespace sqs::sql

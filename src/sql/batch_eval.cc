@@ -1,0 +1,240 @@
+#include "sql/batch_eval.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sql/accumulator.h"
+
+namespace sqs::sql {
+
+namespace {
+
+bool Truthy(const Value& v) { return v.kind() == TypeKind::kBool && v.as_bool(); }
+
+// Window start for a timestamp under a hopping/tumbling spec: the aligned
+// multiple of emit_ms at or below ts.
+int64_t AlignedWindowStart(int64_t ts, int64_t emit_ms, int64_t align_ms) {
+  int64_t shifted = ts - align_ms;
+  int64_t q = shifted / emit_ms;
+  if (shifted < 0 && shifted % emit_ms != 0) --q;
+  return q * emit_ms + align_ms;
+}
+
+struct GroupKey {
+  Row values;  // group expr values + window start (if windowed)
+  bool operator<(const GroupKey& o) const {
+    size_t n = std::min(values.size(), o.values.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = values[i].Compare(o.values[i]);
+      if (c != 0) return c < 0;
+    }
+    return values.size() < o.values.size();
+  }
+};
+
+Result<std::vector<Row>> EvalAggregate(const LogicalNode& node,
+                                       const std::vector<Row>& input) {
+  const bool windowed = node.group_window.type != GroupWindowSpec::Type::kNone;
+  const GroupWindowSpec& win = node.group_window;
+
+  struct GroupAgg {
+    std::vector<AnyAccumulator> states;
+    int64_t window_start = 0;
+  };
+  std::map<GroupKey, GroupAgg> groups;
+
+  for (const Row& row : input) {
+    // The set of windows this row falls into (one for tumble; several for
+    // hop when retain > emit).
+    std::vector<int64_t> starts;
+    if (windowed) {
+      int64_t ts = row[static_cast<size_t>(win.ts_index)].ToInt64();
+      int64_t newest = AlignedWindowStart(ts, win.emit_ms, win.align_ms);
+      // Every window [start, start+retain) with start <= ts < start+retain
+      // and start aligned to emit.
+      for (int64_t start = newest; start > ts - win.retain_ms; start -= win.emit_ms) {
+        starts.push_back(start);
+      }
+    } else {
+      starts.push_back(0);
+    }
+    for (int64_t start : starts) {
+      GroupKey key;
+      for (const auto& g : node.group_exprs) key.values.push_back(EvalExpr(*g, row));
+      if (windowed) key.values.push_back(Value(start));
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        GroupAgg agg;
+        for (const AggCallSpec& spec : node.aggs) {
+          SQS_ASSIGN_OR_RETURN(acc, AnyAccumulator::Make(spec.kind, spec.udaf_id));
+          agg.states.push_back(std::move(acc));
+        }
+        agg.window_start = start;
+        it = groups.emplace(std::move(key), std::move(agg)).first;
+      }
+      for (size_t i = 0; i < node.aggs.size(); ++i) {
+        const AggCallSpec& spec = node.aggs[i];
+        if (spec.arg) {
+          it->second.states[i].Add(EvalExpr(*spec.arg, row));
+        } else {
+          it->second.states[i].Add(Value(int64_t{1}));  // COUNT(*)
+        }
+      }
+    }
+  }
+
+  std::vector<Row> out;
+  out.reserve(groups.size());
+  for (const auto& [key, agg] : groups) {
+    Row row;
+    for (size_t i = 0; i < node.group_exprs.size(); ++i) row.push_back(key.values[i]);
+    if (windowed) {
+      row.push_back(Value(agg.window_start));
+      row.push_back(Value(agg.window_start + win.retain_ms));
+    }
+    for (const AnyAccumulator& st : agg.states) row.push_back(st.Result());
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<Row>> EvalSlidingWindow(const LogicalNode& node,
+                                           const std::vector<Row>& input) {
+  // Naive O(n^2)-per-partition reference implementation.
+  std::vector<Row> out;
+  out.reserve(input.size());
+  for (const Row& row : input) {
+    Row extended = row;
+    for (const WindowCallSpec& call : node.window_calls) {
+      Row pkey;
+      for (const auto& p : call.partition_by) pkey.push_back(EvalExpr(*p, row));
+      AggState state(call.kind);
+
+      if (call.range_based) {
+        int64_t ts = row[static_cast<size_t>(call.ts_index)].ToInt64();
+        for (const Row& other : input) {
+          Row okey;
+          for (const auto& p : call.partition_by) okey.push_back(EvalExpr(*p, other));
+          if (okey != pkey) continue;
+          int64_t ots = other[static_cast<size_t>(call.ts_index)].ToInt64();
+          if (ots > ts || ots < ts - call.preceding_ms) continue;
+          state.Add(call.arg ? EvalExpr(*call.arg, other) : Value(int64_t{1}));
+        }
+      } else {
+        // ROWS n PRECEDING over rows sorted by ts within the partition;
+        // current row included. Collect the partition in input order of ts.
+        std::vector<const Row*> partition;
+        for (const Row& other : input) {
+          Row okey;
+          for (const auto& p : call.partition_by) okey.push_back(EvalExpr(*p, other));
+          if (okey == pkey) partition.push_back(&other);
+        }
+        std::stable_sort(partition.begin(), partition.end(),
+                         [&](const Row* a, const Row* b) {
+                           return (*a)[static_cast<size_t>(call.ts_index)]
+                                      .Compare((*b)[static_cast<size_t>(call.ts_index)]) < 0;
+                         });
+        // Find this row's position (pointer identity).
+        size_t pos = 0;
+        for (size_t i = 0; i < partition.size(); ++i) {
+          if (partition[i] == &row) {
+            pos = i;
+            break;
+          }
+        }
+        size_t first = pos >= static_cast<size_t>(call.preceding_rows)
+                           ? pos - static_cast<size_t>(call.preceding_rows)
+                           : 0;
+        for (size_t i = first; i <= pos; ++i) {
+          state.Add(call.arg ? EvalExpr(*call.arg, *partition[i]) : Value(int64_t{1}));
+        }
+      }
+      extended.push_back(state.Result());
+    }
+    out.push_back(std::move(extended));
+  }
+  return out;
+}
+
+Result<std::vector<Row>> EvalJoin(const LogicalNode& node,
+                                  const std::vector<Row>& left,
+                                  const std::vector<Row>& right) {
+  std::vector<Row> out;
+  for (const Row& l : left) {
+    for (const Row& r : right) {
+      bool match = true;
+      for (const auto& [li, ri] : node.equi_keys) {
+        const Value& lv = l[static_cast<size_t>(li)];
+        const Value& rv = r[static_cast<size_t>(ri)];
+        if (lv.is_null() || rv.is_null() || lv.Compare(rv) != 0) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      if (node.join_type == JoinType::kStreamStream) {
+        int64_t lts = l[static_cast<size_t>(node.left_ts_index)].ToInt64();
+        int64_t rts = r[static_cast<size_t>(node.right_ts_index)].ToInt64();
+        int64_t delta = lts - rts;
+        if (delta < -node.window_before_ms || delta > node.window_after_ms) continue;
+      }
+      Row combined = l;
+      combined.insert(combined.end(), r.begin(), r.end());
+      if (node.residual && !Truthy(EvalExpr(*node.residual, combined))) continue;
+      out.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> EvaluatePlan(const LogicalNode& plan,
+                                      const TableProvider& provider) {
+  switch (plan.kind) {
+    case LogicalKind::kScan:
+      return provider(plan.source);
+
+    case LogicalKind::kFilter: {
+      SQS_ASSIGN_OR_RETURN(input, EvaluatePlan(*plan.inputs[0], provider));
+      std::vector<Row> out;
+      out.reserve(input.size());
+      for (Row& row : input) {
+        if (Truthy(EvalExpr(*plan.predicate, row))) out.push_back(std::move(row));
+      }
+      return out;
+    }
+
+    case LogicalKind::kProject: {
+      SQS_ASSIGN_OR_RETURN(input, EvaluatePlan(*plan.inputs[0], provider));
+      std::vector<Row> out;
+      out.reserve(input.size());
+      for (const Row& row : input) {
+        Row projected;
+        projected.reserve(plan.exprs.size());
+        for (const auto& e : plan.exprs) projected.push_back(EvalExpr(*e, row));
+        out.push_back(std::move(projected));
+      }
+      return out;
+    }
+
+    case LogicalKind::kAggregate: {
+      SQS_ASSIGN_OR_RETURN(input, EvaluatePlan(*plan.inputs[0], provider));
+      return EvalAggregate(plan, input);
+    }
+
+    case LogicalKind::kSlidingWindow: {
+      SQS_ASSIGN_OR_RETURN(input, EvaluatePlan(*plan.inputs[0], provider));
+      return EvalSlidingWindow(plan, input);
+    }
+
+    case LogicalKind::kJoin: {
+      SQS_ASSIGN_OR_RETURN(left, EvaluatePlan(*plan.inputs[0], provider));
+      SQS_ASSIGN_OR_RETURN(right, EvaluatePlan(*plan.inputs[1], provider));
+      return EvalJoin(plan, left, right);
+    }
+  }
+  return Status::Internal("unhandled plan node");
+}
+
+}  // namespace sqs::sql

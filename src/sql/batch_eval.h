@@ -1,0 +1,30 @@
+// Reference (batch) evaluator: runs a logical plan over bounded row sets
+// with textbook SQL semantics. Two roles:
+//  1. executes non-STREAM queries, which per the paper (§3.3) treat a
+//     stream "as a table consisting of the history of the stream up to the
+//     point of execution";
+//  2. serves as the semantic oracle in tests — the paper's stated goal is
+//     "producing the same results on a stream as if the same data were in
+//     a table", so streaming operator outputs are checked against this.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/logical.h"
+
+namespace sqs::sql {
+
+// Supplies the rows of a base source (stream history or relation snapshot).
+using TableProvider = std::function<Result<std::vector<Row>>(const SourceDef& source)>;
+
+// Evaluate the plan bottom-up. Row order: scans keep provider order;
+// group-window aggregates emit in (group key, window start) order; sliding
+// windows process rows in (partition, timestamp) order but return rows in
+// input order with appended aggregate columns.
+Result<std::vector<Row>> EvaluatePlan(const LogicalNode& plan,
+                                      const TableProvider& provider);
+
+}  // namespace sqs::sql

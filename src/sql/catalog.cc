@@ -1,0 +1,217 @@
+#include "sql/catalog.h"
+
+#include "serde/json.h"
+
+namespace sqs::sql {
+
+Status Catalog::RegisterSource(SourceDef def) {
+  if (def.name.empty()) return Status::InvalidArgument("source needs a name");
+  if (!def.schema) return Status::InvalidArgument("source needs a schema: " + def.name);
+  if (def.topic.empty()) def.topic = def.name;
+  if (sources_.count(def.name) || views_.count(def.name)) {
+    return Status::AlreadyExists("source exists: " + def.name);
+  }
+  // Default rowtime: a column literally named "rowtime", if present and long.
+  if (def.rowtime_column.empty()) {
+    auto idx = def.schema->FieldIndex("rowtime");
+    if (idx && def.schema->field(*idx).type.kind == TypeKind::kInt64) {
+      def.rowtime_column = "rowtime";
+    }
+  } else {
+    auto idx = def.schema->FieldIndex(def.rowtime_column);
+    if (!idx) {
+      return Status::InvalidArgument("rowtime column not in schema: " +
+                                     def.rowtime_column);
+    }
+    if (def.schema->field(*idx).type.kind != TypeKind::kInt64) {
+      return Status::InvalidArgument("rowtime column must be BIGINT: " +
+                                     def.rowtime_column);
+    }
+  }
+  sources_.emplace(def.name, std::move(def));
+  return Status::Ok();
+}
+
+Result<SourceDef> Catalog::GetSource(const std::string& name) const {
+  auto it = sources_.find(name);
+  if (it == sources_.end()) return Status::NotFound("unknown stream or table: " + name);
+  return it->second;
+}
+
+bool Catalog::HasSource(const std::string& name) const {
+  return sources_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::SourceNames() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto& [k, _] : sources_) out.push_back(k);
+  return out;
+}
+
+Status Catalog::RegisterView(const std::string& name,
+                             std::vector<std::string> column_names,
+                             std::unique_ptr<SelectStmt> select) {
+  if (sources_.count(name) || views_.count(name)) {
+    return Status::AlreadyExists("name already defined: " + name);
+  }
+  views_[name] = StoredView{std::move(column_names), std::move(select)};
+  return Status::Ok();
+}
+
+bool Catalog::HasView(const std::string& name) const { return views_.count(name) > 0; }
+
+Result<Catalog::ViewDef> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) return Status::NotFound("unknown view: " + name);
+  return ViewDef{it->second.column_names, it->second.select.get()};
+}
+
+namespace {
+
+Result<FieldType> ParseFieldTypeName(const std::string& name) {
+  if (name == "boolean") return FieldType::Bool();
+  if (name == "int" || name == "integer") return FieldType::Int32();
+  if (name == "long" || name == "bigint") return FieldType::Int64();
+  if (name == "double" || name == "float") return FieldType::Double();
+  if (name == "string" || name == "varchar") return FieldType::String();
+  if (name.rfind("array<", 0) == 0 && name.back() == '>') {
+    SQS_ASSIGN_OR_RETURN(elem, ParseFieldTypeName(name.substr(6, name.size() - 7)));
+    if (elem.kind == TypeKind::kArray || elem.kind == TypeKind::kMap) {
+      return Status::InvalidArgument("nested collections unsupported: " + name);
+    }
+    return FieldType::Array(elem.kind);
+  }
+  if (name.rfind("map<", 0) == 0 && name.back() == '>') {
+    SQS_ASSIGN_OR_RETURN(elem, ParseFieldTypeName(name.substr(4, name.size() - 5)));
+    if (elem.kind == TypeKind::kArray || elem.kind == TypeKind::kMap) {
+      return Status::InvalidArgument("nested collections unsupported: " + name);
+    }
+    return FieldType::Map(elem.kind);
+  }
+  return Status::InvalidArgument("unknown field type: " + name);
+}
+
+}  // namespace
+
+std::string Catalog::ToJsonModel() const {
+  ValueArray schemas;
+  for (const auto& [name, def] : sources_) {
+    ValueMap entry;
+    entry["name"] = Value(def.name);
+    entry["type"] = Value(def.kind == SourceKind::kStream ? "stream" : "table");
+    entry["topic"] = Value(def.topic);
+    entry["format"] = Value(def.format);
+    if (!def.rowtime_column.empty()) entry["rowtime"] = Value(def.rowtime_column);
+    ValueArray fields;
+    for (const Field& f : def.schema->fields()) {
+      ValueMap fo;
+      fo["name"] = Value(f.name);
+      std::string type_name;
+      switch (f.type.kind) {
+        case TypeKind::kBool: type_name = "boolean"; break;
+        case TypeKind::kInt32: type_name = "int"; break;
+        case TypeKind::kInt64: type_name = "long"; break;
+        case TypeKind::kDouble: type_name = "double"; break;
+        case TypeKind::kString: type_name = "string"; break;
+        case TypeKind::kArray:
+          type_name = "array<";
+          type_name += f.type.element == TypeKind::kInt32    ? "int"
+                       : f.type.element == TypeKind::kInt64  ? "long"
+                       : f.type.element == TypeKind::kDouble ? "double"
+                       : f.type.element == TypeKind::kBool   ? "boolean"
+                                                             : "string";
+          type_name += ">";
+          break;
+        case TypeKind::kMap:
+          type_name = "map<";
+          type_name += f.type.element == TypeKind::kInt32    ? "int"
+                       : f.type.element == TypeKind::kInt64  ? "long"
+                       : f.type.element == TypeKind::kDouble ? "double"
+                       : f.type.element == TypeKind::kBool   ? "boolean"
+                                                             : "string";
+          type_name += ">";
+          break;
+        default: type_name = "string";
+      }
+      fo["type"] = Value(type_name);
+      if (f.nullable) fo["nullable"] = Value(true);
+      fields.push_back(Value(std::move(fo)));
+    }
+    entry["fields"] = Value(std::move(fields));
+    schemas.push_back(Value(std::move(entry)));
+  }
+  ValueMap root;
+  root["schemas"] = Value(std::move(schemas));
+  return ToJson(Value(std::move(root)));
+}
+
+Status Catalog::LoadJsonModel(const std::string& json_text, SchemaRegistry& registry) {
+  SQS_ASSIGN_OR_RETURN(doc, ParseJson(json_text));
+  if (doc.kind() != TypeKind::kMap) {
+    return Status::InvalidArgument("model must be a JSON object");
+  }
+  const ValueMap& root = doc.as_map();
+  auto schemas_it = root.find("schemas");
+  if (schemas_it == root.end() || schemas_it->second.kind() != TypeKind::kArray) {
+    return Status::InvalidArgument("model needs a 'schemas' array");
+  }
+  for (const Value& entry : schemas_it->second.as_array()) {
+    if (entry.kind() != TypeKind::kMap) {
+      return Status::InvalidArgument("schema entry must be an object");
+    }
+    const ValueMap& obj = entry.as_map();
+    auto get_str = [&](const char* key) -> std::string {
+      auto it = obj.find(key);
+      return it != obj.end() && it->second.kind() == TypeKind::kString
+                 ? it->second.as_string()
+                 : "";
+    };
+    SourceDef def;
+    def.name = get_str("name");
+    if (def.name.empty()) return Status::InvalidArgument("schema entry needs a name");
+    std::string type = get_str("type");
+    if (type == "stream" || type.empty()) {
+      def.kind = SourceKind::kStream;
+    } else if (type == "table" || type == "relation") {
+      def.kind = SourceKind::kRelation;
+    } else {
+      return Status::InvalidArgument("bad source type: " + type);
+    }
+    def.topic = get_str("topic");
+    std::string format = get_str("format");
+    if (!format.empty()) def.format = format;
+    def.rowtime_column = get_str("rowtime");
+
+    auto fields_it = obj.find("fields");
+    if (fields_it == obj.end() || fields_it->second.kind() != TypeKind::kArray) {
+      return Status::InvalidArgument("schema " + def.name + " needs a 'fields' array");
+    }
+    std::vector<Field> fields;
+    for (const Value& fv : fields_it->second.as_array()) {
+      if (fv.kind() != TypeKind::kMap) {
+        return Status::InvalidArgument("field entry must be an object");
+      }
+      const ValueMap& fo = fv.as_map();
+      Field field;
+      auto name_it = fo.find("name");
+      if (name_it == fo.end()) return Status::InvalidArgument("field needs a name");
+      field.name = name_it->second.as_string();
+      auto type_it = fo.find("type");
+      if (type_it == fo.end()) return Status::InvalidArgument("field needs a type");
+      SQS_ASSIGN_OR_RETURN(ft, ParseFieldTypeName(type_it->second.as_string()));
+      field.type = ft;
+      auto null_it = fo.find("nullable");
+      field.nullable = null_it != fo.end() && null_it->second.kind() == TypeKind::kBool &&
+                       null_it->second.as_bool();
+      fields.push_back(std::move(field));
+    }
+    def.schema = Schema::Make(def.name, std::move(fields));
+    SQS_ASSIGN_OR_RETURN(reg, registry.Register(def.name, def.schema));
+    (void)reg;
+    SQS_RETURN_IF_ERROR(RegisterSource(std::move(def)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace sqs::sql

@@ -1,0 +1,80 @@
+// Catalog: the query planner's view of streams, relations and views.
+// Populated from Calcite-style JSON model files plus the schema registry
+// (paper §3.2: "SamzaSQL ... depends on both the Kafka schema registry and
+// Calcite's built-in JSON based schema descriptions").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serde/registry.h"
+#include "serde/schema.h"
+#include "sql/ast.h"
+
+namespace sqs::sql {
+
+enum class SourceKind {
+  kStream,    // partitioned, append-only stream (paper §3.1 Stream)
+  kRelation,  // bag of tuples, materialized from a changelog stream (§3.1)
+};
+
+struct SourceDef {
+  std::string name;
+  SourceKind kind = SourceKind::kStream;
+  std::string topic;            // backing topic (streams) / changelog (relations)
+  std::string format = "avro";  // message serde: avro | json | reflective
+  SchemaPtr schema;
+  // Column carrying the event timestamp (paper: "rowtime"). Empty if the
+  // source carries no timestamp (disables time-based windows, §7 item 2).
+  std::string rowtime_column;
+
+  bool is_stream() const { return kind == SourceKind::kStream; }
+};
+
+class Catalog {
+ public:
+  Status RegisterSource(SourceDef def);
+  Result<SourceDef> GetSource(const std::string& name) const;
+  bool HasSource(const std::string& name) const;
+  std::vector<std::string> SourceNames() const;
+
+  // Views are stored as parsed SELECTs and inlined during planning
+  // (paper §3.5). The optional column list renames the view's output.
+  Status RegisterView(const std::string& name, std::vector<std::string> column_names,
+                      std::unique_ptr<SelectStmt> select);
+  bool HasView(const std::string& name) const;
+  struct ViewDef {
+    std::vector<std::string> column_names;
+    const SelectStmt* select;  // owned by the catalog
+  };
+  Result<ViewDef> GetView(const std::string& name) const;
+
+  // Serialize all sources back to the JSON model format accepted by
+  // LoadJsonModel (views are serialized separately as SQL text). This is
+  // how shell-side planning ships the catalog to task-side re-planning
+  // through ZooKeeper (paper §4.2).
+  std::string ToJsonModel() const;
+
+  // Load sources from a Calcite-style JSON model:
+  // {"schemas":[{"name":"Orders","type":"stream","topic":"orders",
+  //   "format":"avro","rowtime":"rowtime",
+  //   "fields":[{"name":"rowtime","type":"long"},...]}]}
+  // Field "type" accepts: boolean,int,long,double,string,array<T>,map<T>.
+  // Loaded schemas are registered with `registry` under the source name.
+  Status LoadJsonModel(const std::string& json_text, SchemaRegistry& registry);
+
+ private:
+  std::map<std::string, SourceDef> sources_;
+  struct StoredView {
+    std::vector<std::string> column_names;
+    std::unique_ptr<SelectStmt> select;
+  };
+  std::map<std::string, StoredView> views_;
+};
+
+using CatalogPtr = std::shared_ptr<Catalog>;
+
+}  // namespace sqs::sql

@@ -1,0 +1,151 @@
+// Resolved-expression services:
+//  - type inference / column resolution (used by the planner),
+//  - a tree-walking interpreter,
+//  - a compiler to a flat register program over the tuple-as-array row
+//    representation. This is the stand-in for the paper's Janino/Linq4j
+//    code generation (§4.2): generated operators evaluate filter conditions
+//    and projection expressions against a Row (array), which is why the
+//    scan/insert operators must convert records to arrays and back (Fig. 4).
+//
+// NULL semantics (documented deviation, see README): comparisons involving
+// NULL evaluate to FALSE rather than UNKNOWN; AND/OR treat NULL as FALSE;
+// arithmetic on NULL yields NULL; aggregates skip NULLs. Division by zero
+// yields NULL.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace sqs::sql {
+
+// Resolves column refs / infers types for `expr` in place. `resolver` maps
+// (qualifier, column) -> (input row index, type); it returns NotFound for
+// unknown columns. Aggregate/window calls are rejected unless
+// `allow_aggregates` (the planner handles those contexts specially).
+using ColumnResolver =
+    std::function<Result<std::pair<int, FieldType>>(const std::string& qualifier,
+                                                    const std::string& column)>;
+
+Status ResolveExpr(Expr& expr, const ColumnResolver& resolver,
+                   bool allow_aggregates = false);
+
+// Interprets a resolved expression against a row.
+Value EvalExpr(const Expr& expr, const Row& input);
+
+// Structural equality of (resolved or unresolved) expressions; used to match
+// select-list expressions against GROUP BY expressions.
+bool ExprEquals(const Expr& a, const Expr& b);
+
+// True if the (sub)expression contains any kAggCall / kWindowCall.
+bool ContainsAggregate(const Expr& expr);
+
+// ---------------------------------------------------------------------------
+// Compiled expressions: a flat postfix program evaluated on a value stack.
+// One-time compilation per operator instance at task init (like the paper's
+// generated Java), then cheap per-tuple evaluation with no tree walking.
+// ---------------------------------------------------------------------------
+
+class CompiledExpr {
+ public:
+  // `expr` must be fully resolved. Aggregate/window calls cannot be
+  // compiled (they are evaluated by the window/aggregate operators).
+  static Result<CompiledExpr> Compile(const Expr& expr);
+
+  Value Eval(const Row& input) const;
+
+  size_t num_instructions() const { return code_.size(); }
+
+ private:
+  enum class OpCode : uint8_t {
+    kLoadColumn,   // push input[a]
+    kLoadConst,    // push constants[a]
+    kBinary,       // pop rhs, lhs; push lhs <a:BinaryOp> rhs
+    kUnary,        // pop v; push <a:UnaryOp> v
+    kFunc,         // pop a args (b = function id); push result
+    kJumpIfFalse,  // pop cond; if !true jump to a   (CASE / AND short-circuit)
+    kJump,         // jump to a
+    kIsNull,       // pop v; push v.is_null() (a: negated)
+    kCast,         // pop v; push cast to kind a
+    kUdf,          // pop a args (b = FunctionRegistry id); push result
+    kPop,          // discard top
+  };
+  struct Insn {
+    OpCode op;
+    int32_t a = 0;
+    int32_t b = 0;
+  };
+
+  Status Emit(const Expr& expr);
+  int32_t AddConst(Value v);
+
+  std::vector<Insn> code_;
+  std::vector<Value> constants_;
+  friend class CompiledExprTestPeer;
+};
+
+// Scalar function ids shared by the interpreter and compiler.
+enum class ScalarFunc : int32_t {
+  kFloor, kFloorTo, kCeil, kAbs, kMod, kGreatest, kLeast, kUpper, kLower,
+  kCharLength, kSubstring, kConcat, kCoalesce, kSqrt, kPower,
+};
+Result<ScalarFunc> LookupScalarFunc(const std::string& name, size_t arity);
+Value EvalScalarFunc(ScalarFunc fn, const std::vector<Value>& args);
+
+// Type of a scalar function result given argument types.
+Result<FieldType> ScalarFuncType(const std::string& name,
+                                 const std::vector<FieldType>& args);
+
+// Floor a timestamp (epoch millis) to the unit ("HOUR", "MINUTE", ...).
+Result<int64_t> FloorTimestampTo(int64_t ts_millis, const std::string& unit);
+
+// ---------------------------------------------------------------------------
+// Aggregate functions (used by aggregate/window operators and batch eval).
+// ---------------------------------------------------------------------------
+
+enum class AggKind { kCount, kSum, kMin, kMax, kAvg, kStart, kEnd };
+
+Result<AggKind> LookupAggFunc(const std::string& name);
+bool IsAggFuncName(const std::string& name);
+
+// Incremental aggregate state. START/END track window bounds and are fed by
+// the operator, not by Add().
+class AggState {
+ public:
+  explicit AggState(AggKind kind) : kind_(kind) {}
+
+  void Add(const Value& v);
+  // Retract a previously added value (sliding-window purge). Only valid for
+  // COUNT/SUM/AVG; MIN/MAX windows recompute instead (see SlidingWindowOp).
+  void Remove(const Value& v);
+  static bool SupportsRemove(AggKind kind) {
+    return kind == AggKind::kCount || kind == AggKind::kSum || kind == AggKind::kAvg;
+  }
+
+  Value Result() const;
+  AggKind kind() const { return kind_; }
+
+  // Serialization for changelog-backed window state (fault tolerance).
+  void EncodeTo(BytesWriter& out) const;
+  static ::sqs::Result<AggState> Decode(AggKind kind, BytesReader& in);
+
+  int64_t count() const { return count_; }
+
+ private:
+  AggKind kind_;
+  int64_t count_ = 0;       // non-null values seen
+  int64_t sum_i_ = 0;       // integer sum
+  double sum_d_ = 0;        // double sum
+  bool is_double_ = false;  // any double fed in
+  Value extreme_;           // MIN/MAX current
+};
+
+// Aggregate result type given the argument type.
+Result<FieldType> AggResultType(AggKind kind, const FieldType& arg);
+
+}  // namespace sqs::sql

@@ -1,0 +1,276 @@
+#include "sql/optimizer.h"
+
+#include <functional>
+
+#include "sql/planner.h"
+
+namespace sqs::sql {
+
+namespace {
+
+bool HasColumnRef(const Expr& e) {
+  if (e.kind == ExprKind::kColumnRef) return true;
+  for (const auto& c : e.children) {
+    if (HasColumnRef(*c)) return true;
+  }
+  return false;
+}
+
+bool IsFoldable(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kBinary:
+    case ExprKind::kUnary:
+    case ExprKind::kCase:
+    case ExprKind::kCast:
+    case ExprKind::kBetween:
+    case ExprKind::kIsNull:
+    case ExprKind::kIn:
+    case ExprKind::kFuncCall:
+      for (const auto& c : e.children) {
+        if (!IsFoldable(*c)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Rewrite column refs in `e` (resolved indexes) through a projection's
+// expressions: index i becomes a clone of project_exprs[i]. Only valid when
+// every referenced projection output is itself a plain column ref (checked
+// by caller).
+ExprPtr SubstituteThroughProject(const Expr& e, const std::vector<ExprPtr>& project_exprs) {
+  if (e.kind == ExprKind::kColumnRef) {
+    return project_exprs[static_cast<size_t>(e.resolved_index)]->Clone();
+  }
+  ExprPtr copy = e.Clone();
+  for (size_t i = 0; i < copy->children.size(); ++i) {
+    copy->children[i] = SubstituteThroughProject(*e.children[i], project_exprs);
+  }
+  return copy;
+}
+
+// Collect the set of input indexes an expression references.
+void CollectRefs(const Expr& e, std::vector<int>& refs) {
+  if (e.kind == ExprKind::kColumnRef) refs.push_back(e.resolved_index);
+  for (const auto& c : e.children) CollectRefs(*c, refs);
+}
+
+// Remap column refs by adding `delta` to refs >= `from` (used when moving a
+// predicate from the join output scope to the right input's scope).
+void ShiftRefs(Expr& e, int from, int delta) {
+  if (e.kind == ExprKind::kColumnRef && e.resolved_index >= from) {
+    e.resolved_index += delta;
+  }
+  for (auto& c : e.children) ShiftRefs(*c, from, delta);
+}
+
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerStats* stats) : stats_(stats) {}
+
+  LogicalNodePtr Run(LogicalNodePtr root) {
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 50) {
+      changed = false;
+      root = RewriteNode(std::move(root), changed);
+    }
+    return root;
+  }
+
+ private:
+  LogicalNodePtr RewriteNode(LogicalNodePtr node, bool& changed) {
+    for (auto& input : node->inputs) {
+      input = RewriteNode(std::move(input), changed);
+    }
+
+    // Constant folding on all attached expressions.
+    auto fold = [&](ExprPtr& e) {
+      if (e && FoldConstants(*e)) {
+        changed = true;
+        if (stats_) stats_->constant_folds++;
+      }
+    };
+    fold(node->predicate);
+    for (auto& e : node->exprs) fold(e);
+    for (auto& e : node->group_exprs) fold(e);
+    fold(node->residual);
+
+    if (node->kind == LogicalKind::kFilter) {
+      LogicalNodePtr child = node->inputs[0];
+
+      // FilterMerge.
+      if (child->kind == LogicalKind::kFilter) {
+        auto merged = MakeBinary(BinaryOp::kAnd, node->predicate->Clone(),
+                                 child->predicate->Clone());
+        merged->resolved_type = FieldType::Bool();
+        node->predicate = std::move(merged);
+        node->inputs[0] = child->inputs[0];
+        changed = true;
+        if (stats_) stats_->filters_merged++;
+        return node;
+      }
+
+      // FilterProjectTranspose: only when every projection output referenced
+      // by the predicate is a plain column ref.
+      if (child->kind == LogicalKind::kProject) {
+        std::vector<int> refs;
+        CollectRefs(*node->predicate, refs);
+        bool all_simple = true;
+        for (int r : refs) {
+          if (child->exprs[static_cast<size_t>(r)]->kind != ExprKind::kColumnRef) {
+            all_simple = false;
+            break;
+          }
+        }
+        if (all_simple) {
+          auto new_filter = LogicalNode::Make(LogicalKind::kFilter);
+          new_filter->predicate =
+              SubstituteThroughProject(*node->predicate, child->exprs);
+          new_filter->inputs.push_back(child->inputs[0]);
+          new_filter->schema = child->inputs[0]->schema;
+          new_filter->rowtime_index = child->inputs[0]->rowtime_index;
+          new_filter->is_stream = child->inputs[0]->is_stream;
+          child->inputs[0] = new_filter;
+          changed = true;
+          if (stats_) stats_->filters_pushed_below_project++;
+          return child;  // project becomes the subtree root
+        }
+      }
+
+      // FilterJoinPushdown: conjuncts referencing only one side move below.
+      if (child->kind == LogicalKind::kJoin) {
+        const int left_arity =
+            static_cast<int>(child->inputs[0]->schema->num_fields());
+        std::vector<ExprPtr> keep, left_parts, right_parts;
+        for (ExprPtr& conj : SplitConjuncts(*node->predicate)) {
+          std::vector<int> refs;
+          CollectRefs(*conj, refs);
+          bool any_left = false, any_right = false;
+          for (int r : refs) {
+            (r < left_arity ? any_left : any_right) = true;
+          }
+          // The relation side of a stream-relation join is materialized by
+          // the join operator from its bootstrap stream; a filter cannot sit
+          // between them, so right-side pushdown only applies to
+          // stream-stream joins.
+          const bool right_pushable = child->join_type == JoinType::kStreamStream;
+          if (any_left && !any_right && !refs.empty()) {
+            left_parts.push_back(std::move(conj));
+          } else if (any_right && !any_left && right_pushable) {
+            ShiftRefs(*conj, left_arity, -left_arity);
+            right_parts.push_back(std::move(conj));
+          } else {
+            keep.push_back(std::move(conj));
+          }
+        }
+        if (!left_parts.empty() || !right_parts.empty()) {
+          auto add_filter = [&](LogicalNodePtr input, std::vector<ExprPtr> parts) {
+            auto f = LogicalNode::Make(LogicalKind::kFilter);
+            f->predicate = CombineConjuncts(std::move(parts));
+            f->inputs.push_back(input);
+            f->schema = input->schema;
+            f->rowtime_index = input->rowtime_index;
+            f->is_stream = input->is_stream;
+            return f;
+          };
+          if (!left_parts.empty()) {
+            child->inputs[0] = add_filter(child->inputs[0], std::move(left_parts));
+          }
+          if (!right_parts.empty()) {
+            child->inputs[1] = add_filter(child->inputs[1], std::move(right_parts));
+          }
+          changed = true;
+          if (stats_) stats_->filters_pushed_into_join++;
+          if (keep.empty()) return child;
+          node->predicate = CombineConjuncts(std::move(keep));
+          return node;
+        }
+      }
+    }
+
+    if (node->kind == LogicalKind::kProject) {
+      LogicalNodePtr child = node->inputs[0];
+
+      // ProjectMerge.
+      if (child->kind == LogicalKind::kProject) {
+        bool all_simple_refs = true;
+        std::vector<int> refs;
+        for (const auto& e : node->exprs) CollectRefs(*e, refs);
+        // Substitution duplicates child expressions; only do it when each
+        // referenced child output is a column ref or literal (no recompute).
+        for (int r : refs) {
+          ExprKind k = child->exprs[static_cast<size_t>(r)]->kind;
+          if (k != ExprKind::kColumnRef && k != ExprKind::kLiteral) {
+            all_simple_refs = false;
+            break;
+          }
+        }
+        if (all_simple_refs) {
+          for (auto& e : node->exprs) {
+            e = SubstituteThroughProject(*e, child->exprs);
+          }
+          node->inputs[0] = child->inputs[0];
+          changed = true;
+          if (stats_) stats_->projects_merged++;
+          return node;
+        }
+      }
+
+      // RemoveTrivialProject: identity over the input (same arity, each
+      // expr a column ref to its own position, names unchanged).
+      if (node->exprs.size() == child->schema->num_fields()) {
+        bool identity = true;
+        for (size_t i = 0; i < node->exprs.size(); ++i) {
+          const Expr& e = *node->exprs[i];
+          if (e.kind != ExprKind::kColumnRef ||
+              e.resolved_index != static_cast<int>(i) ||
+              node->schema->field(i).name != child->schema->field(i).name) {
+            identity = false;
+            break;
+          }
+        }
+        if (identity) {
+          changed = true;
+          if (stats_) stats_->trivial_projects_removed++;
+          // Preserve top-level streamness on the new root.
+          child->is_stream = node->is_stream;
+          return child;
+        }
+      }
+    }
+
+    return node;
+  }
+
+  OptimizerStats* stats_;
+};
+
+}  // namespace
+
+bool FoldConstants(Expr& expr) {
+  bool changed = false;
+  for (auto& child : expr.children) {
+    if (FoldConstants(*child)) changed = true;
+  }
+  if (expr.kind == ExprKind::kLiteral) return changed;
+  if (IsFoldable(expr) && !HasColumnRef(expr)) {
+    Value v = EvalExpr(expr, {});
+    FieldType type = expr.resolved_type;
+    expr.children.clear();
+    expr.kind = ExprKind::kLiteral;
+    expr.literal = std::move(v);
+    expr.resolved_type = type;
+    return true;
+  }
+  return changed;
+}
+
+LogicalNodePtr Optimize(LogicalNodePtr root, OptimizerStats* stats) {
+  return Optimizer(stats).Run(std::move(root));
+}
+
+}  // namespace sqs::sql

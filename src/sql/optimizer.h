@@ -1,0 +1,38 @@
+// Rule-based logical-plan optimizer (the Calcite-optimization stand-in,
+// paper §4.2: "apply some generic optimizations bundled with Calcite").
+// Rules run to a fixpoint:
+//  - ConstantFolding:       literal-only subexpressions are evaluated once
+//  - FilterMerge:           Filter(Filter(x)) -> Filter(a AND b)
+//  - FilterProjectTranspose: push filters below projections whose referenced
+//                            outputs are plain column refs
+//  - FilterJoinPushdown:    push single-side conjuncts below a join
+//  - ProjectMerge:          Project(Project(x)) -> composed Project
+//  - RemoveTrivialProject:  drop identity projections
+#pragma once
+
+#include "sql/logical.h"
+
+namespace sqs::sql {
+
+struct OptimizerStats {
+  int constant_folds = 0;
+  int filters_merged = 0;
+  int filters_pushed_below_project = 0;
+  int filters_pushed_into_join = 0;
+  int projects_merged = 0;
+  int trivial_projects_removed = 0;
+
+  int Total() const {
+    return constant_folds + filters_merged + filters_pushed_below_project +
+           filters_pushed_into_join + projects_merged + trivial_projects_removed;
+  }
+};
+
+// Optimizes the plan in place (nodes may be replaced; returns the new root).
+LogicalNodePtr Optimize(LogicalNodePtr root, OptimizerStats* stats = nullptr);
+
+// Fold literal-only subtrees of a resolved expression in place.
+// Returns true if anything changed.
+bool FoldConstants(Expr& expr);
+
+}  // namespace sqs::sql

@@ -1,0 +1,39 @@
+// Recursive-descent parser for SamzaSQL streaming SQL (paper §3).
+// Grammar summary (extensions over standard SQL marked *):
+//
+//   statement  := select | create_view | insert | explain
+//   select     := SELECT [STREAM]* item (, item)* FROM table_ref
+//                 (JOIN table_ref ON expr)* [WHERE expr]
+//                 [GROUP BY expr (, expr)*] [HAVING expr]
+//   table_ref  := ident [AS? ident] | '(' select ')' [AS? ident]
+//   create_view:= CREATE VIEW ident ['(' ident (, ident)* ')'] AS select
+//   insert     := INSERT INTO ident select
+//   explain    := EXPLAIN select
+//
+//   Group-window functions* (GROUP BY): TUMBLE(ts, emit [, align]),
+//   HOP(ts, emit, retain [, align]), FLOOR(ts TO unit).
+//   Sliding windows: agg(args) OVER ([PARTITION BY e,...] ORDER BY col
+//                    (RANGE INTERVAL 'n' unit | ROWS n) PRECEDING).
+//   Interval literals: INTERVAL 'n' unit, INTERVAL 'h:m' unit TO unit.
+//   Time literals: TIME 'h:m[:s]'.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace sqs::sql {
+
+// Parse a single statement (trailing ';' allowed).
+Result<Statement> ParseStatement(const std::string& input);
+
+// Parse a ';'-separated script.
+Result<std::vector<Statement>> ParseScript(const std::string& input);
+
+// Parse just an expression (used by tests).
+Result<ExprPtr> ParseExpression(const std::string& input);
+
+}  // namespace sqs::sql

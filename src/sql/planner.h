@@ -1,0 +1,43 @@
+// Query planner: validated AST -> logical plan. Performs name resolution,
+// type checking, stream-semantics validation, view inlining, join-condition
+// analysis, and group-window canonicalization. Streaming-specific rules
+// (paper §3, §7):
+//  - SELECT STREAM requires at least one stream source; without STREAM a
+//    query over a stream runs against the stream's history as a table.
+//  - aggregating an unbounded stream requires a group window
+//    (TUMBLE / HOP / FLOOR(ts TO unit));
+//  - stream-stream joins require a time bound in the join condition;
+//  - time-based windows require the source's timestamp column to still be
+//    present (dropping it disables time windows downstream — §7 item 2).
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/logical.h"
+
+namespace sqs::sql {
+
+class QueryPlanner {
+ public:
+  explicit QueryPlanner(CatalogPtr catalog) : catalog_(std::move(catalog)) {}
+
+  // Plan a SELECT. The result's is_stream flag tells the executor whether
+  // this is a continuous query (SELECT STREAM) or a batch history query.
+  Result<LogicalNodePtr> Plan(const SelectStmt& stmt);
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  CatalogPtr catalog_;
+};
+
+// Splits a predicate into its AND-ed conjuncts (children are cloned).
+std::vector<ExprPtr> SplitConjuncts(const Expr& predicate);
+
+// AND-combine conjuncts (returns null for an empty list).
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+}  // namespace sqs::sql

@@ -1,0 +1,24 @@
+#include "task/api.h"
+
+namespace sqs {
+
+TaskFactoryRegistry& TaskFactoryRegistry::Instance() {
+  static TaskFactoryRegistry registry;
+  return registry;
+}
+
+void TaskFactoryRegistry::Register(const std::string& name, TaskFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[name] = std::move(factory);
+}
+
+Result<TaskFactory> TaskFactoryRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no task factory registered: " + name);
+  }
+  return it->second;
+}
+
+}  // namespace sqs

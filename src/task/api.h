@@ -1,0 +1,118 @@
+// The Samza task programming API (paper §2): a StreamTask processes one
+// message at a time from its assigned partitions, may keep task-local state
+// in managed stores, emits via a MessageCollector, and can request commits
+// or shutdown through the TaskCoordinator. Native benchmark tasks and the
+// generated SamzaSQL task both implement this interface — the evaluation
+// compares exactly these two implementations of the same queries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "kv/store.h"
+#include "log/message.h"
+
+namespace sqs {
+
+class MessageCollector {
+ public:
+  virtual ~MessageCollector() = default;
+  // Keyed send: partition chosen by key hash.
+  virtual Status Send(const std::string& topic, Bytes key, Bytes value) = 0;
+  // Partition-preserving send: output goes to the same partition id the
+  // input came from (SamzaSQL's default for filter/project pipelines so
+  // per-partition ordering is preserved end to end).
+  virtual Status SendToPartition(const std::string& topic, int32_t partition,
+                                 Bytes key, Bytes value) = 0;
+};
+
+class TaskCoordinator {
+ public:
+  virtual ~TaskCoordinator() = default;
+  virtual void RequestCommit() = 0;
+  virtual void RequestShutdown() = 0;
+};
+
+// Per-task-instance context handed to Init(): identity, config, managed
+// stores, metrics.
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+  virtual const std::string& task_name() const = 0;
+  virtual int32_t partition_id() const = 0;
+  virtual const Config& config() const = 0;
+  virtual MetricsRegistry& metrics() = 0;
+  // Managed store by logical name (configured via stores.<name>.*). Returns
+  // nullptr if the store is not configured.
+  virtual KeyValueStorePtr GetStore(const std::string& name) = 0;
+};
+
+class StreamTask {
+ public:
+  virtual ~StreamTask() = default;
+
+  virtual Status Init(TaskContext& /*context*/) { return Status::Ok(); }
+
+  virtual Status Process(const IncomingMessage& message, MessageCollector& collector,
+                         TaskCoordinator& coordinator) = 0;
+
+  // Called on the window timer if task.window.ms is configured (Samza's
+  // WindowableTask). Hopping/tumbling emission happens here.
+  virtual Status Window(MessageCollector& /*collector*/,
+                        TaskCoordinator& /*coordinator*/) {
+    return Status::Ok();
+  }
+
+  // Called immediately before the task's offsets are checkpointed. State
+  // that gates replay-safe cleanup (e.g. the sliding window's committed
+  // watermark) must be persisted here: replay never rewinds past this
+  // point, so anything older than what is recorded now may be purged.
+  virtual Status OnCommit() { return Status::Ok(); }
+
+  virtual Status Close() { return Status::Ok(); }
+};
+
+// Factory invoked once per task instance. Registered by name in the
+// TaskFactoryRegistry; the job config selects it via `task.factory`.
+using TaskFactory = std::function<std::unique_ptr<StreamTask>()>;
+
+class TaskFactoryRegistry {
+ public:
+  static TaskFactoryRegistry& Instance();
+
+  void Register(const std::string& name, TaskFactory factory);
+  Result<TaskFactory> Get(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TaskFactory> factories_;
+};
+
+// Well-known configuration keys (subset of Samza's, plus SamzaSQL's).
+namespace cfg {
+inline constexpr const char* kJobName = "job.name";
+inline constexpr const char* kJobId = "job.id";
+inline constexpr const char* kContainerCount = "job.container.count";
+inline constexpr const char* kTaskInputs = "task.inputs";
+inline constexpr const char* kBootstrapInputs = "task.bootstrap.inputs";
+inline constexpr const char* kTaskFactory = "task.factory";
+inline constexpr const char* kCheckpointTopic = "task.checkpoint.topic";
+inline constexpr const char* kCommitEveryMessages = "task.commit.max.messages";
+inline constexpr const char* kWindowMs = "task.window.ms";
+inline constexpr const char* kMaxPollMessages = "task.poll.max.messages";
+inline constexpr const char* kMaxFetchPerPartition = "task.fetch.max.per.partition";
+inline constexpr const char* kPollLatencyNanos = "task.poll.latency.nanos";
+// Simulated per-access latency of task-local stores (RocksDB model).
+inline constexpr const char* kStoreAccessLatencyNanos = "stores.access.latency.nanos";
+// stores.<name>.changelog = <topic>
+inline constexpr const char* kStoresPrefix = "stores.";
+}  // namespace cfg
+
+}  // namespace sqs

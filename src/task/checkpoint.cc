@@ -1,0 +1,73 @@
+#include "task/checkpoint.h"
+
+namespace sqs {
+
+CheckpointManager::CheckpointManager(BrokerPtr broker, std::string checkpoint_topic)
+    : broker_(std::move(broker)), topic_(std::move(checkpoint_topic)) {}
+
+Status CheckpointManager::Start() {
+  if (broker_->HasTopic(topic_)) return Status::Ok();
+  TopicConfig config;
+  config.num_partitions = 1;
+  config.compacted = true;
+  Status st = broker_->CreateTopic(topic_, config);
+  if (st.code() == ErrorCode::kAlreadyExists) return Status::Ok();
+  return st;
+}
+
+Bytes CheckpointManager::EncodeCheckpoint(const Checkpoint& checkpoint) {
+  BytesWriter w(64);
+  w.WriteVarint(static_cast<int64_t>(checkpoint.size()));
+  for (const auto& [sp, offset] : checkpoint) {
+    w.WriteString(sp.topic);
+    w.WriteVarint(sp.partition);
+    w.WriteVarint(offset);
+  }
+  return w.Take();
+}
+
+Result<Checkpoint> CheckpointManager::DecodeCheckpoint(const Bytes& bytes) {
+  BytesReader r(bytes);
+  SQS_ASSIGN_OR_RETURN(n, r.ReadVarint());
+  if (n < 0) return Status::SerdeError("negative checkpoint size");
+  Checkpoint cp;
+  for (int64_t i = 0; i < n; ++i) {
+    SQS_ASSIGN_OR_RETURN(topic, r.ReadString());
+    SQS_ASSIGN_OR_RETURN(partition, r.ReadVarint());
+    SQS_ASSIGN_OR_RETURN(offset, r.ReadVarint());
+    cp[{topic, static_cast<int32_t>(partition)}] = offset;
+  }
+  return cp;
+}
+
+Status CheckpointManager::WriteCheckpoint(const std::string& task_name,
+                                          const Checkpoint& checkpoint) {
+  Message m;
+  m.key = ToBytes(task_name);
+  m.value = EncodeCheckpoint(checkpoint);
+  auto st = broker_->Append({topic_, 0}, std::move(m));
+  return st.ok() ? Status::Ok() : st.status();
+}
+
+Result<Checkpoint> CheckpointManager::ReadLastCheckpoint(
+    const std::string& task_name) const {
+  SQS_ASSIGN_OR_RETURN(begin, broker_->BeginOffset({topic_, 0}));
+  SQS_ASSIGN_OR_RETURN(end, broker_->EndOffset({topic_, 0}));
+  Bytes key = ToBytes(task_name);
+  Checkpoint latest;
+  int64_t pos = begin;
+  while (pos < end) {
+    SQS_ASSIGN_OR_RETURN(batch, broker_->Fetch({topic_, 0}, pos, 1024));
+    if (batch.empty()) break;
+    for (const auto& m : batch) {
+      if (m.message.key == key) {
+        SQS_ASSIGN_OR_RETURN(cp, DecodeCheckpoint(m.message.value));
+        latest = std::move(cp);
+      }
+    }
+    pos += static_cast<int64_t>(batch.size());
+  }
+  return latest;
+}
+
+}  // namespace sqs

@@ -1,0 +1,39 @@
+// Checkpointing of consumed offsets to a compacted checkpoint topic
+// (paper §2 "Durability": on failure, streams replay from the last known
+// checkpointed partition offset). Keyed by task name; the latest entry per
+// task wins on restore.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "log/broker.h"
+
+namespace sqs {
+
+// Offsets here are "next offset to process" (i.e., position after the last
+// processed message), matching Consumer positions.
+using Checkpoint = std::map<StreamPartition, int64_t>;
+
+class CheckpointManager {
+ public:
+  CheckpointManager(BrokerPtr broker, std::string checkpoint_topic);
+
+  // Create the checkpoint topic if missing.
+  Status Start();
+
+  Status WriteCheckpoint(const std::string& task_name, const Checkpoint& checkpoint);
+
+  // Latest checkpoint for the task, or empty if none was ever written.
+  Result<Checkpoint> ReadLastCheckpoint(const std::string& task_name) const;
+
+  static Bytes EncodeCheckpoint(const Checkpoint& checkpoint);
+  static Result<Checkpoint> DecodeCheckpoint(const Bytes& bytes);
+
+ private:
+  BrokerPtr broker_;
+  std::string topic_;
+};
+
+}  // namespace sqs

@@ -1,0 +1,268 @@
+#include "task/container.h"
+
+#include "common/logging.h"
+
+namespace sqs {
+
+namespace {
+
+// Collector bound to a task instance; keyed sends hash-partition, partition-
+// preserving sends reuse the input partition id.
+class ProducerCollector : public MessageCollector {
+ public:
+  explicit ProducerCollector(Producer& producer) : producer_(producer) {}
+
+  Status Send(const std::string& topic, Bytes key, Bytes value) override {
+    auto r = producer_.Send(topic, std::move(key), std::move(value));
+    return r.ok() ? Status::Ok() : r.status();
+  }
+
+  Status SendToPartition(const std::string& topic, int32_t partition, Bytes key,
+                         Bytes value) override {
+    auto r = producer_.SendTo({topic, partition}, std::move(key), std::move(value));
+    return r.ok() ? Status::Ok() : r.status();
+  }
+
+ private:
+  Producer& producer_;
+};
+
+}  // namespace
+
+// One task instance: the user task, its stores, and its commit bookkeeping.
+struct Container::TaskInstance : public TaskContext, public TaskCoordinator {
+  TaskModel model;
+  std::unique_ptr<StreamTask> task;
+  std::map<std::string, std::shared_ptr<ChangelogBackedStore>> stores;
+  // Next-offset-to-process per input partition (what gets checkpointed).
+  Checkpoint processed_positions;
+  int64_t since_commit = 0;
+  bool commit_requested = false;
+  Container* container = nullptr;
+
+  // TaskContext
+  const std::string& task_name() const override { return model.task_name; }
+  int32_t partition_id() const override { return model.partition_id; }
+  const Config& config() const override { return container->config_; }
+  MetricsRegistry& metrics() override { return *container->metrics_; }
+  KeyValueStorePtr GetStore(const std::string& name) override {
+    auto it = stores.find(name);
+    return it == stores.end() ? nullptr : it->second;
+  }
+
+  // TaskCoordinator
+  void RequestCommit() override { commit_requested = true; }
+  void RequestShutdown() override { container->shutdown_requested_ = true; }
+};
+
+Container::Container(BrokerPtr broker, Config config, ContainerModel model,
+                     std::shared_ptr<Clock> clock,
+                     std::shared_ptr<MetricsRegistry> metrics)
+    : broker_(std::move(broker)),
+      config_(std::move(config)),
+      model_(std::move(model)),
+      clock_(clock ? std::move(clock) : SystemClock::Instance()),
+      metrics_(metrics ? std::move(metrics) : std::make_shared<MetricsRegistry>()) {}
+
+Container::~Container() = default;
+
+Status Container::InitTask(TaskInstance& task) {
+  // Managed stores: stores.<name>.changelog=<topic>. The changelog topic is
+  // created on demand with the same partition count as the job's inputs, and
+  // this task uses the partition matching its partition id.
+  auto store_props = config_.Subset(cfg::kStoresPrefix);
+  std::map<std::string, std::string> changelogs;  // store name -> topic
+  for (const auto& [key, value] : store_props) {
+    size_t dot = key.find('.');
+    if (dot == std::string::npos) continue;
+    if (key.substr(dot + 1) == "changelog") changelogs[key.substr(0, dot)] = value;
+  }
+  for (const auto& [store_name, changelog_topic] : changelogs) {
+    if (!broker_->HasTopic(changelog_topic)) {
+      TopicConfig tc;
+      SQS_ASSIGN_OR_RETURN(nparts,
+                           broker_->NumPartitions(task.model.input_partitions[0].topic));
+      tc.num_partitions = nparts;
+      tc.compacted = true;
+      Status st = broker_->CreateTopic(changelog_topic, tc);
+      if (!st.ok() && st.code() != ErrorCode::kAlreadyExists) return st;
+    }
+    KeyValueStorePtr backing = std::make_shared<InMemoryStore>();
+    int64_t store_latency = config_.GetInt(cfg::kStoreAccessLatencyNanos, 0);
+    if (store_latency > 0) {
+      backing = std::make_shared<LatencyStore>(std::move(backing), store_latency);
+    }
+    auto store = std::make_shared<ChangelogBackedStore>(
+        std::move(backing), broker_,
+        StreamPartition{changelog_topic, task.model.partition_id});
+    SQS_RETURN_IF_ERROR(store->Restore());
+    task.stores[store_name] = std::move(store);
+  }
+
+  // Consumer positions: last checkpoint, else log start.
+  SQS_ASSIGN_OR_RETURN(checkpoint, checkpoints_->ReadLastCheckpoint(task.model.task_name));
+  for (const StreamPartition& sp : task.model.input_partitions) {
+    int64_t offset;
+    auto it = checkpoint.find(sp);
+    if (it != checkpoint.end()) {
+      offset = it->second;
+    } else {
+      SQS_ASSIGN_OR_RETURN(begin, broker_->BeginOffset(sp));
+      offset = begin;
+    }
+    task.processed_positions[sp] = offset;
+    bool is_bootstrap = false;
+    for (const StreamPartition& b : task.model.bootstrap_partitions) {
+      if (b == sp) {
+        is_bootstrap = true;
+        break;
+      }
+    }
+    SQS_RETURN_IF_ERROR(
+        (is_bootstrap ? *bootstrap_consumer_ : *consumer_).Assign(sp, offset));
+    dispatch_[sp] = &task;
+  }
+
+  SQS_RETURN_IF_ERROR(task.task->Init(task));
+  return Status::Ok();
+}
+
+Status Container::Start() {
+  if (started_) return Status::StateError("container already started");
+
+  producer_ = std::make_unique<Producer>(broker_, clock_);
+  int32_t max_poll =
+      static_cast<int32_t>(config_.GetInt(cfg::kMaxPollMessages, 256));
+  consumer_ = std::make_unique<Consumer>(broker_, max_poll);
+  bootstrap_consumer_ = std::make_unique<Consumer>(broker_, max_poll);
+  int32_t per_part =
+      static_cast<int32_t>(config_.GetInt(cfg::kMaxFetchPerPartition, 0));
+  if (per_part > 0) {
+    consumer_->SetMaxFetchPerPartition(per_part);
+    bootstrap_consumer_->SetMaxFetchPerPartition(per_part);
+  }
+  int64_t poll_latency = config_.GetInt(cfg::kPollLatencyNanos, 0);
+  if (poll_latency > 0) {
+    consumer_->SetPollLatencyNanos(poll_latency);
+    bootstrap_consumer_->SetPollLatencyNanos(poll_latency);
+  }
+
+  std::string cp_topic = config_.Get(cfg::kCheckpointTopic,
+                                     "__checkpoint_" + config_.Get(cfg::kJobName, "job"));
+  checkpoints_ = std::make_unique<CheckpointManager>(broker_, cp_topic);
+  SQS_RETURN_IF_ERROR(checkpoints_->Start());
+
+  commit_every_ = config_.GetInt(cfg::kCommitEveryMessages, 0);
+  window_ms_ = config_.GetInt(cfg::kWindowMs, 0);
+  last_window_fire_ms_ = clock_->NowMillis();
+
+  std::string factory_name = config_.Get(cfg::kTaskFactory);
+  if (factory_name.empty()) return Status::InvalidArgument("task.factory not set");
+  SQS_ASSIGN_OR_RETURN(factory, TaskFactoryRegistry::Instance().Get(factory_name));
+
+  for (const TaskModel& tm : model_.tasks) {
+    auto instance = std::make_unique<TaskInstance>();
+    instance->model = tm;
+    instance->container = this;
+    instance->task = factory();
+    if (!instance->task) return Status::Internal("task factory returned null");
+    SQS_RETURN_IF_ERROR(InitTask(*instance));
+    tasks_.push_back(std::move(instance));
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batch) {
+  ProducerCollector collector(*producer_);
+  int64_t processed = 0;
+  for (const IncomingMessage& msg : batch) {
+    auto it = dispatch_.find(msg.origin);
+    if (it == dispatch_.end()) {
+      return Status::Internal("no task for partition " + msg.origin.ToString());
+    }
+    TaskInstance& task = *it->second;
+    SQS_RETURN_IF_ERROR(task.task->Process(msg, collector, task));
+    task.processed_positions[msg.origin] = msg.offset + 1;
+    task.since_commit++;
+    ++processed;
+    if (task.commit_requested ||
+        (commit_every_ > 0 && task.since_commit >= commit_every_)) {
+      SQS_RETURN_IF_ERROR(CommitTask(task));
+    }
+    if (shutdown_requested_) break;
+  }
+  return processed;
+}
+
+Status Container::CommitTask(TaskInstance& task) {
+  // Let the task persist replay-horizon state before the offsets commit.
+  SQS_RETURN_IF_ERROR(task.task->OnCommit());
+  SQS_RETURN_IF_ERROR(
+      checkpoints_->WriteCheckpoint(task.model.task_name, task.processed_positions));
+  task.since_commit = 0;
+  task.commit_requested = false;
+  metrics_->GetCounter("container.commits").Inc();
+  return Status::Ok();
+}
+
+Status Container::MaybeFireWindows() {
+  if (window_ms_ <= 0) return Status::Ok();
+  int64_t now = clock_->NowMillis();
+  if (now - last_window_fire_ms_ < window_ms_) return Status::Ok();
+  last_window_fire_ms_ = now;
+  ProducerCollector collector(*producer_);
+  for (auto& task : tasks_) {
+    SQS_RETURN_IF_ERROR(task->task->Window(collector, *task));
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> Container::RunUntilCaughtUp(int64_t max_messages) {
+  if (!started_) return Status::StateError("container not started");
+  int64_t processed = 0;
+  int64_t t0 = MonotonicNanos();
+  while (!shutdown_requested_) {
+    if (max_messages >= 0 && processed >= max_messages) break;
+
+    // Bootstrap phase: deliver only bootstrap partitions until drained
+    // (Samza holds back all other inputs, §2 "Bootstrap Streams").
+    SQS_ASSIGN_OR_RETURN(bootstrap_done, bootstrap_consumer_->CaughtUp());
+    if (!bootstrap_done) {
+      SQS_ASSIGN_OR_RETURN(batch, bootstrap_consumer_->Poll());
+      if (!batch.empty()) {
+        SQS_ASSIGN_OR_RETURN(n, ProcessBatch(batch));
+        processed += n;
+      }
+      continue;
+    }
+
+    SQS_RETURN_IF_ERROR(MaybeFireWindows());
+
+    SQS_ASSIGN_OR_RETURN(batch, consumer_->Poll());
+    if (batch.empty()) {
+      SQS_ASSIGN_OR_RETURN(caught_up, consumer_->CaughtUp());
+      SQS_ASSIGN_OR_RETURN(bs_caught_up, bootstrap_consumer_->CaughtUp());
+      if (caught_up && bs_caught_up) break;
+      continue;
+    }
+    SQS_ASSIGN_OR_RETURN(n, ProcessBatch(batch));
+    processed += n;
+  }
+  busy_nanos_ += MonotonicNanos() - t0;
+  processed_total_ += processed;
+  metrics_->GetCounter("container.processed").Inc(processed);
+  return processed;
+}
+
+Status Container::Stop() {
+  if (!started_) return Status::Ok();
+  for (auto& task : tasks_) {
+    SQS_RETURN_IF_ERROR(CommitTask(*task));
+    SQS_RETURN_IF_ERROR(task->task->Close());
+  }
+  started_ = false;
+  return Status::Ok();
+}
+
+}  // namespace sqs

@@ -1,0 +1,64 @@
+#include "task/model.h"
+
+#include <algorithm>
+#include <set>
+
+#include "task/api.h"
+
+namespace sqs {
+
+Result<JobModel> JobCoordinator::BuildJobModel(const Config& config,
+                                               const Broker& broker) {
+  JobModel model;
+  model.job_name = config.Get(cfg::kJobName, "job");
+
+  std::vector<std::string> inputs = config.GetList(cfg::kTaskInputs);
+  if (inputs.empty()) return Status::InvalidArgument("task.inputs is empty");
+  std::vector<std::string> bootstrap_list = config.GetList(cfg::kBootstrapInputs);
+  std::set<std::string> bootstrap(bootstrap_list.begin(), bootstrap_list.end());
+  for (const std::string& b : bootstrap) {
+    if (std::find(inputs.begin(), inputs.end(), b) == inputs.end()) {
+      return Status::InvalidArgument("bootstrap input not in task.inputs: " + b);
+    }
+  }
+
+  int32_t num_partitions = -1;
+  for (const std::string& topic : inputs) {
+    SQS_ASSIGN_OR_RETURN(n, broker.NumPartitions(topic));
+    if (num_partitions == -1) {
+      num_partitions = n;
+    } else if (n != num_partitions) {
+      return Status::InvalidArgument(
+          "input streams are not co-partitioned: " + topic + " has " +
+          std::to_string(n) + " partitions, expected " +
+          std::to_string(num_partitions));
+    }
+  }
+
+  int32_t container_count =
+      static_cast<int32_t>(config.GetInt(cfg::kContainerCount, 1));
+  if (container_count <= 0) {
+    return Status::InvalidArgument("job.container.count must be >= 1");
+  }
+  container_count = std::min(container_count, num_partitions);
+
+  model.containers.resize(container_count);
+  for (int32_t c = 0; c < container_count; ++c) {
+    model.containers[c].container_id = c;
+  }
+
+  for (int32_t p = 0; p < num_partitions; ++p) {
+    TaskModel task;
+    task.task_name = "Partition " + std::to_string(p);
+    task.partition_id = p;
+    for (const std::string& topic : inputs) {
+      StreamPartition sp{topic, p};
+      task.input_partitions.push_back(sp);
+      if (bootstrap.count(topic)) task.bootstrap_partitions.push_back(sp);
+    }
+    model.containers[p % container_count].tasks.push_back(std::move(task));
+  }
+  return model;
+}
+
+}  // namespace sqs

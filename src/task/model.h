@@ -1,0 +1,52 @@
+// Job model: which task consumes which partitions, and which container
+// runs which tasks. Mirrors Samza's grouping: task "Partition N" consumes
+// partition N of *every* input stream (so co-partitioned streams join
+// locally, §4.4), and tasks are distributed round-robin over containers by
+// the job's application master (here: JobCoordinator).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "log/broker.h"
+
+namespace sqs {
+
+struct TaskModel {
+  std::string task_name;       // "Partition <N>"
+  int32_t partition_id = 0;    // N
+  std::vector<StreamPartition> input_partitions;
+  std::vector<StreamPartition> bootstrap_partitions;  // subset of inputs
+};
+
+struct ContainerModel {
+  int32_t container_id = 0;
+  std::vector<TaskModel> tasks;
+};
+
+struct JobModel {
+  std::string job_name;
+  std::vector<ContainerModel> containers;
+
+  int32_t TaskCount() const {
+    int32_t n = 0;
+    for (const auto& c : containers) n += static_cast<int32_t>(c.tasks.size());
+    return n;
+  }
+};
+
+class JobCoordinator {
+ public:
+  // Builds the job model from config:
+  //  - task.inputs: comma list of topics; all must exist and agree on
+  //    partition count (Samza requires co-partitioning for joins).
+  //  - task.bootstrap.inputs: subset of inputs drained before others.
+  //  - job.container.count: number of containers.
+  static Result<JobModel> BuildJobModel(const Config& config, const Broker& broker);
+};
+
+}  // namespace sqs

@@ -1,0 +1,143 @@
+#include "task/runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace sqs {
+
+JobRunner::JobRunner(BrokerPtr broker, Config config, std::shared_ptr<Clock> clock)
+    : broker_(std::move(broker)),
+      config_(std::move(config)),
+      clock_(clock ? std::move(clock) : SystemClock::Instance()) {}
+
+Status JobRunner::Start() {
+  if (started_) return Status::StateError("job already started");
+  SQS_ASSIGN_OR_RETURN(model, JobCoordinator::BuildJobModel(config_, *broker_));
+  model_ = std::move(model);
+  containers_.clear();
+  for (const ContainerModel& cm : model_.containers) {
+    auto container = std::make_unique<Container>(broker_, config_, cm, clock_);
+    SQS_RETURN_IF_ERROR(container->Start());
+    containers_.push_back(std::move(container));
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+Result<int64_t> JobRunner::RunUntilQuiescent() {
+  if (!started_) return Status::StateError("job not started");
+  int64_t total = 0;
+  while (true) {
+    int64_t round = 0;
+    for (auto& container : containers_) {
+      if (!container) continue;  // killed, not restarted
+      SQS_ASSIGN_OR_RETURN(n, container->RunUntilCaughtUp());
+      round += n;
+    }
+    total += round;
+    if (round == 0) break;  // a full pass with no progress: quiescent
+  }
+  return total;
+}
+
+Result<int64_t> JobRunner::RunThreadedUntilQuiescent() {
+  if (!started_) return Status::StateError("job not started");
+  std::atomic<int64_t> total{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(containers_.size());
+  for (auto& container : containers_) {
+    if (!container) continue;
+    threads.emplace_back([&, c = container.get()] {
+      // Each container loops until it sees no progress twice in a row,
+      // tolerating interleaved producers (upstream containers).
+      int idle_rounds = 0;
+      while (idle_rounds < 2 && !failed.load()) {
+        auto r = c->RunUntilCaughtUp();
+        if (!r.ok()) {
+          failed.store(true);
+          SQS_ERROR("container failed: " << r.status().ToString());
+          return;
+        }
+        if (r.value() == 0) {
+          ++idle_rounds;
+          std::this_thread::yield();
+        } else {
+          idle_rounds = 0;
+          total.fetch_add(r.value());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (failed.load()) return Status::Internal("a container failed during threaded run");
+  return total.load();
+}
+
+Status JobRunner::Stop() {
+  for (auto& container : containers_) {
+    if (container) SQS_RETURN_IF_ERROR(container->Stop());
+  }
+  started_ = false;
+  return Status::Ok();
+}
+
+Status JobRunner::KillContainer(int32_t container_id) {
+  if (container_id < 0 || container_id >= static_cast<int32_t>(containers_.size())) {
+    return Status::InvalidArgument("no container " + std::to_string(container_id));
+  }
+  if (!containers_[container_id]) {
+    return Status::StateError("container already dead");
+  }
+  // Destroy without Stop(): no final commit, in-memory state lost.
+  containers_[container_id].reset();
+  return Status::Ok();
+}
+
+Status JobRunner::RestartContainer(int32_t container_id) {
+  if (container_id < 0 || container_id >= static_cast<int32_t>(containers_.size())) {
+    return Status::InvalidArgument("no container " + std::to_string(container_id));
+  }
+  if (containers_[container_id]) {
+    return Status::StateError("container still running; kill it first");
+  }
+  auto container = std::make_unique<Container>(
+      broker_, config_, model_.containers[container_id], clock_);
+  SQS_RETURN_IF_ERROR(container->Start());
+  containers_[container_id] = std::move(container);
+  return Status::Ok();
+}
+
+int64_t JobRunner::TotalProcessed() const {
+  int64_t total = 0;
+  for (const auto& c : containers_) {
+    if (c) total += c->MessagesProcessed();
+  }
+  return total;
+}
+
+int64_t JobRunner::TotalBusyNanos() const {
+  int64_t total = 0;
+  for (const auto& c : containers_) {
+    if (c) total += c->BusyNanos();
+  }
+  return total;
+}
+
+Result<int64_t> JobRunner::RunPipelineUntilQuiescent(std::vector<JobRunner*> jobs) {
+  int64_t total = 0;
+  while (true) {
+    int64_t round = 0;
+    for (JobRunner* job : jobs) {
+      SQS_ASSIGN_OR_RETURN(n, job->RunUntilQuiescent());
+      round += n;
+    }
+    total += round;
+    if (round == 0) break;
+  }
+  return total;
+}
+
+}  // namespace sqs

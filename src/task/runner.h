@@ -1,0 +1,71 @@
+// JobRunner: the YARN stand-in. Builds the job model (application-master
+// role), allocates containers, and drives them. Supports:
+//  - serial deterministic execution (round-robin across containers until
+//    the whole job — or a set of chained jobs — is quiescent), used by
+//    tests and the throughput harness;
+//  - threaded execution (one thread per container) for liveness tests;
+//  - failure injection: KillContainer drops a container without clean
+//    shutdown; RestartContainer allocates a fresh one that restores state
+//    from changelogs and resumes from the last checkpoint (§2 Durability).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/status.h"
+#include "log/broker.h"
+#include "task/container.h"
+#include "task/model.h"
+
+namespace sqs {
+
+class JobRunner {
+ public:
+  JobRunner(BrokerPtr broker, Config config, std::shared_ptr<Clock> clock = nullptr);
+
+  // Build the job model and start all containers.
+  Status Start();
+
+  // Drive all containers round-robin until none makes progress and all are
+  // caught up. Picks up input appended between calls. Returns total
+  // messages processed by this call.
+  Result<int64_t> RunUntilQuiescent();
+
+  // Run all containers concurrently (one thread each) until quiescent.
+  Result<int64_t> RunThreadedUntilQuiescent();
+
+  Status Stop();
+
+  // Failure injection.
+  Status KillContainer(int32_t container_id);
+  Status RestartContainer(int32_t container_id);
+
+  const JobModel& job_model() const { return model_; }
+  size_t NumContainers() const { return containers_.size(); }
+  Container* container(int32_t id) {
+    return id >= 0 && id < static_cast<int32_t>(containers_.size())
+               ? containers_[id].get()
+               : nullptr;
+  }
+
+  int64_t TotalProcessed() const;
+  int64_t TotalBusyNanos() const;
+
+  // Drive several jobs (a Kappa-style pipeline connected by intermediate
+  // topics) round-robin to global quiescence.
+  static Result<int64_t> RunPipelineUntilQuiescent(std::vector<JobRunner*> jobs);
+
+ private:
+  BrokerPtr broker_;
+  Config config_;
+  std::shared_ptr<Clock> clock_;
+  JobModel model_;
+  std::vector<std::unique_ptr<Container>> containers_;
+  bool started_ = false;
+};
+
+}  // namespace sqs

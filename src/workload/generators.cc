@@ -1,0 +1,142 @@
+#include "workload/generators.h"
+
+namespace sqs::workload {
+
+namespace {
+
+SchemaPtr OrdersSchema() {
+  return Schema::Make("Orders", {{"rowtime", FieldType::Int64(), false},
+                                 {"productId", FieldType::Int32(), false},
+                                 {"orderId", FieldType::Int64(), false},
+                                 {"units", FieldType::Int32(), false},
+                                 {"pad", FieldType::String(), true}});
+}
+
+SchemaPtr ProductsSchema() {
+  return Schema::Make("Products", {{"productId", FieldType::Int32(), false},
+                                   {"name", FieldType::String(), false},
+                                   {"supplierId", FieldType::Int32(), false}});
+}
+
+SchemaPtr PacketsSchema(const std::string& name) {
+  return Schema::Make(name, {{"rowtime", FieldType::Int64(), false},
+                             {"sourcetime", FieldType::Int64(), false},
+                             {"packetId", FieldType::Int64(), false}});
+}
+
+SchemaPtr QuotesSchema(const std::string& name) {
+  return Schema::Make(name, {{"rowtime", FieldType::Int64(), false},
+                             {"id", FieldType::Int64(), false},
+                             {"ticker", FieldType::String(), false},
+                             {"shares", FieldType::Int32(), false},
+                             {"price", FieldType::Double(), false}});
+}
+
+Status RegisterSource(core::SamzaSqlEnvironment& env, const std::string& name,
+                      sql::SourceKind kind, SchemaPtr schema, int32_t partitions) {
+  sql::SourceDef def;
+  def.name = name;
+  def.kind = kind;
+  def.topic = name;
+  def.schema = schema;
+  SQS_RETURN_IF_ERROR(env.catalog->RegisterSource(def));
+  SQS_RETURN_IF_ERROR(env.registry->Register(name, schema).status());
+  Status st = env.broker->CreateTopic(
+      name, {.num_partitions = partitions,
+             .compacted = kind == sql::SourceKind::kRelation});
+  if (!st.ok() && st.code() != ErrorCode::kAlreadyExists) return st;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SetupPaperSources(core::SamzaSqlEnvironment& env, int32_t num_partitions) {
+  SQS_RETURN_IF_ERROR(RegisterSource(env, "Orders", sql::SourceKind::kStream,
+                                     OrdersSchema(), num_partitions));
+  SQS_RETURN_IF_ERROR(RegisterSource(env, "Products", sql::SourceKind::kRelation,
+                                     ProductsSchema(), num_partitions));
+  SQS_RETURN_IF_ERROR(RegisterSource(env, "PacketsR1", sql::SourceKind::kStream,
+                                     PacketsSchema("PacketsR1"), num_partitions));
+  SQS_RETURN_IF_ERROR(RegisterSource(env, "PacketsR2", sql::SourceKind::kStream,
+                                     PacketsSchema("PacketsR2"), num_partitions));
+  SQS_RETURN_IF_ERROR(RegisterSource(env, "Bids", sql::SourceKind::kStream,
+                                     QuotesSchema("Bids"), num_partitions));
+  SQS_RETURN_IF_ERROR(RegisterSource(env, "Asks", sql::SourceKind::kStream,
+                                     QuotesSchema("Asks"), num_partitions));
+  return Status::Ok();
+}
+
+OrdersGenerator::OrdersGenerator(core::SamzaSqlEnvironment& env,
+                                 OrdersGeneratorOptions options)
+    : producer_(env.broker, env.clock),
+      serde_(std::make_shared<AvroRowSerde>(OrdersSchema())),
+      options_(options),
+      rng_(options.seed),
+      rowtime_(options.start_rowtime_ms) {
+  // Fixed pad string sized so a serialized record lands near the target
+  // message size (the varint/string overheads are ~22 bytes).
+  size_t overhead = 26;
+  pad_.assign(options_.target_message_bytes > overhead
+                  ? options_.target_message_bytes - overhead
+                  : 0,
+              'x');
+}
+
+Row OrdersGenerator::NextRow() {
+  rowtime_ += options_.rowtime_step_ms;
+  int32_t product = static_cast<int32_t>(rng_() % options_.num_products);
+  int32_t units = static_cast<int32_t>(rng_() % options_.max_units) + 1;
+  return Row{Value(rowtime_), Value(product), Value(next_order_id_++), Value(units),
+             Value(pad_)};
+}
+
+Result<int64_t> OrdersGenerator::Produce(int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    Row row = NextRow();
+    Bytes key = EncodeOrderedKey(row[1]);  // productId: co-partition with Products
+    SQS_RETURN_IF_ERROR(
+        producer_.Send("Orders", std::move(key), serde_->SerializeToBytes(row)).status());
+  }
+  return count;
+}
+
+Status ProduceProducts(core::SamzaSqlEnvironment& env, int32_t num_products,
+                       uint64_t seed) {
+  Producer producer(env.broker, env.clock);
+  AvroRowSerde serde(ProductsSchema());
+  std::mt19937_64 rng(seed);
+  for (int32_t p = 0; p < num_products; ++p) {
+    Row row{Value(p), Value("product-" + std::to_string(p)),
+            Value(static_cast<int32_t>(rng() % 50))};
+    Bytes key = EncodeOrderedKey(row[0]);
+    SQS_RETURN_IF_ERROR(
+        producer.Send("Products", std::move(key), serde.SerializeToBytes(row)).status());
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> ProducePackets(core::SamzaSqlEnvironment& env, int64_t count,
+                               PacketsGeneratorOptions options) {
+  Producer producer(env.broker, env.clock);
+  AvroRowSerde serde(PacketsSchema("Packets"));
+  std::mt19937_64 rng(options.seed);
+  int64_t rowtime = options.start_rowtime_ms;
+  for (int64_t i = 0; i < count; ++i) {
+    rowtime += options.rowtime_step_ms;
+    int64_t sourcetime = rowtime - 1;
+    Row r1{Value(rowtime), Value(sourcetime), Value(i)};
+    Bytes key = EncodeOrderedKey(r1[2]);  // packetId
+    SQS_RETURN_IF_ERROR(
+        producer.Send("PacketsR1", Bytes(key), serde.SerializeToBytes(r1)).status());
+    double drop = static_cast<double>(rng() % 10000) / 10000.0;
+    if (drop < options.drop_rate) continue;
+    int64_t span = options.max_transit_ms - options.min_transit_ms + 1;
+    int64_t transit = options.min_transit_ms + static_cast<int64_t>(rng() % span);
+    Row r2{Value(rowtime + transit), Value(sourcetime), Value(i)};
+    SQS_RETURN_IF_ERROR(
+        producer.Send("PacketsR2", std::move(key), serde.SerializeToBytes(r2)).status());
+  }
+  return count;
+}
+
+}  // namespace sqs::workload

@@ -1,0 +1,78 @@
+// Synthetic workload generators for the paper's evaluation schemas (§5.1):
+// Orders (stream), Products (relation changelog), PacketsR1/R2 (streams),
+// Bids/Asks (streams). Messages are padded to ~100 bytes — the size the
+// paper chose from the Kafka benchmark trade-off — and keyed so that
+// co-partitioned joins line up.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "common/status.h"
+#include "core/environment.h"
+#include "log/producer.h"
+#include "serde/serde.h"
+
+namespace sqs::workload {
+
+// Registers the paper's sources (schemas + topics) into the environment:
+// catalog entries, schema-registry subjects, and broker topics with
+// `num_partitions` partitions each. Safe to call once per environment.
+Status SetupPaperSources(core::SamzaSqlEnvironment& env, int32_t num_partitions);
+
+struct OrdersGeneratorOptions {
+  int64_t start_rowtime_ms = 1'600'000'000'000;  // event-time origin
+  int64_t rowtime_step_ms = 25;     // event-time advance per order
+  int32_t num_products = 100;
+  int32_t max_units = 100;          // units uniform in [1, max_units]
+  size_t target_message_bytes = 100;  // pad records up to ~this size
+  uint64_t seed = 42;
+};
+
+// Produces Orders rows keyed by productId (so joins against Products
+// co-partition). Timestamps increase monotonically (paper §3.8.1).
+class OrdersGenerator {
+ public:
+  OrdersGenerator(core::SamzaSqlEnvironment& env, OrdersGeneratorOptions options);
+
+  // Produce `count` orders; returns the number produced.
+  Result<int64_t> Produce(int64_t count);
+
+  // Generate one row without producing (for microbenchmarks).
+  Row NextRow();
+
+  int64_t last_rowtime() const { return rowtime_; }
+
+ private:
+  Producer producer_;
+  RowSerdePtr serde_;
+  OrdersGeneratorOptions options_;
+  std::mt19937_64 rng_;
+  int64_t rowtime_;
+  int64_t next_order_id_ = 0;
+  std::string pad_;
+};
+
+// Writes the Products relation changelog: one row per product keyed by
+// productId (paper §4.4: relations arrive as changelog streams).
+Status ProduceProducts(core::SamzaSqlEnvironment& env, int32_t num_products,
+                       uint64_t seed = 7);
+
+struct PacketsGeneratorOptions {
+  int64_t start_rowtime_ms = 1'600'000'000'000;
+  int64_t rowtime_step_ms = 5;
+  // Per-packet transit delay R1 -> R2, uniform in [min, max].
+  int64_t min_transit_ms = 1;
+  int64_t max_transit_ms = 1500;
+  // Fraction of packets dropped before reaching R2 (never joinable).
+  double drop_rate = 0.05;
+  uint64_t seed = 11;
+};
+
+// Produces matching PacketsR1 / PacketsR2 streams keyed by packetId.
+// Returns the number of packets produced into R1.
+Result<int64_t> ProducePackets(core::SamzaSqlEnvironment& env, int64_t count,
+                               PacketsGeneratorOptions options = {});
+
+}  // namespace sqs::workload

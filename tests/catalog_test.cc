@@ -1,0 +1,178 @@
+// Catalog tests: source registration rules, JSON model load/serialize
+// round trip, rowtime detection, view bookkeeping.
+#include <gtest/gtest.h>
+
+#include "sql/catalog.h"
+#include "sql/parser.h"
+
+namespace sqs::sql {
+namespace {
+
+SourceDef MakeOrders() {
+  SourceDef def;
+  def.name = "Orders";
+  def.kind = SourceKind::kStream;
+  def.schema = Schema::Make("Orders", {{"rowtime", FieldType::Int64(), false},
+                                       {"units", FieldType::Int32(), false}});
+  return def;
+}
+
+TEST(CatalogTest, RegisterAndGet) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(MakeOrders()).ok());
+  EXPECT_TRUE(catalog.HasSource("Orders"));
+  auto source = catalog.GetSource("Orders");
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source.value().topic, "Orders");  // defaults to the name
+  EXPECT_TRUE(source.value().is_stream());
+  EXPECT_FALSE(catalog.HasSource("Nope"));
+  EXPECT_EQ(catalog.GetSource("Nope").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(CatalogTest, DuplicateRegistrationFails) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(MakeOrders()).ok());
+  EXPECT_EQ(catalog.RegisterSource(MakeOrders()).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RowtimeAutoDetected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(MakeOrders()).ok());
+  EXPECT_EQ(catalog.GetSource("Orders").value().rowtime_column, "rowtime");
+}
+
+TEST(CatalogTest, RowtimeMustBeBigint) {
+  Catalog catalog;
+  SourceDef def = MakeOrders();
+  def.name = "Bad";
+  def.schema = Schema::Make("Bad", {{"rowtime", FieldType::String(), false}});
+  // Auto-detection skips a non-BIGINT "rowtime" column...
+  ASSERT_TRUE(catalog.RegisterSource(def).ok());
+  EXPECT_TRUE(catalog.GetSource("Bad").value().rowtime_column.empty());
+  // ...but an explicit rowtime of the wrong type is an error.
+  SourceDef def2 = MakeOrders();
+  def2.name = "Bad2";
+  def2.schema = Schema::Make("Bad2", {{"ts", FieldType::String(), false}});
+  def2.rowtime_column = "ts";
+  EXPECT_FALSE(catalog.RegisterSource(def2).ok());
+  SourceDef def3 = MakeOrders();
+  def3.name = "Bad3";
+  def3.rowtime_column = "missing";
+  EXPECT_FALSE(catalog.RegisterSource(def3).ok());
+}
+
+TEST(CatalogTest, ValidationOfBrokenDefs) {
+  Catalog catalog;
+  SourceDef nameless = MakeOrders();
+  nameless.name.clear();
+  EXPECT_FALSE(catalog.RegisterSource(nameless).ok());
+  SourceDef schemaless = MakeOrders();
+  schemaless.schema = nullptr;
+  EXPECT_FALSE(catalog.RegisterSource(schemaless).ok());
+}
+
+TEST(CatalogTest, ViewRegistrationAndConflicts) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(MakeOrders()).ok());
+  auto stmt = ParseStatement("SELECT units FROM Orders").value();
+  ASSERT_TRUE(catalog.RegisterView("V", {"u"}, std::move(stmt.select)).ok());
+  EXPECT_TRUE(catalog.HasView("V"));
+  auto view = catalog.GetView("V");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().column_names, std::vector<std::string>{"u"});
+  ASSERT_NE(view.value().select, nullptr);
+
+  // Name conflicts in either direction are rejected.
+  auto stmt2 = ParseStatement("SELECT units FROM Orders").value();
+  EXPECT_EQ(catalog.RegisterView("Orders", {}, std::move(stmt2.select)).code(),
+            ErrorCode::kAlreadyExists);
+  SourceDef clash = MakeOrders();
+  clash.name = "V";
+  EXPECT_EQ(catalog.RegisterSource(clash).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, JsonModelLoad) {
+  const char* model = R"({
+    "schemas": [
+      {"name": "Clicks", "type": "stream", "topic": "clicks", "format": "json",
+       "rowtime": "ts",
+       "fields": [
+         {"name": "ts", "type": "long"},
+         {"name": "url", "type": "string"},
+         {"name": "tags", "type": "array<string>", "nullable": true},
+         {"name": "score", "type": "double"}
+       ]},
+      {"name": "Users", "type": "table",
+       "fields": [{"name": "id", "type": "int"}, {"name": "name", "type": "string"}]}
+    ]})";
+  Catalog catalog;
+  SchemaRegistry registry;
+  ASSERT_TRUE(catalog.LoadJsonModel(model, registry).ok());
+  auto clicks = catalog.GetSource("Clicks").value();
+  EXPECT_TRUE(clicks.is_stream());
+  EXPECT_EQ(clicks.topic, "clicks");
+  EXPECT_EQ(clicks.format, "json");
+  EXPECT_EQ(clicks.rowtime_column, "ts");
+  EXPECT_EQ(clicks.schema->num_fields(), 4u);
+  EXPECT_EQ(clicks.schema->field(2).type.kind, TypeKind::kArray);
+  EXPECT_TRUE(clicks.schema->field(2).nullable);
+  auto users = catalog.GetSource("Users").value();
+  EXPECT_FALSE(users.is_stream());
+  EXPECT_EQ(users.topic, "Users");
+  // Schemas were registered with the registry.
+  EXPECT_TRUE(registry.HasSubject("Clicks"));
+  EXPECT_TRUE(registry.HasSubject("Users"));
+}
+
+TEST(CatalogTest, JsonModelErrors) {
+  Catalog catalog;
+  SchemaRegistry registry;
+  EXPECT_FALSE(catalog.LoadJsonModel("not json", registry).ok());
+  EXPECT_FALSE(catalog.LoadJsonModel("[]", registry).ok());
+  EXPECT_FALSE(catalog.LoadJsonModel(R"({"schemas": 5})", registry).ok());
+  EXPECT_FALSE(
+      catalog.LoadJsonModel(R"({"schemas": [{"type": "stream"}]})", registry).ok());
+  EXPECT_FALSE(catalog
+                   .LoadJsonModel(R"({"schemas": [{"name": "X", "fields": [
+                     {"name": "a", "type": "blob"}]}]})",
+                                  registry)
+                   .ok());
+  EXPECT_FALSE(catalog
+                   .LoadJsonModel(R"({"schemas": [{"name": "X", "type": "weird",
+                     "fields": []}]})",
+                                  registry)
+                   .ok());
+}
+
+TEST(CatalogTest, ModelRoundTrip) {
+  Catalog catalog;
+  SchemaRegistry registry;
+  SourceDef orders = MakeOrders();
+  orders.format = "json";
+  ASSERT_TRUE(catalog.RegisterSource(orders).ok());
+  SourceDef products;
+  products.name = "Products";
+  products.kind = SourceKind::kRelation;
+  products.topic = "products-cl";
+  products.schema = Schema::Make(
+      "Products", {{"id", FieldType::Int32(), false},
+                   {"tags", FieldType::Array(TypeKind::kString), true},
+                   {"attrs", FieldType::Map(TypeKind::kDouble), true}});
+  ASSERT_TRUE(catalog.RegisterSource(products).ok());
+
+  std::string model = catalog.ToJsonModel();
+  Catalog reloaded;
+  ASSERT_TRUE(reloaded.LoadJsonModel(model, registry).ok());
+  for (const char* name : {"Orders", "Products"}) {
+    auto original = catalog.GetSource(name).value();
+    auto copy = reloaded.GetSource(name).value();
+    EXPECT_EQ(copy.kind, original.kind) << name;
+    EXPECT_EQ(copy.topic, original.topic) << name;
+    EXPECT_EQ(copy.format, original.format) << name;
+    EXPECT_EQ(copy.rowtime_column, original.rowtime_column) << name;
+    EXPECT_TRUE(copy.schema->Equals(*original.schema)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sqs::sql

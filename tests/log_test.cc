@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "log/broker.h"
+#include "log/consumer.h"
+#include "log/producer.h"
+
+namespace sqs {
+namespace {
+
+Message Msg(const std::string& key, const std::string& value) {
+  Message m;
+  m.key = ToBytes(key);
+  m.value = ToBytes(value);
+  return m;
+}
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    broker_ = std::make_shared<Broker>();
+    ASSERT_TRUE(broker_->CreateTopic("t", {.num_partitions = 4}).ok());
+  }
+  BrokerPtr broker_;
+};
+
+TEST_F(BrokerTest, CreateTopicValidation) {
+  EXPECT_FALSE(broker_->CreateTopic("", {.num_partitions = 1}).ok());
+  EXPECT_FALSE(broker_->CreateTopic("bad", {.num_partitions = 0}).ok());
+  EXPECT_EQ(broker_->CreateTopic("t", {.num_partitions = 1}).code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(broker_->HasTopic("t"));
+  EXPECT_FALSE(broker_->HasTopic("nope"));
+  EXPECT_EQ(broker_->NumPartitions("t").value(), 4);
+}
+
+TEST_F(BrokerTest, OffsetsAreDenseFromZero) {
+  for (int i = 0; i < 10; ++i) {
+    auto off = broker_->Append({"t", 1}, Msg("k", "v" + std::to_string(i)));
+    ASSERT_TRUE(off.ok());
+    EXPECT_EQ(off.value(), i);
+  }
+  EXPECT_EQ(broker_->EndOffset({"t", 1}).value(), 10);
+  EXPECT_EQ(broker_->BeginOffset({"t", 1}).value(), 0);
+  // Other partitions are untouched.
+  EXPECT_EQ(broker_->EndOffset({"t", 0}).value(), 0);
+}
+
+TEST_F(BrokerTest, FetchReturnsInOrder) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(broker_->Append({"t", 0}, Msg("k", std::to_string(i))).ok());
+  }
+  auto batch = broker_->Fetch({"t", 0}, 1, 3);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value().size(), 3u);
+  EXPECT_EQ(batch.value()[0].offset, 1);
+  EXPECT_EQ(FromBytes(batch.value()[0].message.value), "1");
+  EXPECT_EQ(batch.value()[2].offset, 3);
+}
+
+TEST_F(BrokerTest, FetchPastEndReturnsEmpty) {
+  ASSERT_TRUE(broker_->Append({"t", 0}, Msg("k", "v")).ok());
+  EXPECT_TRUE(broker_->Fetch({"t", 0}, 1, 10).value().empty());
+  EXPECT_TRUE(broker_->Fetch({"t", 0}, 5, 10).value().empty());
+}
+
+TEST_F(BrokerTest, FetchUnknownPartitionFails) {
+  EXPECT_FALSE(broker_->Fetch({"t", 9}, 0, 1).ok());
+  EXPECT_FALSE(broker_->Fetch({"nope", 0}, 0, 1).ok());
+}
+
+TEST_F(BrokerTest, ReplayFromAnyOffsetYieldsIdenticalSuffix) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(broker_->Append({"t", 2}, Msg("k", std::to_string(i))).ok());
+  }
+  auto full = broker_->Fetch({"t", 2}, 0, 1000).value();
+  for (int64_t start : {0, 17, 50, 99}) {
+    auto replay = broker_->Fetch({"t", 2}, start, 1000).value();
+    ASSERT_EQ(replay.size(), full.size() - start);
+    for (size_t i = 0; i < replay.size(); ++i) {
+      EXPECT_EQ(replay[i].offset, full[start + i].offset);
+      EXPECT_EQ(replay[i].message.value, full[start + i].message.value);
+    }
+  }
+}
+
+TEST_F(BrokerTest, RetentionAdvancesLogStart) {
+  ASSERT_TRUE(
+      broker_->CreateTopic("r", {.num_partitions = 1, .retention_messages = 5}).ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(broker_->Append({"r", 0}, Msg("k", std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(broker_->EnforceRetention("r").ok());
+  EXPECT_EQ(broker_->BeginOffset({"r", 0}).value(), 7);
+  EXPECT_EQ(broker_->EndOffset({"r", 0}).value(), 12);
+  // Reading below the new start fails; reading the survivors works and
+  // offsets are stable.
+  EXPECT_FALSE(broker_->Fetch({"r", 0}, 0, 10).ok());
+  auto batch = broker_->Fetch({"r", 0}, 7, 10).value();
+  ASSERT_EQ(batch.size(), 5u);
+  EXPECT_EQ(FromBytes(batch[0].message.value), "7");
+}
+
+TEST_F(BrokerTest, CompactionKeepsLatestPerKey) {
+  ASSERT_TRUE(broker_->CreateTopic("c", {.num_partitions = 1, .compacted = true}).ok());
+  ASSERT_TRUE(broker_->Append({"c", 0}, Msg("a", "1")).ok());
+  ASSERT_TRUE(broker_->Append({"c", 0}, Msg("b", "2")).ok());
+  ASSERT_TRUE(broker_->Append({"c", 0}, Msg("a", "3")).ok());
+  ASSERT_TRUE(broker_->Compact("c").ok());
+  EXPECT_EQ(broker_->TopicSize("c").value(), 2);
+  auto begin = broker_->BeginOffset({"c", 0}).value();
+  auto batch = broker_->Fetch({"c", 0}, begin, 10).value();
+  ASSERT_EQ(batch.size(), 2u);
+  // Order of survivors preserved: b=2 then a=3.
+  EXPECT_EQ(FromBytes(batch[0].message.value), "2");
+  EXPECT_EQ(FromBytes(batch[1].message.value), "3");
+  // Compacting a non-compacted topic is an error.
+  EXPECT_FALSE(broker_->Compact("t").ok());
+}
+
+TEST_F(BrokerTest, DeleteTopic) {
+  ASSERT_TRUE(broker_->DeleteTopic("t").ok());
+  EXPECT_FALSE(broker_->HasTopic("t"));
+  EXPECT_FALSE(broker_->DeleteTopic("t").ok());
+}
+
+TEST(ProducerTest, KeyedSendsAreDeterministic) {
+  auto broker = std::make_shared<Broker>();
+  ASSERT_TRUE(broker->CreateTopic("t", {.num_partitions = 8}).ok());
+  Producer p1(broker), p2(broker);
+  // Same key always lands in the same partition, from any producer.
+  int32_t expected = Producer::PartitionForKey(ToBytes("user42"), 8);
+  ASSERT_TRUE(p1.Send("t", ToBytes("user42"), ToBytes("a")).ok());
+  ASSERT_TRUE(p2.Send("t", ToBytes("user42"), ToBytes("b")).ok());
+  EXPECT_EQ(broker->EndOffset({"t", expected}).value(), 2);
+}
+
+TEST(ProducerTest, KeysSpreadAcrossPartitions) {
+  auto broker = std::make_shared<Broker>();
+  ASSERT_TRUE(broker->CreateTopic("t", {.num_partitions = 8}).ok());
+  std::set<int32_t> used;
+  for (int i = 0; i < 200; ++i) {
+    used.insert(Producer::PartitionForKey(ToBytes("key" + std::to_string(i)), 8));
+  }
+  EXPECT_EQ(used.size(), 8u);  // all partitions hit with 200 keys
+}
+
+TEST(ProducerTest, UnkeyedRoundRobins) {
+  auto broker = std::make_shared<Broker>();
+  ASSERT_TRUE(broker->CreateTopic("t", {.num_partitions = 4}).ok());
+  Producer p(broker);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(p.Send("t", ToBytes("v")).ok());
+  for (int part = 0; part < 4; ++part) {
+    EXPECT_EQ(broker->EndOffset({"t", part}).value(), 2);
+  }
+}
+
+class ConsumerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    broker_ = std::make_shared<Broker>();
+    ASSERT_TRUE(broker_->CreateTopic("t", {.num_partitions = 3}).ok());
+    for (int p = 0; p < 3; ++p) {
+      for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(
+            broker_->Append({"t", p}, Msg("k", std::to_string(p * 100 + i))).ok());
+      }
+    }
+  }
+  BrokerPtr broker_;
+};
+
+TEST_F(ConsumerTest, PollDrainsAllAssignedPartitions) {
+  Consumer c(broker_, 256);
+  for (int p = 0; p < 3; ++p) ASSERT_TRUE(c.Assign({"t", p}, 0).ok());
+  int total = 0;
+  while (true) {
+    auto batch = c.Poll();
+    ASSERT_TRUE(batch.ok());
+    if (batch.value().empty()) break;
+    total += static_cast<int>(batch.value().size());
+  }
+  EXPECT_EQ(total, 30);
+  EXPECT_TRUE(c.CaughtUp().value());
+  EXPECT_EQ(c.Lag().value(), 0);
+}
+
+TEST_F(ConsumerTest, PreservesPerPartitionOrder) {
+  Consumer c(broker_, 4);  // small batches force interleaving
+  for (int p = 0; p < 3; ++p) ASSERT_TRUE(c.Assign({"t", p}, 0).ok());
+  std::map<int32_t, int64_t> last_offset;
+  while (true) {
+    auto batch = c.Poll().value();
+    if (batch.empty()) break;
+    for (const auto& m : batch) {
+      auto it = last_offset.find(m.origin.partition);
+      if (it != last_offset.end()) EXPECT_GT(m.offset, it->second);
+      last_offset[m.origin.partition] = m.offset;
+    }
+  }
+  EXPECT_EQ(last_offset.size(), 3u);
+}
+
+TEST_F(ConsumerTest, AssignFromMidOffset) {
+  Consumer c(broker_);
+  ASSERT_TRUE(c.Assign({"t", 0}, 7).ok());
+  auto batch = c.Poll().value();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].offset, 7);
+}
+
+TEST_F(ConsumerTest, SeekRewinds) {
+  Consumer c(broker_);
+  ASSERT_TRUE(c.Assign({"t", 0}, 0).ok());
+  while (!c.Poll().value().empty()) {
+  }
+  EXPECT_TRUE(c.CaughtUp().value());
+  ASSERT_TRUE(c.Seek({"t", 0}, 5).ok());
+  EXPECT_FALSE(c.CaughtUp().value());
+  EXPECT_EQ(c.Lag().value(), 5);
+  EXPECT_EQ(c.Poll().value()[0].offset, 5);
+}
+
+TEST_F(ConsumerTest, MaxPollBudgetRespected) {
+  Consumer c(broker_, 5);
+  for (int p = 0; p < 3; ++p) ASSERT_TRUE(c.Assign({"t", p}, 0).ok());
+  auto batch = c.Poll().value();
+  EXPECT_LE(batch.size(), 5u);
+}
+
+TEST_F(ConsumerTest, PerPartitionFetchCapShrinksBatches) {
+  Consumer c(broker_, 256);
+  c.SetMaxFetchPerPartition(2);
+  for (int p = 0; p < 3; ++p) ASSERT_TRUE(c.Assign({"t", p}, 0).ok());
+  auto batch = c.Poll().value();
+  // 3 partitions x cap 2 = at most 6 per poll even though 30 are available.
+  EXPECT_LE(batch.size(), 6u);
+  EXPECT_GE(batch.size(), 1u);
+}
+
+TEST_F(ConsumerTest, RoundRobinStartPreventsStarvation) {
+  Consumer c(broker_, 2);  // tiny budget: only first visited partition served
+  c.SetMaxFetchPerPartition(2);
+  for (int p = 0; p < 3; ++p) ASSERT_TRUE(c.Assign({"t", p}, 0).ok());
+  std::set<int32_t> served;
+  for (int i = 0; i < 6; ++i) {
+    auto batch = c.Poll().value();
+    for (const auto& m : batch) served.insert(m.origin.partition);
+  }
+  EXPECT_EQ(served.size(), 3u);
+}
+
+TEST_F(ConsumerTest, UnassignStopsDelivery) {
+  Consumer c(broker_);
+  ASSERT_TRUE(c.Assign({"t", 0}, 0).ok());
+  ASSERT_TRUE(c.Assign({"t", 1}, 0).ok());
+  ASSERT_TRUE(c.Unassign({"t", 1}).ok());
+  int total = 0;
+  while (true) {
+    auto b = c.Poll().value();
+    if (b.empty()) break;
+    for (const auto& m : b) {
+      EXPECT_EQ(m.origin.partition, 0);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 10);
+  EXPECT_FALSE(c.Unassign({"t", 1}).ok());
+}
+
+TEST_F(ConsumerTest, AssignValidation) {
+  Consumer c(broker_);
+  EXPECT_FALSE(c.Assign({"nope", 0}, 0).ok());
+  EXPECT_FALSE(c.Assign({"t", 99}, 0).ok());
+  EXPECT_FALSE(c.Position({"t", 0}).ok());
+  EXPECT_FALSE(c.Seek({"t", 0}, 0).ok());
+}
+
+TEST(BrokerLatencyTest, FetchLatencyConsumesTime) {
+  auto broker = std::make_shared<Broker>();
+  ASSERT_TRUE(broker->CreateTopic("t", {.num_partitions = 1}).ok());
+  ASSERT_TRUE(broker->Append({"t", 0}, Msg("k", "v")).ok());
+  broker->SetFetchLatencyNanos(200000);  // 0.2 ms
+  int64_t t0 = MonotonicNanos();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(broker->Fetch({"t", 0}, 0, 1).ok());
+  int64_t elapsed = MonotonicNanos() - t0;
+  EXPECT_GE(elapsed, 10 * 200000);
+}
+
+}  // namespace
+}  // namespace sqs

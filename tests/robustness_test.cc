@@ -1,0 +1,127 @@
+// Robustness: the front end must fail cleanly (Status, never a crash or
+// hang) on arbitrary garbage, and the optimizer must be idempotent.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+#include "sql_test_util.h"
+
+namespace sqs::sql {
+namespace {
+
+TEST(RobustnessTest, LexerSurvivesRandomBytes) {
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input;
+    size_t len = rng() % 60;
+    for (size_t j = 0; j < len; ++j) {
+      input += static_cast<char>(32 + rng() % 95);  // printable ASCII
+    }
+    (void)Lex(input);  // must return, ok or not — never crash
+  }
+}
+
+TEST(RobustnessTest, ParserSurvivesRandomTokenSoup) {
+  static const char* kTokens[] = {
+      "SELECT", "STREAM", "FROM",  "WHERE",   "GROUP",  "BY",    "HAVING", "JOIN",
+      "ON",     "AND",    "OR",    "NOT",     "(",      ")",     ",",      "*",
+      "+",      "-",      "/",     "=",       "<",      ">",     "Orders", "units",
+      "42",     "'str'",  "TUMBLE", "INTERVAL", "'1'",  "HOUR",  "OVER",   "AS",
+      "CASE",   "WHEN",   "THEN",  "END",     "BETWEEN", "IN",   "IS",     "NULL",
+  };
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 3000; ++i) {
+    std::string input;
+    size_t len = 1 + rng() % 14;
+    for (size_t j = 0; j < len; ++j) {
+      input += kTokens[rng() % (sizeof(kTokens) / sizeof(kTokens[0]))];
+      input += ' ';
+    }
+    (void)ParseStatement(input);  // Status on failure, never a crash
+  }
+}
+
+TEST(RobustnessTest, PlannerSurvivesParseableGarbage) {
+  // Statements that parse but should be rejected (or planned) gracefully.
+  auto catalog = testutil::PaperCatalog();
+  QueryPlanner planner(catalog);
+  const char* queries[] = {
+      "SELECT STREAM units + pad FROM Orders",
+      "SELECT STREAM SUM(units) FROM Orders",
+      "SELECT STREAM * FROM Orders GROUP BY TUMBLE(pad, INTERVAL '1' HOUR)",
+      "SELECT STREAM * FROM Orders JOIN Orders ON 1 = 1",
+      "SELECT STREAM x.y FROM Orders",
+      "SELECT STREAM units FROM Orders HAVING units > 1",
+      "SELECT STREAM COUNT(units, units) FROM Orders GROUP BY "
+      "TUMBLE(rowtime, INTERVAL '1' HOUR)",
+      "SELECT STREAM * FROM Products JOIN Orders ON "
+      "Products.productId = Orders.productId",
+      "SELECT STREAM GREATEST(units) FROM Orders",
+      "SELECT STREAM CASE WHEN units THEN 1 END FROM Orders",
+  };
+  for (const char* sql : queries) {
+    auto stmt = ParseStatement(sql);
+    if (!stmt.ok()) continue;  // some are parse errors: fine
+    (void)planner.Plan(*stmt.value().select);  // must not crash
+  }
+}
+
+TEST(RobustnessTest, OptimizerIsIdempotent) {
+  auto catalog = testutil::PaperCatalog();
+  QueryPlanner planner(catalog);
+  const char* queries[] = {
+      "SELECT STREAM * FROM Orders WHERE units > 10 + 15 AND productId < 100 - 1",
+      "SELECT STREAM rowtime FROM (SELECT rowtime, units AS u FROM Orders) WHERE u > 5",
+      "SELECT STREAM o.orderId FROM Orders o JOIN Products p ON "
+      "o.productId = p.productId WHERE o.units > 50 AND p.supplierId > 3",
+      "SELECT STREAM productId, COUNT(*) FROM Orders "
+      "GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productId HAVING COUNT(*) > 1",
+  };
+  for (const char* sql : queries) {
+    auto stmt = ParseStatement(sql).value();
+    auto plan = planner.Plan(*stmt.select).value();
+    OptimizerStats first;
+    plan = Optimize(plan, &first);
+    std::string once = plan->ToString();
+    OptimizerStats second;
+    plan = Optimize(plan, &second);
+    EXPECT_EQ(second.Total(), 0) << sql << "\nafter first pass:\n" << once;
+    EXPECT_EQ(plan->ToString(), once) << sql;
+  }
+}
+
+TEST(RobustnessTest, DeepExpressionNesting) {
+  // 200 nested parens/operators: recursion depth must be handled.
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto parsed = ParseExpression(expr);
+  ASSERT_TRUE(parsed.ok());
+  auto resolver = [](const std::string&,
+                     const std::string& c) -> Result<std::pair<int, FieldType>> {
+    return Status::NotFound(c);
+  };
+  ASSERT_TRUE(ResolveExpr(*parsed.value(), resolver, false).ok());
+  EXPECT_EQ(EvalExpr(*parsed.value(), {}), Value(int64_t{201}));
+  auto compiled = CompiledExpr::Compile(*parsed.value());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled.value().Eval({}), Value(int64_t{201}));
+}
+
+TEST(RobustnessTest, VeryLongSelectList) {
+  std::string sql = "SELECT STREAM units";
+  for (int i = 0; i < 300; ++i) sql += ", units + " + std::to_string(i) + " AS c" + std::to_string(i);
+  sql += " FROM Orders";
+  auto catalog = testutil::PaperCatalog();
+  QueryPlanner planner(catalog);
+  auto stmt = ParseStatement(sql);
+  ASSERT_TRUE(stmt.ok());
+  auto plan = planner.Plan(*stmt.value().select);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value()->schema->num_fields(), 301u);
+}
+
+}  // namespace
+}  // namespace sqs::sql

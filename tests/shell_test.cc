@@ -1,0 +1,136 @@
+// Shell tests: statement buffering, meta commands, table rendering, and a
+// full scripted session.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/shell.h"
+#include "workload/generators.h"
+
+namespace sqs::core {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = SamzaSqlEnvironment::Make();
+    ASSERT_TRUE(workload::SetupPaperSources(*env_, 2).ok());
+    workload::OrdersGenerator gen(*env_, {});
+    ASSERT_TRUE(gen.Produce(200).ok());
+    Config defaults;
+    defaults.SetInt(cfg::kContainerCount, 1);
+    shell_ = std::make_unique<Shell>(env_, defaults);
+  }
+
+  std::string Feed(const std::string& line) {
+    std::ostringstream out;
+    alive_ = shell_->ProcessLine(line, out);
+    return out.str();
+  }
+
+  EnvironmentPtr env_;
+  std::unique_ptr<Shell> shell_;
+  bool alive_ = true;
+};
+
+TEST_F(ShellTest, BatchQueryRendersTable) {
+  std::string out = Feed("SELECT COUNT(*) AS c FROM Orders GROUP BY FLOOR(rowtime TO DAY);");
+  EXPECT_NE(out.find("| c "), std::string::npos);
+  EXPECT_NE(out.find("200"), std::string::npos);
+  EXPECT_NE(out.find("1 row(s)"), std::string::npos);
+}
+
+TEST_F(ShellTest, MultiLineStatementBuffersUntilSemicolon) {
+  EXPECT_EQ(Feed("SELECT COUNT(*) AS c FROM Orders"), "");
+  std::string out = Feed("GROUP BY FLOOR(rowtime TO DAY);");
+  EXPECT_NE(out.find("200"), std::string::npos);
+}
+
+TEST_F(ShellTest, TwoStatementsOnOneLine) {
+  std::string out = Feed(
+      "SELECT COUNT(*) AS a FROM Orders GROUP BY FLOOR(rowtime TO DAY); "
+      "SELECT COUNT(*) AS b FROM Orders GROUP BY FLOOR(rowtime TO DAY);");
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| b "), std::string::npos);
+}
+
+TEST_F(ShellTest, SemicolonInsideStringLiteralIsNotASplit) {
+  std::string out =
+      Feed("SELECT COUNT(*) AS c FROM Orders WHERE pad <> 'x;y' GROUP BY "
+           "FLOOR(rowtime TO DAY);");
+  EXPECT_NE(out.find("200"), std::string::npos);
+}
+
+TEST_F(ShellTest, ErrorsAreReportedNotFatal) {
+  std::string out = Feed("SELECT bogus FROM Orders;");
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  EXPECT_TRUE(alive_);
+  // Shell still works afterwards.
+  out = Feed("SELECT COUNT(*) AS c FROM Orders GROUP BY FLOOR(rowtime TO DAY);");
+  EXPECT_NE(out.find("200"), std::string::npos);
+}
+
+TEST_F(ShellTest, TablesAndDescribe) {
+  std::string out = Feed("!tables");
+  EXPECT_NE(out.find("stream Orders"), std::string::npos);
+  EXPECT_NE(out.find("table  Products"), std::string::npos);
+  out = Feed("!describe Orders");
+  EXPECT_NE(out.find("rowtime"), std::string::npos);
+  EXPECT_NE(out.find("units"), std::string::npos);
+  out = Feed("!describe Nope");
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+}
+
+TEST_F(ShellTest, StreamingFlow) {
+  std::string out = Feed("SELECT STREAM orderId FROM Orders WHERE units > 95;");
+  EXPECT_NE(out.find("job samzasql-query-0 submitted"), std::string::npos);
+  out = Feed("!jobs");
+  EXPECT_NE(out.find("samzasql-query-0"), std::string::npos);
+  out = Feed("!run");
+  EXPECT_NE(out.find("processed"), std::string::npos);
+  out = Feed("!output samzasql-query-0-output 3");
+  EXPECT_NE(out.find("orderId"), std::string::npos);
+  EXPECT_NE(out.find("row(s)"), std::string::npos);
+}
+
+TEST_F(ShellTest, UnknownMetaCommand) {
+  EXPECT_NE(Feed("!frobnicate").find("unknown command"), std::string::npos);
+}
+
+TEST_F(ShellTest, QuitStopsShell) {
+  Feed("!quit");
+  EXPECT_FALSE(alive_);
+}
+
+TEST_F(ShellTest, ReplRunsScript) {
+  std::istringstream in(
+      "!tables\n"
+      "SELECT COUNT(*) AS c FROM Orders GROUP BY FLOOR(rowtime TO DAY);\n"
+      "!quit\n");
+  std::ostringstream out;
+  shell_->Repl(in, out);
+  EXPECT_NE(out.str().find("stream Orders"), std::string::npos);
+  EXPECT_NE(out.str().find("200"), std::string::npos);
+}
+
+TEST(ShellFormatTest, AlignsColumns) {
+  auto schema = Schema::Make("T", {{"id", FieldType::Int64(), false},
+                                   {"name", FieldType::String(), false}});
+  std::vector<Row> rows = {{Value(int64_t{1}), Value("a")},
+                           {Value(int64_t{1000}), Value("longer")}};
+  std::string table = Shell::FormatTable(schema, rows);
+  EXPECT_NE(table.find("| id   | name   |"), std::string::npos);
+  EXPECT_NE(table.find("| 1000 | longer |"), std::string::npos);
+  EXPECT_NE(table.find("2 row(s)"), std::string::npos);
+}
+
+TEST(ShellFormatTest, TruncatesLongResults) {
+  auto schema = Schema::Make("T", {{"id", FieldType::Int64(), false}});
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 100; ++i) rows.push_back({Value(i)});
+  std::string table = Shell::FormatTable(schema, rows, 5);
+  EXPECT_NE(table.find("100 row(s) (showing first 5)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqs::core

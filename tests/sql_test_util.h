@@ -1,0 +1,70 @@
+// Shared test fixtures: the paper's example schemas (§3.2) as a catalog.
+#pragma once
+
+#include <memory>
+
+#include "sql/catalog.h"
+
+namespace sqs::sql::testutil {
+
+inline CatalogPtr PaperCatalog() {
+  auto catalog = std::make_shared<Catalog>();
+
+  SourceDef orders;
+  orders.name = "Orders";
+  orders.kind = SourceKind::kStream;
+  orders.topic = "orders";
+  orders.schema = Schema::Make("Orders", {{"rowtime", FieldType::Int64(), false},
+                                          {"productId", FieldType::Int32(), false},
+                                          {"orderId", FieldType::Int64(), false},
+                                          {"units", FieldType::Int32(), false},
+                                          {"pad", FieldType::String(), true}});
+  if (!catalog->RegisterSource(orders).ok()) std::abort();
+
+  SourceDef products;
+  products.name = "Products";
+  products.kind = SourceKind::kRelation;
+  products.topic = "products";
+  products.schema = Schema::Make("Products", {{"productId", FieldType::Int32(), false},
+                                              {"name", FieldType::String(), false},
+                                              {"supplierId", FieldType::Int32(), false}});
+  if (!catalog->RegisterSource(products).ok()) std::abort();
+
+  SourceDef suppliers;
+  suppliers.name = "Suppliers";
+  suppliers.kind = SourceKind::kRelation;
+  suppliers.topic = "suppliers";
+  suppliers.schema = Schema::Make("Suppliers", {{"supplierId", FieldType::Int32(), false},
+                                                {"name", FieldType::String(), false},
+                                                {"location", FieldType::String(), false}});
+  if (!catalog->RegisterSource(suppliers).ok()) std::abort();
+
+  for (const char* name : {"PacketsR1", "PacketsR2"}) {
+    SourceDef packets;
+    packets.name = name;
+    packets.kind = SourceKind::kStream;
+    packets.topic = name;
+    packets.schema = Schema::Make(name, {{"rowtime", FieldType::Int64(), false},
+                                         {"sourcetime", FieldType::Int64(), false},
+                                         {"packetId", FieldType::Int64(), false}});
+    if (!catalog->RegisterSource(packets).ok()) std::abort();
+  }
+
+  for (const char* name : {"Asks", "Bids"}) {
+    SourceDef quotes;
+    quotes.name = name;
+    quotes.kind = SourceKind::kStream;
+    quotes.topic = name;
+    quotes.schema = Schema::Make(
+        name, {{"rowtime", FieldType::Int64(), false},
+               {"id", FieldType::Int64(), false},
+               {"ticker", FieldType::String(), false},
+               {"shares", FieldType::Int32(), false},
+               {"price", FieldType::Double(), false}});
+    if (!catalog->RegisterSource(quotes).ok()) std::abort();
+  }
+
+  return catalog;
+}
+
+}  // namespace sqs::sql::testutil
