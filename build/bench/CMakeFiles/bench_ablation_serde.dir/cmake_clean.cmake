@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_serde.dir/bench_ablation_serde.cc.o"
+  "CMakeFiles/bench_ablation_serde.dir/bench_ablation_serde.cc.o.d"
+  "bench_ablation_serde"
+  "bench_ablation_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_project.dir/bench_project.cc.o"
+  "CMakeFiles/bench_project.dir/bench_project.cc.o.d"
+  "bench_project"
+  "bench_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_usability.dir/bench_usability.cc.o"
+  "CMakeFiles/bench_usability.dir/bench_usability.cc.o.d"
+  "bench_usability"
+  "bench_usability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

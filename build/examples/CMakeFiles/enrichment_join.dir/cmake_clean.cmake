@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enrichment_join.dir/enrichment_join.cpp.o"
+  "CMakeFiles/enrichment_join.dir/enrichment_join.cpp.o.d"
+  "enrichment_join"
+  "enrichment_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enrichment_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

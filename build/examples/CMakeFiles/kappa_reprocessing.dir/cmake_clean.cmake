@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kappa_reprocessing.dir/kappa_reprocessing.cpp.o"
+  "CMakeFiles/kappa_reprocessing.dir/kappa_reprocessing.cpp.o.d"
+  "kappa_reprocessing"
+  "kappa_reprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kappa_reprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kappa_reprocessing.
+# This may be replaced when dependencies are built.

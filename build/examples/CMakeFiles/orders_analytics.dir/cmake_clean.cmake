@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orders_analytics.dir/orders_analytics.cpp.o"
+  "CMakeFiles/orders_analytics.dir/orders_analytics.cpp.o.d"
+  "orders_analytics"
+  "orders_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orders_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_latency.dir/packet_latency.cpp.o"
+  "CMakeFiles/packet_latency.dir/packet_latency.cpp.o.d"
+  "packet_latency"
+  "packet_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samzasql_shell.dir/samzasql_shell.cpp.o"
+  "CMakeFiles/samzasql_shell.dir/samzasql_shell.cpp.o.d"
+  "samzasql_shell"
+  "samzasql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samzasql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/native_tasks.cc" "src/CMakeFiles/samzasql.dir/baseline/native_tasks.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/baseline/native_tasks.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/samzasql.dir/common/config.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/common/config.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/samzasql.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/samzasql.dir/common/status.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/samzasql.dir/common/value.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/common/value.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/CMakeFiles/samzasql.dir/core/executor.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/core/executor.cc.o.d"
+  "/root/repo/src/core/shell.cc" "src/CMakeFiles/samzasql.dir/core/shell.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/core/shell.cc.o.d"
+  "/root/repo/src/core/task.cc" "src/CMakeFiles/samzasql.dir/core/task.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/core/task.cc.o.d"
+  "/root/repo/src/kv/changelog.cc" "src/CMakeFiles/samzasql.dir/kv/changelog.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/kv/changelog.cc.o.d"
+  "/root/repo/src/kv/store.cc" "src/CMakeFiles/samzasql.dir/kv/store.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/kv/store.cc.o.d"
+  "/root/repo/src/log/broker.cc" "src/CMakeFiles/samzasql.dir/log/broker.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/log/broker.cc.o.d"
+  "/root/repo/src/log/consumer.cc" "src/CMakeFiles/samzasql.dir/log/consumer.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/log/consumer.cc.o.d"
+  "/root/repo/src/log/producer.cc" "src/CMakeFiles/samzasql.dir/log/producer.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/log/producer.cc.o.d"
+  "/root/repo/src/ops/basic.cc" "src/CMakeFiles/samzasql.dir/ops/basic.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/ops/basic.cc.o.d"
+  "/root/repo/src/ops/join.cc" "src/CMakeFiles/samzasql.dir/ops/join.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/ops/join.cc.o.d"
+  "/root/repo/src/ops/router.cc" "src/CMakeFiles/samzasql.dir/ops/router.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/ops/router.cc.o.d"
+  "/root/repo/src/ops/window.cc" "src/CMakeFiles/samzasql.dir/ops/window.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/ops/window.cc.o.d"
+  "/root/repo/src/serde/json.cc" "src/CMakeFiles/samzasql.dir/serde/json.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/serde/json.cc.o.d"
+  "/root/repo/src/serde/registry.cc" "src/CMakeFiles/samzasql.dir/serde/registry.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/serde/registry.cc.o.d"
+  "/root/repo/src/serde/schema.cc" "src/CMakeFiles/samzasql.dir/serde/schema.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/serde/schema.cc.o.d"
+  "/root/repo/src/serde/serde.cc" "src/CMakeFiles/samzasql.dir/serde/serde.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/serde/serde.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/samzasql.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/batch_eval.cc" "src/CMakeFiles/samzasql.dir/sql/batch_eval.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/batch_eval.cc.o.d"
+  "/root/repo/src/sql/catalog.cc" "src/CMakeFiles/samzasql.dir/sql/catalog.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/catalog.cc.o.d"
+  "/root/repo/src/sql/expr.cc" "src/CMakeFiles/samzasql.dir/sql/expr.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/expr.cc.o.d"
+  "/root/repo/src/sql/functions.cc" "src/CMakeFiles/samzasql.dir/sql/functions.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/functions.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/samzasql.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/logical.cc" "src/CMakeFiles/samzasql.dir/sql/logical.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/logical.cc.o.d"
+  "/root/repo/src/sql/optimizer.cc" "src/CMakeFiles/samzasql.dir/sql/optimizer.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/optimizer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/samzasql.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/planner.cc" "src/CMakeFiles/samzasql.dir/sql/planner.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/sql/planner.cc.o.d"
+  "/root/repo/src/task/api.cc" "src/CMakeFiles/samzasql.dir/task/api.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/task/api.cc.o.d"
+  "/root/repo/src/task/checkpoint.cc" "src/CMakeFiles/samzasql.dir/task/checkpoint.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/task/checkpoint.cc.o.d"
+  "/root/repo/src/task/container.cc" "src/CMakeFiles/samzasql.dir/task/container.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/task/container.cc.o.d"
+  "/root/repo/src/task/model.cc" "src/CMakeFiles/samzasql.dir/task/model.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/task/model.cc.o.d"
+  "/root/repo/src/task/runner.cc" "src/CMakeFiles/samzasql.dir/task/runner.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/task/runner.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/samzasql.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/workload/generators.cc.o.d"
+  "/root/repo/src/zk/zookeeper.cc" "src/CMakeFiles/samzasql.dir/zk/zookeeper.cc.o" "gcc" "src/CMakeFiles/samzasql.dir/zk/zookeeper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/samzasql_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/samzasql_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/e2e_sql_test.cc" "tests/CMakeFiles/samzasql_tests.dir/e2e_sql_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/e2e_sql_test.cc.o.d"
+  "/root/repo/tests/equivalence_test.cc" "tests/CMakeFiles/samzasql_tests.dir/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/equivalence_test.cc.o.d"
+  "/root/repo/tests/functions_test.cc" "tests/CMakeFiles/samzasql_tests.dir/functions_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/functions_test.cc.o.d"
+  "/root/repo/tests/kv_test.cc" "tests/CMakeFiles/samzasql_tests.dir/kv_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/kv_test.cc.o.d"
+  "/root/repo/tests/log_test.cc" "tests/CMakeFiles/samzasql_tests.dir/log_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/log_test.cc.o.d"
+  "/root/repo/tests/ops_test.cc" "tests/CMakeFiles/samzasql_tests.dir/ops_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/ops_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/samzasql_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/samzasql_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/serde_test.cc" "tests/CMakeFiles/samzasql_tests.dir/serde_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/serde_test.cc.o.d"
+  "/root/repo/tests/shell_test.cc" "tests/CMakeFiles/samzasql_tests.dir/shell_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/shell_test.cc.o.d"
+  "/root/repo/tests/sql_frontend_test.cc" "tests/CMakeFiles/samzasql_tests.dir/sql_frontend_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/sql_frontend_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/samzasql_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/task_test.cc" "tests/CMakeFiles/samzasql_tests.dir/task_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/task_test.cc.o.d"
+  "/root/repo/tests/zk_test.cc" "tests/CMakeFiles/samzasql_tests.dir/zk_test.cc.o" "gcc" "tests/CMakeFiles/samzasql_tests.dir/zk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/samzasql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
