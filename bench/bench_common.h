@@ -51,21 +51,42 @@ inline Config BenchJobConfig(int containers) {
 }
 
 // Run all containers of a started job serially to completion and compute
-// the paper's throughput aggregate.
+// the paper's throughput aggregate. Throughput is derived from the job's
+// shared metrics registry — the same snapshots the periodic reporter and
+// the shell's SHOW METRICS read (`<job>.container<N>.processed` counters
+// and `.busy_ns` timers) — so benches and observability share one
+// measurement path.
 inline ThroughputResult MeasureJob(JobRunner& job) {
   ThroughputResult result;
-  double tput_sum = 0;
-  int counted = 0;
   for (size_t c = 0; c < job.NumContainers(); ++c) {
     Container* container = job.container(static_cast<int32_t>(c));
     auto processed = container->RunUntilCaughtUp();
     if (!processed.ok()) throw std::runtime_error(processed.status().ToString());
     result.messages += processed.value();
-    double seconds = static_cast<double>(container->BusyNanos()) / 1e9;
-    if (seconds > 0) {
-      tput_sum += static_cast<double>(container->MessagesProcessed()) / seconds;
-      ++counted;
+  }
+  MetricsSnapshot snap = job.metrics_registry()->Snapshot();
+  double tput_sum = 0;
+  int counted = 0;
+  for (const auto& [name, processed] : snap.counters) {
+    // Container-scope processed counters are `<job>.container<N>.processed`
+    // (operator counters have a task segment instead and never match).
+    constexpr const char* kSuffix = ".processed";
+    const size_t suffix_len = 10;
+    if (name.size() <= suffix_len ||
+        name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+      continue;
     }
+    std::string scope = name.substr(0, name.size() - suffix_len);
+    size_t dot = scope.rfind('.');
+    if (dot == std::string::npos ||
+        scope.compare(dot + 1, 9, "container") != 0) {
+      continue;
+    }
+    auto busy = snap.timers.find(scope + ".busy_ns");
+    if (busy == snap.timers.end() || busy->second <= 0) continue;
+    double seconds = static_cast<double>(busy->second) / 1e9;
+    tput_sum += static_cast<double>(processed) / seconds;
+    ++counted;
   }
   if (counted > 0) {
     result.avg_container_tput = tput_sum / counted;

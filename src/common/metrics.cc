@@ -1,8 +1,86 @@
 #include "common/metrics.h"
 
+#include <cctype>
+
 #include "common/clock.h"
 
 namespace sqs {
+
+int64_t Histogram::Min() const {
+  int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+int64_t Histogram::Max() const {
+  int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  int64_t total = Count();
+  if (total <= 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target recording (1-based, ceil).
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(total) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    cumulative += n;
+    if (cumulative >= rank) {
+      int64_t lo = BucketLowerBound(i);
+      int64_t width = i + 1 < kNumBuckets ? BucketLowerBound(i + 1) - lo : 1;
+      int64_t mid = lo + (width - 1) / 2;
+      // Clamp to the observed range so small samples stay sharp.
+      int64_t min = Min(), max = Max();
+      if (mid < min) mid = min;
+      if (mid > max) mid = max;
+      return mid;
+    }
+  }
+  return Max();
+}
+
+HistogramStats Histogram::GetStats() const {
+  HistogramStats s;
+  s.count = Count();
+  s.sum = Sum();
+  s.min = Min();
+  s.max = Max();
+  s.p50 = Percentile(50);
+  s.p95 = Percentile(95);
+  s.p99 = Percentile(99);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [k, c] : counters_) out.counters[k] = c->Get();
+  for (const auto& [k, g] : gauges_) out.gauges[k] = g->Get();
+  for (const auto& [k, t] : timers_) out.timers[k] = t->TotalNanos();
+  for (const auto& [k, h] : histograms_) out.histograms[k] = h->GetStats();
+  return out;
+}
+
+std::string ScopedMetrics::Sanitize(const std::string& segment) {
+  std::string out = segment;
+  for (char& c : out) {
+    if (c == '.' || std::isspace(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out;
+}
 
 ScopedTimer::ScopedTimer(Timer& timer)
     : timer_(timer), start_nanos_(MonotonicNanos()) {}

@@ -1,10 +1,15 @@
-// Minimal metrics registry: counters, gauges, and busy-time timers.
-// Containers report per-task metrics here; the bench harness reads
-// messages-processed counters and busy-time timers to compute throughput
-// the way the paper does (avg container throughput x container count).
+// Metrics registry: counters, gauges, busy-time timers, and log-bucketed
+// latency histograms, addressed by dot-separated scoped names
+// (`job.task.operator.metric` — see docs/METRICS.md for the full scheme).
+// Containers report per-task and per-operator metrics here; the bench
+// harness reads processed counters and busy-time timers from the same
+// snapshots to compute throughput the way the paper does (avg container
+// throughput x container count), so benches and production share one
+// measurement path.
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -44,6 +49,101 @@ class Timer {
   std::atomic<int64_t> nanos_{0};
 };
 
+// Aggregate view of a Histogram at snapshot time. Percentile values are
+// bucket midpoints, so they carry the histogram's bounded relative error.
+struct HistogramStats {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
+};
+
+// Log-bucketed histogram with a lock-free record path (HdrHistogram-style
+// layout: values < 16 are exact, above that each power of two is split into
+// 16 sub-buckets, bounding relative error at 1/16 ≈ 6.25%). Record() is a
+// handful of relaxed atomic adds, safe to call concurrently from every
+// container thread; readers see a weakly consistent but monotone view.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 16
+  static constexpr int kNumBuckets = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  void Record(int64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    AtomicMin(min_, value);
+    AtomicMax(max_, value);
+  }
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t Min() const;
+  int64_t Max() const;
+
+  // Value at percentile p (0..100): the midpoint of the bucket containing
+  // the p-th ranked recording, clamped to [Min(), Max()]. Returns 0 when
+  // nothing has been recorded.
+  int64_t Percentile(double p) const;
+
+  HistogramStats GetStats() const;
+
+  void Reset();
+
+  // Bucket layout (exposed for tests): values <= 0 land in bucket 0.
+  static int BucketIndex(int64_t value) {
+    uint64_t v = value <= 0 ? 0 : static_cast<uint64_t>(value);
+    if (v < kSubBuckets) return static_cast<int>(v);
+    int top = 63 - std::countl_zero(v);  // index of the most significant bit
+    return (top - kSubBucketBits + 1) * kSubBuckets +
+           static_cast<int>((v >> (top - kSubBucketBits)) & (kSubBuckets - 1));
+  }
+  static int64_t BucketLowerBound(int index) {
+    if (index < kSubBuckets) return index;
+    int block = index / kSubBuckets;
+    int sub = index % kSubBuckets;
+    int top = block + kSubBucketBits - 1;
+    return static_cast<int64_t>(kSubBuckets + sub) << (top - kSubBucketBits);
+  }
+
+ private:
+  static void AtomicMin(std::atomic<int64_t>& slot, int64_t v) {
+    int64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<int64_t>& slot, int64_t v) {
+    int64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+};
+
+// One consistent view of every metric family. "Consistent" means a single
+// pass under the registry lock over a stable set of instruments; individual
+// atomic reads are relaxed, so a snapshot taken while writers are active
+// can be mid-update between metrics (documented weak consistency).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, int64_t> timers;  // total busy nanoseconds
+  std::map<std::string, HistogramStats> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty() && histograms.empty();
+  }
+};
+
 class MetricsRegistry {
  public:
   Counter& GetCounter(const std::string& name) {
@@ -64,19 +164,65 @@ class MetricsRegistry {
     if (!slot) slot = std::make_unique<Timer>();
     return *slot;
   }
-
-  std::map<std::string, int64_t> SnapshotCounters() const {
+  Histogram& GetHistogram(const std::string& name) {
     std::lock_guard<std::mutex> lock(mu_);
-    std::map<std::string, int64_t> out;
-    for (const auto& [k, c] : counters_) out[k] = c->Get();
-    return out;
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
   }
+
+  // All four families in one pass (replaces the old SnapshotCounters, which
+  // silently ignored gauges and timers).
+  MetricsSnapshot Snapshot() const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Lightweight view of a registry under a dot-separated name prefix, so a
+// layer can mint `<scope>.<metric>` instruments without string-building at
+// every call site. Scope segments are sanitized ('.' and whitespace become
+// '_') so task names like "Partition 0" stay one segment.
+class ScopedMetrics {
+ public:
+  ScopedMetrics() = default;
+  ScopedMetrics(MetricsRegistry* registry, const std::string& scope)
+      : registry_(registry), scope_(Sanitize(scope)) {}
+
+  bool bound() const { return registry_ != nullptr; }
+  const std::string& scope() const { return scope_; }
+
+  // Child scope: `<scope>.<segment>`.
+  ScopedMetrics Sub(const std::string& segment) const {
+    ScopedMetrics child;
+    child.registry_ = registry_;
+    child.scope_ = scope_.empty() ? Sanitize(segment) : scope_ + "." + Sanitize(segment);
+    return child;
+  }
+
+  Counter& counter(const std::string& name) const {
+    return registry_->GetCounter(Name(name));
+  }
+  Gauge& gauge(const std::string& name) const { return registry_->GetGauge(Name(name)); }
+  Timer& timer(const std::string& name) const { return registry_->GetTimer(Name(name)); }
+  Histogram& histogram(const std::string& name) const {
+    return registry_->GetHistogram(Name(name));
+  }
+
+  // Replaces '.' and whitespace inside a single segment with '_'.
+  static std::string Sanitize(const std::string& segment);
+
+ private:
+  std::string Name(const std::string& metric) const {
+    return scope_.empty() ? metric : scope_ + "." + metric;
+  }
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string scope_;
 };
 
 // RAII scope that adds elapsed wall time to a Timer.

@@ -1,0 +1,144 @@
+#include "common/metrics_reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace sqs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& snapshots) {
+  MetricsSnapshot merged;
+  for (const MetricsSnapshot& s : snapshots) {
+    for (const auto& [k, v] : s.counters) merged.counters[k] += v;
+    for (const auto& [k, v] : s.gauges) merged.gauges[k] = v;
+    for (const auto& [k, v] : s.timers) merged.timers[k] += v;
+    for (const auto& [k, v] : s.histograms) {
+      auto it = merged.histograms.find(k);
+      if (it == merged.histograms.end() || v.count > it->second.count) {
+        merged.histograms[k] = v;
+      }
+    }
+  }
+  return merged;
+}
+
+std::string SnapshotToJsonLines(const MetricsSnapshot& snapshot, int64_t ts_ms) {
+  std::ostringstream os;
+  auto scalar = [&](const std::string& name, const char* type, int64_t value) {
+    os << "{\"ts_ms\":" << ts_ms << ",\"name\":\"" << JsonEscape(name)
+       << "\",\"type\":\"" << type << "\",\"value\":" << value << "}\n";
+  };
+  for (const auto& [k, v] : snapshot.counters) scalar(k, "counter", v);
+  for (const auto& [k, v] : snapshot.gauges) scalar(k, "gauge", v);
+  for (const auto& [k, v] : snapshot.timers) scalar(k, "timer", v);
+  for (const auto& [k, h] : snapshot.histograms) {
+    os << "{\"ts_ms\":" << ts_ms << ",\"name\":\"" << JsonEscape(k)
+       << "\",\"type\":\"histogram\",\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"p50\":" << h.p50
+       << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99 << "}\n";
+  }
+  return os.str();
+}
+
+std::string SnapshotToTable(const MetricsSnapshot& snapshot) {
+  struct RowText {
+    std::string name, type, value;
+  };
+  std::vector<RowText> rows;
+  for (const auto& [k, v] : snapshot.counters) {
+    rows.push_back({k, "counter", std::to_string(v)});
+  }
+  for (const auto& [k, v] : snapshot.gauges) {
+    rows.push_back({k, "gauge", std::to_string(v)});
+  }
+  for (const auto& [k, v] : snapshot.timers) {
+    rows.push_back({k, "timer", std::to_string(v) + " ns"});
+  }
+  for (const auto& [k, h] : snapshot.histograms) {
+    std::ostringstream v;
+    v << "count=" << h.count << " p50=" << h.p50 << " p95=" << h.p95
+      << " p99=" << h.p99 << " max=" << h.max;
+    rows.push_back({k, "histogram", v.str()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const RowText& a, const RowText& b) { return a.name < b.name; });
+
+  size_t name_w = 6, type_w = 4, value_w = 5;
+  for (const RowText& r : rows) {
+    name_w = std::max(name_w, r.name.size());
+    type_w = std::max(type_w, r.type.size());
+    value_w = std::max(value_w, r.value.size());
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+' << std::string(name_w + 2, '-') << '+' << std::string(type_w + 2, '-')
+       << '+' << std::string(value_w + 2, '-') << "+\n";
+  };
+  auto line = [&](const std::string& a, const std::string& b, const std::string& c) {
+    os << "| " << a << std::string(name_w - a.size() + 1, ' ') << "| " << b
+       << std::string(type_w - b.size() + 1, ' ') << "| " << c
+       << std::string(value_w - c.size() + 1, ' ') << "|\n";
+  };
+  rule();
+  line("metric", "type", "value");
+  rule();
+  for (const RowText& r : rows) line(r.name, r.type, r.value);
+  rule();
+  os << rows.size() << " metric(s)\n";
+  return os.str();
+}
+
+MetricsReporter::MetricsReporter(std::shared_ptr<MetricsRegistry> registry,
+                                 std::ostream* out, int64_t interval_ms,
+                                 std::shared_ptr<Clock> clock)
+    : registry_(std::move(registry)),
+      out_(out),
+      interval_ms_(interval_ms),
+      clock_(clock ? std::move(clock) : SystemClock::Instance()),
+      last_report_ms_(clock_->NowMillis()) {}
+
+bool MetricsReporter::MaybeReport() {
+  int64_t now = clock_->NowMillis();
+  if (now - last_report_ms_ < interval_ms_) return false;
+  last_report_ms_ = now;
+  *out_ << SnapshotToJsonLines(registry_->Snapshot(), now);
+  out_->flush();
+  return true;
+}
+
+void MetricsReporter::ReportNow() {
+  int64_t now = clock_->NowMillis();
+  last_report_ms_ = now;
+  *out_ << SnapshotToJsonLines(registry_->Snapshot(), now);
+  out_->flush();
+}
+
+}  // namespace sqs

@@ -1,0 +1,59 @@
+// MetricsReporter: turns MetricsRegistry snapshots into (a) JSON lines for
+// offline analysis and (b) an aligned human-readable table (the shell's
+// SHOW METRICS). A reporter instance wraps one registry and emits to a
+// stream on a clock-driven interval; the free functions are the shared
+// formatting path so the shell, the reporter, and tests render identically.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace sqs {
+
+// Union of several snapshots (e.g. one per job). Same-name collisions:
+// counters and timers sum, gauges keep the latest (last snapshot wins),
+// histograms keep the stats with the larger count (bucket data is not
+// preserved across snapshots, so true merging is impossible post-snapshot —
+// avoided in practice because each job has its own name scope).
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& snapshots);
+
+// One JSON object per metric per line, e.g.
+//   {"ts_ms":170...,"name":"job.container0.processed","type":"counter","value":42}
+// Histogram lines carry count/sum/min/max/p50/p95/p99 instead of "value".
+std::string SnapshotToJsonLines(const MetricsSnapshot& snapshot, int64_t ts_ms);
+
+// Aligned table with one row per metric: name | type | value. Histograms
+// render their count and percentiles in the value column.
+std::string SnapshotToTable(const MetricsSnapshot& snapshot);
+
+class MetricsReporter {
+ public:
+  // Emits JSON lines for `registry` to `out` every `interval_ms` of clock
+  // time. `out` must outlive the reporter.
+  MetricsReporter(std::shared_ptr<MetricsRegistry> registry, std::ostream* out,
+                  int64_t interval_ms, std::shared_ptr<Clock> clock = nullptr);
+
+  // Emits if at least interval_ms elapsed since the last report. Returns
+  // true when a report was written.
+  bool MaybeReport();
+
+  // Unconditional snapshot + emit.
+  void ReportNow();
+
+  int64_t interval_ms() const { return interval_ms_; }
+
+ private:
+  std::shared_ptr<MetricsRegistry> registry_;
+  std::ostream* out_;
+  int64_t interval_ms_;
+  std::shared_ptr<Clock> clock_;
+  int64_t last_report_ms_;
+};
+
+}  // namespace sqs

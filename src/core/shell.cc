@@ -1,8 +1,11 @@
 #include "core/shell.h"
 
 #include <algorithm>
+#include <cctype>
 #include <iostream>
 #include <sstream>
+
+#include "common/metrics_reporter.h"
 
 namespace sqs::core {
 
@@ -56,6 +59,32 @@ void Shell::ExecuteBuffered(std::ostream& out) {
   std::string statement;
   statement.swap(buffer_);
   if (statement.find_first_not_of(" \t\r\n;") == std::string::npos) return;
+  // SHOW METRICS [JSON]: shell-side metrics inspection over all submitted
+  // jobs, handled before SQL parsing (it is not part of the query grammar).
+  {
+    std::string upper;
+    upper.reserve(statement.size());
+    for (char c : statement) {
+      upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+    std::istringstream words(upper);
+    std::string w1, w2, w3;
+    words >> w1 >> w2 >> w3;
+    if (w1 == "SHOW" && w2 == "METRICS") {
+      std::vector<MetricsSnapshot> snapshots;
+      for (size_t i = 0; i < executor_->num_jobs(); ++i) {
+        JobRunner* job = executor_->job(static_cast<int>(i));
+        if (job) snapshots.push_back(job->metrics_registry()->Snapshot());
+      }
+      MetricsSnapshot merged = MergeSnapshots(snapshots);
+      if (w3 == "JSON") {
+        out << SnapshotToJsonLines(merged, SystemClock::Instance()->NowMillis());
+      } else {
+        out << SnapshotToTable(merged);
+      }
+      return;
+    }
+  }
   auto result = executor_->Execute(statement);
   if (!result.ok()) {
     out << "ERROR: " << result.status().ToString() << "\n";
@@ -91,7 +120,11 @@ void Shell::MetaCommand(const std::string& command, std::ostream& out) {
            "  !jobs                 list submitted streaming jobs\n"
            "  !run                  drive all jobs until caught up\n"
            "  !output <topic> [n]   show up to n rows from an output stream\n"
-           "  !quit                 exit\n";
+           "  !quit                 exit\n"
+           "statements:\n"
+           "  SHOW METRICS;         job/task/operator metrics of submitted jobs\n"
+           "  SHOW METRICS JSON;    the same snapshot as JSON lines\n"
+           "(see docs/METRICS.md for the metric reference)\n";
     return;
   }
   if (cmd == "!tables") {

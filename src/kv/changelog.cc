@@ -12,6 +12,7 @@ void ChangelogBackedStore::Put(const Bytes& key, Bytes value) {
   if (!st.ok()) {
     throw std::runtime_error("changelog append failed: " + st.status().ToString());
   }
+  CountWrite(key.size(), value.size());
   backing_->Put(key, std::move(value));
 }
 
@@ -23,6 +24,7 @@ void ChangelogBackedStore::Delete(const Bytes& key) {
   if (!st.ok()) {
     throw std::runtime_error("changelog append failed: " + st.status().ToString());
   }
+  CountWrite(key.size(), 0);
   backing_->Delete(key);
 }
 

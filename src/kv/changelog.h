@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "kv/store.h"
 #include "log/broker.h"
@@ -39,10 +40,25 @@ class ChangelogBackedStore : public KeyValueStore {
 
   const StreamPartition& changelog_partition() const { return sp_; }
 
+  // Attach write-volume instruments (scoped `changelog_writes` /
+  // `changelog_bytes` counters). Optional; writes are uncounted until bound.
+  void BindMetrics(Counter* writes, Counter* bytes) {
+    writes_ = writes;
+    bytes_ = bytes;
+  }
+
  private:
+  void CountWrite(size_t key_bytes, size_t value_bytes) {
+    if (writes_ == nullptr) return;
+    writes_->Inc();
+    bytes_->Inc(static_cast<int64_t>(key_bytes + value_bytes));
+  }
+
   KeyValueStorePtr backing_;
   BrokerPtr broker_;
   StreamPartition sp_;
+  Counter* writes_ = nullptr;  // changelog appends (puts + tombstones)
+  Counter* bytes_ = nullptr;   // key + value bytes appended
 };
 
 }  // namespace sqs

@@ -80,4 +80,13 @@ Result<int64_t> Consumer::Lag() const {
   return lag;
 }
 
+Result<std::map<StreamPartition, int64_t>> Consumer::PerPartitionLag() const {
+  std::map<StreamPartition, int64_t> lags;
+  for (const auto& [sp, pos] : positions_) {
+    SQS_ASSIGN_OR_RETURN(end, broker_->EndOffset(sp));
+    lags[sp] = std::max<int64_t>(0, end - pos);
+  }
+  return lags;
+}
+
 }  // namespace sqs

@@ -57,6 +57,10 @@ class Consumer {
   // Messages remaining across assigned partitions (end - position).
   Result<int64_t> Lag() const;
 
+  // Per-partition lag (end - position) for every assigned partition. Feeds
+  // the container's `lag.<topic>.<partition>` gauges.
+  Result<std::map<StreamPartition, int64_t>> PerPartitionLag() const;
+
   const std::map<StreamPartition, int64_t>& assignments() const { return positions_; }
 
  private:

@@ -4,6 +4,17 @@ namespace sqs::ops {
 
 Status ScanOperator::ProcessMessage(const IncomingMessage& message,
                                     OperatorContext& ctx) {
+  EnsureMetrics(ctx);
+  int64_t t0 = MonotonicNanos();
+  Status st = DecodeAndEmit(message, ctx);
+  // rowtime is only known post-decode; the router-facing watermark for scan
+  // falls back to the message's log-append timestamp.
+  RecordTuple(MonotonicNanos() - t0, message.message.timestamp);
+  return st;
+}
+
+Status ScanOperator::DecodeAndEmit(const IncomingMessage& message,
+                                   OperatorContext& ctx) {
   SQS_ASSIGN_OR_RETURN(record, serde_->DeserializeBytes(message.message.value));
   TupleEvent event;
   event.rowtime = rowtime_index_ >= 0
@@ -32,11 +43,12 @@ Status FilterOperator::Init(OperatorContext&) {
   return Status::Ok();
 }
 
-Status FilterOperator::Process(const TupleEvent& event, OperatorContext& ctx) {
+Status FilterOperator::DoProcess(const TupleEvent& event, OperatorContext& ctx) {
   Value v = compiled_->Eval(event.row);
   if (v.kind() == TypeKind::kBool && v.as_bool()) {
     return EmitNext(event, ctx);
   }
+  CountDropped();
   return Status::Ok();
 }
 
@@ -50,7 +62,7 @@ Status ProjectOperator::Init(OperatorContext&) {
   return Status::Ok();
 }
 
-Status ProjectOperator::Process(const TupleEvent& event, OperatorContext& ctx) {
+Status ProjectOperator::DoProcess(const TupleEvent& event, OperatorContext& ctx) {
   TupleEvent out;
   out.row.reserve(compiled_.size());
   for (const auto& c : compiled_) out.row.push_back(c.Eval(event.row));
@@ -62,7 +74,7 @@ Status ProjectOperator::Process(const TupleEvent& event, OperatorContext& ctx) {
   return EmitNext(std::move(out), ctx);
 }
 
-Status InsertOperator::Process(const TupleEvent& event, OperatorContext& ctx) {
+Status InsertOperator::DoProcess(const TupleEvent& event, OperatorContext& ctx) {
   BytesWriter writer(64);
   if (fuse_conversions_) {
     SQS_RETURN_IF_ERROR(serde_->Serialize(event.row, writer));

@@ -26,14 +26,19 @@ class ScanOperator : public Operator {
   std::string name() const override { return "scan"; }
   Status Init(OperatorContext&) override { return Status::Ok(); }
 
-  // Scan is fed raw bytes by the router, not TupleEvents.
+  // Scan is fed raw bytes by the router, not TupleEvents. Instrumented the
+  // same way as Process: the latency sample covers deserialize + validate +
+  // RecordToArray + the entire downstream pipeline.
   Status ProcessMessage(const IncomingMessage& message, OperatorContext& ctx);
 
-  Status Process(const TupleEvent& event, OperatorContext& ctx) override {
+ protected:
+  Status DoProcess(const TupleEvent& event, OperatorContext& ctx) override {
     return EmitNext(event, ctx);  // pre-decoded path (used in tests)
   }
 
  private:
+  Status DecodeAndEmit(const IncomingMessage& message, OperatorContext& ctx);
+
   RowSerdePtr serde_;
   SchemaPtr schema_;
   int rowtime_index_;
@@ -46,7 +51,9 @@ class FilterOperator : public Operator {
 
   std::string name() const override { return "filter"; }
   Status Init(OperatorContext&) override;
-  Status Process(const TupleEvent& event, OperatorContext& ctx) override;
+
+ protected:
+  Status DoProcess(const TupleEvent& event, OperatorContext& ctx) override;
 
  private:
   sql::ExprPtr predicate_;
@@ -60,7 +67,9 @@ class ProjectOperator : public Operator {
 
   std::string name() const override { return "project"; }
   Status Init(OperatorContext&) override;
-  Status Process(const TupleEvent& event, OperatorContext& ctx) override;
+
+ protected:
+  Status DoProcess(const TupleEvent& event, OperatorContext& ctx) override;
 
  private:
   std::vector<sql::ExprPtr> exprs_;
@@ -83,9 +92,11 @@ class InsertOperator : public Operator {
 
   std::string name() const override { return "insert"; }
   Status Init(OperatorContext&) override { return Status::Ok(); }
-  Status Process(const TupleEvent& event, OperatorContext& ctx) override;
 
   int64_t emitted() const { return emitted_; }
+
+ protected:
+  Status DoProcess(const TupleEvent& event, OperatorContext& ctx) override;
 
  private:
   std::string topic_;

@@ -36,7 +36,7 @@ Status StreamTableJoinOperator::Init(OperatorContext& ctx) {
   return Status::Ok();
 }
 
-Status StreamTableJoinOperator::Process(const TupleEvent& event, OperatorContext& ctx) {
+Status StreamTableJoinOperator::DoProcess(const TupleEvent& event, OperatorContext& ctx) {
   if (event.side == 1) {
     // Relation changelog tuple: upsert into the cached table keyed by the
     // join key (last write wins — changelog semantics).
@@ -60,7 +60,10 @@ Status StreamTableJoinOperator::Process(const TupleEvent& event, OperatorContext
     key_values.push_back(event.row[static_cast<size_t>(l)]);
   }
   auto stored = table_->Get(EncodeOrderedKey(key_values));
-  if (!stored) return Status::Ok();  // inner join: no match, no output
+  if (!stored) {
+    CountDropped();  // inner join: no match, no output
+    return Status::Ok();
+  }
 
   // The deserialization below is the paper's identified join cost center —
   // with the reflective ("kryo") serde it is what makes SQL ~2x slower.
@@ -128,7 +131,7 @@ Status StreamStreamJoinOperator::Purge(KeyValueStore& store, int64_t cutoff_ts) 
   return Status::Ok();
 }
 
-Status StreamStreamJoinOperator::Process(const TupleEvent& event, OperatorContext& ctx) {
+Status StreamStreamJoinOperator::DoProcess(const TupleEvent& event, OperatorContext& ctx) {
   const bool is_left = event.side == 0;
   KeyValueStore& own = is_left ? *left_ : *right_;
   KeyValueStore& other = is_left ? *right_ : *left_;

@@ -39,11 +39,15 @@ class StreamTableJoinOperator : public Operator {
 
   std::string name() const override { return "stream-table-join"; }
   Status Init(OperatorContext& ctx) override;
-  Status Process(const TupleEvent& event, OperatorContext& ctx) override;
 
   static std::vector<std::string> RequiredStores(const std::string& prefix) {
     return {prefix + "-table"};
   }
+
+ protected:
+  Status DoProcess(const TupleEvent& event, OperatorContext& ctx) override;
+
+ public:
 
   size_t table_size() const { return table_ ? table_->Size() : 0; }
 
@@ -78,11 +82,15 @@ class StreamStreamJoinOperator : public Operator {
 
   std::string name() const override { return "stream-stream-join"; }
   Status Init(OperatorContext& ctx) override;
-  Status Process(const TupleEvent& event, OperatorContext& ctx) override;
 
   static std::vector<std::string> RequiredStores(const std::string& prefix) {
     return {prefix + "-left", prefix + "-right", prefix + "-meta"};
   }
+
+ protected:
+  Status DoProcess(const TupleEvent& event, OperatorContext& ctx) override;
+
+ public:
 
   size_t left_buffer_size() const { return left_ ? left_->Size() : 0; }
   size_t right_buffer_size() const { return right_ ? right_->Size() : 0; }

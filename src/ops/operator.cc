@@ -1,0 +1,43 @@
+#include "ops/operator.h"
+
+namespace sqs::ops {
+
+void Operator::EnsureMetrics(OperatorContext& ctx) {
+  if (processed_ != nullptr || ctx.task == nullptr) return;
+  ScopedMetrics scope(&ctx.task->metrics(),
+                      ctx.task->config().Get(cfg::kJobName, "job"));
+  scope = scope.Sub(ctx.task->task_name()).Sub(metric_id());
+  processed_ = &scope.counter("processed");
+  dropped_ = &scope.counter("dropped");
+  latency_ = &scope.histogram("latency_ns");
+  watermark_ = &scope.gauge("watermark_ms");
+  watermark_lag_ = &scope.gauge("watermark_lag_ms");
+  clock_ = ctx.task->clock();
+}
+
+void Operator::RecordTuple(int64_t latency_nanos, int64_t rowtime) {
+  if (processed_ == nullptr) return;
+  processed_->Inc();
+  latency_->Record(latency_nanos);
+  if (rowtime != 0) {
+    if (rowtime > max_rowtime_seen_) {
+      max_rowtime_seen_ = rowtime;
+      watermark_->Set(rowtime);
+    }
+    // Lag of the tuple being processed right now behind wall (or simulated)
+    // clock time — the operator's view of event-time progress.
+    if (clock_) watermark_lag_->Set(clock_->NowMillis() - rowtime);
+  }
+}
+
+Status Operator::Process(const TupleEvent& event, OperatorContext& ctx) {
+  EnsureMetrics(ctx);
+  if (processed_ == nullptr) return DoProcess(event, ctx);
+  int64_t rowtime = event.rowtime;
+  int64_t t0 = MonotonicNanos();
+  Status st = DoProcess(event, ctx);
+  RecordTuple(MonotonicNanos() - t0, rowtime);
+  return st;
+}
+
+}  // namespace sqs::ops

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "serde/serde.h"
@@ -48,8 +50,11 @@ class Operator {
   // the paper's task-side "operator code generation" step.
   virtual Status Init(OperatorContext& ctx) = 0;
 
-  // Process one tuple, forwarding results downstream via next().
-  virtual Status Process(const TupleEvent& event, OperatorContext& ctx) = 0;
+  // Instrumented entry point: lazily binds the operator's scoped metrics
+  // (`<job>.<task>.<operator>.*`) from the task context on first use, then
+  // counts the tuple, times DoProcess (inclusive of downstream operators —
+  // see docs/METRICS.md), and advances the event-time watermark gauges.
+  Status Process(const TupleEvent& event, OperatorContext& ctx);
 
   // Timer callback (window emission). Default: no-op.
   virtual Status OnTimer(OperatorContext& /*ctx*/) { return Status::Ok(); }
@@ -66,7 +71,15 @@ class Operator {
   }
   Operator* next() const { return next_.get(); }
 
+  // Metric namespace segment for this operator. The router sets plan-unique
+  // ids ("op2-filter"); an operator used standalone defaults to name().
+  void set_metric_id(std::string id) { metric_id_ = std::move(id); }
+  std::string metric_id() const { return metric_id_.empty() ? name() : metric_id_; }
+
  protected:
+  // Process one tuple, forwarding results downstream via EmitNext().
+  virtual Status DoProcess(const TupleEvent& event, OperatorContext& ctx) = 0;
+
   // Forward an event downstream, tagging the configured side.
   Status EmitNext(TupleEvent event, OperatorContext& ctx) {
     if (!next_) return Status::Ok();
@@ -74,9 +87,33 @@ class Operator {
     return next_->Process(event, ctx);
   }
 
+  // Resolve this operator's scoped instruments from ctx.task->metrics().
+  // Idempotent and cheap after the first call.
+  void EnsureMetrics(OperatorContext& ctx);
+
+  // Count one processed tuple: latency sample plus watermark / watermark-lag
+  // gauge updates (rowtime 0 means "no event time" and is skipped).
+  void RecordTuple(int64_t latency_nanos, int64_t rowtime);
+
+  // Count a tuple this operator intentionally did not forward (filter miss,
+  // late arrival past the grace period).
+  void CountDropped(int64_t n = 1) {
+    if (dropped_) dropped_->Inc(n);
+  }
+
  private:
   OperatorPtr next_;
   int next_side_ = 0;
+  std::string metric_id_;
+
+  // Scoped instruments, bound on first Process with a task context.
+  Counter* processed_ = nullptr;
+  Counter* dropped_ = nullptr;
+  Histogram* latency_ = nullptr;
+  Gauge* watermark_ = nullptr;
+  Gauge* watermark_lag_ = nullptr;
+  std::shared_ptr<Clock> clock_;
+  int64_t max_rowtime_seen_ = INT64_MIN;
 };
 
 }  // namespace sqs::ops

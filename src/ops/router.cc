@@ -31,6 +31,16 @@ class Builder {
 
   Result<OperatorPtr> BuildNode(const sql::LogicalNode& node);
 
+  // Registers a built operator under its plan-unique metric id
+  // ("op<preorder-id>-<name>") so per-operator metrics from different plan
+  // nodes of the same kind stay distinguishable.
+  void Register(const std::string& prefix, const OperatorPtr& op) {
+    op->set_metric_id(prefix + "-" + op->name());
+    operators_.push_back(op);
+  }
+
+  int next_id() const { return next_id_; }
+
   std::vector<OperatorPtr> operators_;
   std::vector<std::pair<std::string, bool>> scan_topics_;  // topic, bootstrap
   std::vector<std::shared_ptr<ScanOperator>> scan_ops_;
@@ -68,7 +78,7 @@ Result<OperatorPtr> Builder::BuildNode(const sql::LogicalNode& node) {
         scan_ops_.push_back(scan);
         scan_topics_.emplace_back(node.source.topic, !node.source.is_stream());
         op = scan;
-        operators_.push_back(op);
+        Register(prefix, op);
       } else {
         scan_topics_.emplace_back(node.source.topic, !node.source.is_stream());
       }
@@ -81,7 +91,7 @@ Result<OperatorPtr> Builder::BuildNode(const sql::LogicalNode& node) {
       if (!collecting) {
         op = std::make_shared<FilterOperator>(node.predicate->Clone());
         child->SetNext(op, 0);
-        operators_.push_back(op);
+        Register(prefix, op);
       }
       return op;
     }
@@ -95,7 +105,7 @@ Result<OperatorPtr> Builder::BuildNode(const sql::LogicalNode& node) {
         for (const auto& e : node.exprs) exprs.push_back(e->Clone());
         op = std::make_shared<ProjectOperator>(std::move(exprs), node.rowtime_index);
         child->SetNext(op, 0);
-        operators_.push_back(op);
+        Register(prefix, op);
       }
       return op;
     }
@@ -126,7 +136,7 @@ Result<OperatorPtr> Builder::BuildNode(const sql::LogicalNode& node) {
         }
         op = std::make_shared<SlidingWindowOperator>(std::move(calls), prefix);
         child->SetNext(op, 0);
-        operators_.push_back(op);
+        Register(prefix, op);
       }
       return op;
     }
@@ -160,7 +170,7 @@ Result<OperatorPtr> Builder::BuildNode(const sql::LogicalNode& node) {
             std::move(groups), node.group_window, std::move(aggs), prefix,
             config_->grace_ms);
         child->SetNext(op, 0);
-        operators_.push_back(op);
+        Register(prefix, op);
       }
       return op;
     }
@@ -182,7 +192,7 @@ Result<OperatorPtr> Builder::BuildNode(const sql::LogicalNode& node) {
               prefix);
           left->SetNext(op, 0);
           right->SetNext(op, 1);
-          operators_.push_back(op);
+          Register(prefix, op);
         }
         return op;
       }
@@ -202,7 +212,7 @@ Result<OperatorPtr> Builder::BuildNode(const sql::LogicalNode& node) {
             prefix, config_->grace_ms);
         left->SetNext(op, 0);
         right->SetNext(op, 1);
-        operators_.push_back(op);
+        Register(prefix, op);
       }
       return op;
     }
@@ -223,7 +233,7 @@ Result<std::unique_ptr<MessageRouter>> MessageRouter::Build(
                                                  config.out_key_index,
                                                  config.fuse_conversions);
   root->SetNext(insert, 0);
-  builder.operators_.push_back(insert);
+  builder.Register("op" + std::to_string(builder.next_id()), insert);
 
   router->operators_ = std::move(builder.operators_);
   for (size_t i = 0; i < builder.scan_ops_.size(); ++i) {

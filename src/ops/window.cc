@@ -278,7 +278,7 @@ Status SlidingWindowOperator::OnCommit(OperatorContext&) {
   return Status::Ok();
 }
 
-Status SlidingWindowOperator::Process(const TupleEvent& event, OperatorContext& ctx) {
+Status SlidingWindowOperator::DoProcess(const TupleEvent& event, OperatorContext& ctx) {
   TupleEvent out = event;
   for (size_t i = 0; i < calls_.size(); ++i) {
     SQS_ASSIGN_OR_RETURN(value, ProcessCall(i, calls_[i], runtimes_[i], event));
@@ -375,7 +375,7 @@ Status WindowAggregateOperator::AdvanceWatermark(int64_t watermark,
   return Status::Ok();
 }
 
-Status WindowAggregateOperator::Process(const TupleEvent& event, OperatorContext& ctx) {
+Status WindowAggregateOperator::DoProcess(const TupleEvent& event, OperatorContext& ctx) {
   // Replay idempotence: per input partition, offsets arrive in order, so a
   // tuple at or below the applied high-water mark has already been folded
   // into the (changelog-restored) window state — re-applying it would
@@ -429,6 +429,7 @@ Status WindowAggregateOperator::Process(const TupleEvent& event, OperatorContext
     // tuple is discarded (paper §3 timeout policy).
     if (windowed && start + window_.retain_ms + grace_ms_ <= watermark_) {
       ++discarded_late_;
+      CountDropped();
       continue;
     }
     Bytes key;

@@ -40,12 +40,15 @@ class SlidingWindowOperator : public Operator {
 
   std::string name() const override { return "sliding-window"; }
   Status Init(OperatorContext& ctx) override;
-  Status Process(const TupleEvent& event, OperatorContext& ctx) override;
   // Persists the committed watermark: the replay-safe physical purge
   // horizon (entries older than committed watermark - window width can no
   // longer be needed by any replayed tuple).
   Status OnCommit(OperatorContext& ctx) override;
 
+ protected:
+  Status DoProcess(const TupleEvent& event, OperatorContext& ctx) override;
+
+ public:
   // Store names this operator needs, given the call count (used by the job
   // config generator).
   static std::vector<std::string> RequiredStores(const std::string& prefix,
@@ -85,11 +88,15 @@ class WindowAggregateOperator : public Operator {
 
   std::string name() const override { return "window-aggregate"; }
   Status Init(OperatorContext& ctx) override;
-  Status Process(const TupleEvent& event, OperatorContext& ctx) override;
   // Early-results emission (paper §3: partial results as soon as a window
   // boundary condition is met): OnTimer emits current partials for all open
   // windows without closing them.
   Status OnTimer(OperatorContext& ctx) override;
+
+ protected:
+  Status DoProcess(const TupleEvent& event, OperatorContext& ctx) override;
+
+ public:
 
   static std::vector<std::string> RequiredStores(const std::string& prefix);
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "common/clock.h"
 #include "common/config.h"
 #include "common/metrics.h"
 #include "common/status.h"
@@ -49,6 +50,10 @@ class TaskContext {
   virtual int32_t partition_id() const = 0;
   virtual const Config& config() const = 0;
   virtual MetricsRegistry& metrics() = 0;
+  // The container's (injectable) clock; defaults to the system clock so
+  // lightweight fake contexts need not override it. Used by operators to
+  // compute event-time watermark lag.
+  virtual std::shared_ptr<Clock> clock() { return SystemClock::Instance(); }
   // Managed store by logical name (configured via stores.<name>.*). Returns
   // nullptr if the store is not configured.
   virtual KeyValueStorePtr GetStore(const std::string& name) = 0;
@@ -111,6 +116,10 @@ inline constexpr const char* kMaxFetchPerPartition = "task.fetch.max.per.partiti
 inline constexpr const char* kPollLatencyNanos = "task.poll.latency.nanos";
 // Simulated per-access latency of task-local stores (RocksDB model).
 inline constexpr const char* kStoreAccessLatencyNanos = "stores.access.latency.nanos";
+// Periodic JSON-lines metrics reporting (0 = disabled).
+inline constexpr const char* kMetricsReporterIntervalMs = "metrics.reporter.interval.ms";
+// Where the reporter appends JSON lines; empty = stderr.
+inline constexpr const char* kMetricsReporterPath = "metrics.reporter.path";
 // stores.<name>.changelog = <topic>
 inline constexpr const char* kStoresPrefix = "stores.";
 }  // namespace cfg

@@ -45,7 +45,12 @@ Status CheckpointManager::WriteCheckpoint(const std::string& task_name,
   Message m;
   m.key = ToBytes(task_name);
   m.value = EncodeCheckpoint(checkpoint);
+  const int64_t written = static_cast<int64_t>(m.key.size() + m.value.size());
   auto st = broker_->Append({topic_, 0}, std::move(m));
+  if (st.ok() && writes_ != nullptr) {
+    writes_->Inc();
+    bytes_->Inc(written);
+  }
   return st.ok() ? Status::Ok() : st.status();
 }
 

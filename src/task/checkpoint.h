@@ -7,6 +7,7 @@
 #include <map>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "log/broker.h"
 
@@ -31,9 +32,18 @@ class CheckpointManager {
   static Bytes EncodeCheckpoint(const Checkpoint& checkpoint);
   static Result<Checkpoint> DecodeCheckpoint(const Bytes& bytes);
 
+  // Attach write instruments (scoped `checkpoint_writes` /
+  // `checkpoint_bytes` counters). Optional; writes are uncounted until bound.
+  void BindMetrics(Counter* writes, Counter* bytes) {
+    writes_ = writes;
+    bytes_ = bytes;
+  }
+
  private:
   BrokerPtr broker_;
   std::string topic_;
+  Counter* writes_ = nullptr;
+  Counter* bytes_ = nullptr;
 };
 
 }  // namespace sqs

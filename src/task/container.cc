@@ -1,5 +1,7 @@
 #include "task/container.h"
 
+#include <iostream>
+
 #include "common/logging.h"
 
 namespace sqs {
@@ -45,6 +47,7 @@ struct Container::TaskInstance : public TaskContext, public TaskCoordinator {
   int32_t partition_id() const override { return model.partition_id; }
   const Config& config() const override { return container->config_; }
   MetricsRegistry& metrics() override { return *container->metrics_; }
+  std::shared_ptr<Clock> clock() override { return container->clock_; }
   KeyValueStorePtr GetStore(const std::string& name) override {
     auto it = stores.find(name);
     return it == stores.end() ? nullptr : it->second;
@@ -95,6 +98,15 @@ Status Container::InitTask(TaskInstance& task) {
     auto store = std::make_shared<ChangelogBackedStore>(
         std::move(backing), broker_,
         StreamPartition{changelog_topic, task.model.partition_id});
+    // `<job>.<task>.store.<name>.changelog_{writes,bytes}`. Restore() writes
+    // straight to the backing store, so replay volume is not counted.
+    ScopedMetrics store_scope =
+        ScopedMetrics(metrics_.get(), config_.Get(cfg::kJobName, "job"))
+            .Sub(task.model.task_name)
+            .Sub("store")
+            .Sub(store_name);
+    store->BindMetrics(&store_scope.counter("changelog_writes"),
+                       &store_scope.counter("changelog_bytes"));
     SQS_RETURN_IF_ERROR(store->Restore());
     task.stores[store_name] = std::move(store);
   }
@@ -152,6 +164,28 @@ Status Container::Start() {
   checkpoints_ = std::make_unique<CheckpointManager>(broker_, cp_topic);
   SQS_RETURN_IF_ERROR(checkpoints_->Start());
 
+  // Container-scoped instruments: `<job>.container<ID>.*`.
+  ScopedMetrics cscope =
+      ScopedMetrics(metrics_.get(), config_.Get(cfg::kJobName, "job"))
+          .Sub("container" + std::to_string(model_.container_id));
+  m_processed_ = &cscope.counter("processed");
+  m_commits_ = &cscope.counter("commits");
+  m_busy_ns_ = &cscope.timer("busy_ns");
+  m_process_latency_ns_ = &cscope.histogram("process_latency_ns");
+  checkpoints_->BindMetrics(&cscope.counter("checkpoint_writes"),
+                            &cscope.counter("checkpoint_bytes"));
+
+  int64_t report_interval = config_.GetInt(cfg::kMetricsReporterIntervalMs, 0);
+  if (report_interval > 0) {
+    std::ostream* out = &std::cerr;
+    std::string path = config_.Get(cfg::kMetricsReporterPath);
+    if (!path.empty()) {
+      reporter_file_ = std::make_unique<std::ofstream>(path, std::ios::app);
+      if (reporter_file_->good()) out = reporter_file_.get();
+    }
+    reporter_ = std::make_unique<MetricsReporter>(metrics_, out, report_interval, clock_);
+  }
+
   commit_every_ = config_.GetInt(cfg::kCommitEveryMessages, 0);
   window_ms_ = config_.GetInt(cfg::kWindowMs, 0);
   last_window_fire_ms_ = clock_->NowMillis();
@@ -169,7 +203,29 @@ Status Container::Start() {
     SQS_RETURN_IF_ERROR(InitTask(*instance));
     tasks_.push_back(std::move(instance));
   }
+
+  // One lag gauge per assigned partition: `<job>.container<ID>.lag.<topic>.<P>`.
+  for (const Consumer* c : {consumer_.get(), bootstrap_consumer_.get()}) {
+    for (const auto& [sp, pos] : c->assignments()) {
+      (void)pos;
+      lag_gauges_[sp] =
+          &cscope.Sub("lag").Sub(sp.topic).gauge(std::to_string(sp.partition));
+    }
+  }
+  SQS_RETURN_IF_ERROR(UpdateLagGauges());
+
   started_ = true;
+  return Status::Ok();
+}
+
+Status Container::UpdateLagGauges() {
+  for (const Consumer* c : {consumer_.get(), bootstrap_consumer_.get()}) {
+    SQS_ASSIGN_OR_RETURN(lags, c->PerPartitionLag());
+    for (const auto& [sp, lag] : lags) {
+      auto it = lag_gauges_.find(sp);
+      if (it != lag_gauges_.end()) it->second->Set(lag);
+    }
+  }
   return Status::Ok();
 }
 
@@ -182,7 +238,11 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
       return Status::Internal("no task for partition " + msg.origin.ToString());
     }
     TaskInstance& task = *it->second;
+    int64_t t0 = MonotonicNanos();
     SQS_RETURN_IF_ERROR(task.task->Process(msg, collector, task));
+    if (m_process_latency_ns_ != nullptr) {
+      m_process_latency_ns_->Record(MonotonicNanos() - t0);
+    }
     task.processed_positions[msg.origin] = msg.offset + 1;
     task.since_commit++;
     ++processed;
@@ -202,7 +262,7 @@ Status Container::CommitTask(TaskInstance& task) {
       checkpoints_->WriteCheckpoint(task.model.task_name, task.processed_positions));
   task.since_commit = 0;
   task.commit_requested = false;
-  metrics_->GetCounter("container.commits").Inc();
+  if (m_commits_ != nullptr) m_commits_->Inc();
   return Status::Ok();
 }
 
@@ -224,6 +284,7 @@ Result<int64_t> Container::RunUntilCaughtUp(int64_t max_messages) {
   int64_t t0 = MonotonicNanos();
   while (!shutdown_requested_) {
     if (max_messages >= 0 && processed >= max_messages) break;
+    if (reporter_) reporter_->MaybeReport();
 
     // Bootstrap phase: deliver only bootstrap partitions until drained
     // (Samza holds back all other inputs, §2 "Bootstrap Streams").
@@ -233,6 +294,7 @@ Result<int64_t> Container::RunUntilCaughtUp(int64_t max_messages) {
       if (!batch.empty()) {
         SQS_ASSIGN_OR_RETURN(n, ProcessBatch(batch));
         processed += n;
+        SQS_RETURN_IF_ERROR(UpdateLagGauges());
       }
       continue;
     }
@@ -248,10 +310,17 @@ Result<int64_t> Container::RunUntilCaughtUp(int64_t max_messages) {
     }
     SQS_ASSIGN_OR_RETURN(n, ProcessBatch(batch));
     processed += n;
+    SQS_RETURN_IF_ERROR(UpdateLagGauges());
   }
-  busy_nanos_ += MonotonicNanos() - t0;
+  SQS_RETURN_IF_ERROR(UpdateLagGauges());
+  int64_t busy = MonotonicNanos() - t0;
+  busy_nanos_ += busy;
   processed_total_ += processed;
-  metrics_->GetCounter("container.processed").Inc(processed);
+  if (m_processed_ != nullptr) {
+    m_processed_->Inc(processed);
+    m_busy_ns_->Add(busy);
+  }
+  if (reporter_) reporter_->MaybeReport();
   return processed;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +23,7 @@
 #include "common/clock.h"
 #include "common/config.h"
 #include "common/metrics.h"
+#include "common/metrics_reporter.h"
 #include "common/status.h"
 #include "kv/changelog.h"
 #include "log/broker.h"
@@ -71,6 +73,9 @@ class Container {
   Result<int64_t> ProcessBatch(const std::vector<IncomingMessage>& batch);
   Status CommitTask(TaskInstance& task);
   Status MaybeFireWindows();
+  // Refresh the per-partition `lag.<topic>.<partition>` gauges from the
+  // consumers' positions vs. broker end offsets.
+  Status UpdateLagGauges();
 
   BrokerPtr broker_;
   Config config_;
@@ -93,6 +98,17 @@ class Container {
   bool shutdown_requested_ = false;
   int64_t processed_total_ = 0;
   int64_t busy_nanos_ = 0;
+
+  // Container-scoped instruments (`<job>.container<ID>.*`), bound in Start().
+  Counter* m_processed_ = nullptr;
+  Counter* m_commits_ = nullptr;
+  Timer* m_busy_ns_ = nullptr;
+  Histogram* m_process_latency_ns_ = nullptr;
+  std::map<StreamPartition, Gauge*> lag_gauges_;
+
+  // Periodic JSON-lines reporter (metrics.reporter.interval.ms > 0).
+  std::unique_ptr<std::ofstream> reporter_file_;
+  std::unique_ptr<MetricsReporter> reporter_;
 };
 
 }  // namespace sqs

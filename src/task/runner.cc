@@ -10,7 +10,8 @@ namespace sqs {
 JobRunner::JobRunner(BrokerPtr broker, Config config, std::shared_ptr<Clock> clock)
     : broker_(std::move(broker)),
       config_(std::move(config)),
-      clock_(clock ? std::move(clock) : SystemClock::Instance()) {}
+      clock_(clock ? std::move(clock) : SystemClock::Instance()),
+      metrics_(std::make_shared<MetricsRegistry>()) {}
 
 Status JobRunner::Start() {
   if (started_) return Status::StateError("job already started");
@@ -18,7 +19,7 @@ Status JobRunner::Start() {
   model_ = std::move(model);
   containers_.clear();
   for (const ContainerModel& cm : model_.containers) {
-    auto container = std::make_unique<Container>(broker_, config_, cm, clock_);
+    auto container = std::make_unique<Container>(broker_, config_, cm, clock_, metrics_);
     SQS_RETURN_IF_ERROR(container->Start());
     containers_.push_back(std::move(container));
   }
@@ -104,7 +105,7 @@ Status JobRunner::RestartContainer(int32_t container_id) {
     return Status::StateError("container still running; kill it first");
   }
   auto container = std::make_unique<Container>(
-      broker_, config_, model_.containers[container_id], clock_);
+      broker_, config_, model_.containers[container_id], clock_, metrics_);
   SQS_RETURN_IF_ERROR(container->Start());
   containers_[container_id] = std::move(container);
   return Status::Ok();

@@ -55,6 +55,13 @@ class JobRunner {
   int64_t TotalProcessed() const;
   int64_t TotalBusyNanos() const;
 
+  // Job-wide registry shared by every container this runner allocates
+  // (including restarts), so one Snapshot() sees the whole job. Created at
+  // construction; valid before Start().
+  const std::shared_ptr<MetricsRegistry>& metrics_registry() const {
+    return metrics_;
+  }
+
   // Drive several jobs (a Kappa-style pipeline connected by intermediate
   // topics) round-robin to global quiescence.
   static Result<int64_t> RunPipelineUntilQuiescent(std::vector<JobRunner*> jobs);
@@ -63,6 +70,7 @@ class JobRunner {
   BrokerPtr broker_;
   Config config_;
   std::shared_ptr<Clock> clock_;
+  std::shared_ptr<MetricsRegistry> metrics_;
   JobModel model_;
   std::vector<std::unique_ptr<Container>> containers_;
   bool started_ = false;

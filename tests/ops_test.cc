@@ -60,11 +60,13 @@ class SinkOperator : public Operator {
  public:
   std::string name() const override { return "sink"; }
   Status Init(OperatorContext&) override { return Status::Ok(); }
-  Status Process(const TupleEvent& event, OperatorContext&) override {
+  std::vector<TupleEvent> events;
+
+ protected:
+  Status DoProcess(const TupleEvent& event, OperatorContext&) override {
     events.push_back(event);
     return Status::Ok();
   }
-  std::vector<TupleEvent> events;
 };
 
 sql::ExprPtr ResolvedExpr(const std::string& text, SchemaPtr schema) {
@@ -174,6 +176,41 @@ TEST_F(OpsTest, InsertSerializesAndPreservesPartition) {
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back.value()[2], Value(int32_t{3}));
   EXPECT_EQ(insert.emitted(), 1);
+}
+
+TEST_F(OpsTest, OperatorRegistersAndAdvancesScopedMetrics) {
+  // Metrics are scoped `<job>.<task>.<operator>.<metric>`: default job name
+  // "job", task "Partition 0" sanitized to "Partition_0", standalone
+  // operators use name() as their id.
+  auto sink = std::make_shared<SinkOperator>();
+  FilterOperator filter(ResolvedExpr("val > 10", TestSchema()));
+  filter.SetNext(sink);
+  auto ctx = Ctx();
+  ASSERT_TRUE(filter.Init(ctx).ok());
+  ASSERT_TRUE(filter.Process(Ev(100, 1, 5), ctx).ok());
+  ASSERT_TRUE(filter.Process(Ev(200, 1, 15), ctx).ok());
+
+  MetricsSnapshot snap = task_.metrics().Snapshot();
+  EXPECT_EQ(snap.counters["job.Partition_0.filter.processed"], 2);
+  EXPECT_EQ(snap.counters["job.Partition_0.filter.dropped"], 1);
+  EXPECT_EQ(snap.histograms["job.Partition_0.filter.latency_ns"].count, 2);
+  EXPECT_GT(snap.histograms["job.Partition_0.filter.latency_ns"].p99, 0);
+  EXPECT_EQ(snap.gauges["job.Partition_0.filter.watermark_ms"], 200);
+  // The sink downstream was also instrumented (one tuple passed the filter).
+  EXPECT_EQ(snap.counters["job.Partition_0.sink.processed"], 1);
+}
+
+TEST_F(OpsTest, MetricIdOverridesScopeSegment) {
+  auto sink = std::make_shared<SinkOperator>();
+  FilterOperator filter(ResolvedExpr("val > 10", TestSchema()));
+  filter.set_metric_id("op2-filter");
+  filter.SetNext(sink);
+  auto ctx = Ctx();
+  ASSERT_TRUE(filter.Init(ctx).ok());
+  ASSERT_TRUE(filter.Process(Ev(1, 1, 50), ctx).ok());
+  MetricsSnapshot snap = task_.metrics().Snapshot();
+  EXPECT_EQ(snap.counters["job.Partition_0.op2-filter.processed"], 1);
+  EXPECT_EQ(snap.counters.count("job.Partition_0.filter.processed"), 0u);
 }
 
 sql::WindowCallSpec SumWindowCall(SchemaPtr schema, int64_t window_ms) {
@@ -318,6 +355,8 @@ TEST_F(OpsTest, WindowAggregateEmitsOnWatermarkAndDiscardsLate) {
   // A tuple for the already-closed [0,100) window is discarded.
   ASSERT_TRUE(agg.Process(Ev(50, 1, 0, 4), ctx).ok());
   EXPECT_EQ(agg.discarded_late(), 1);
+  EXPECT_EQ(task_.metrics().Snapshot().counters["job.Partition_0.window-aggregate.dropped"],
+            1);
   ASSERT_TRUE(agg.Process(Ev(250, 1, 0, 5), ctx).ok());
   // The [100,200) window closed with only the t=150 tuple.
   ASSERT_EQ(sink->events.size(), 3u);

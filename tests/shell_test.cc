@@ -93,6 +93,49 @@ TEST_F(ShellTest, StreamingFlow) {
   EXPECT_NE(out.find("row(s)"), std::string::npos);
 }
 
+TEST_F(ShellTest, ShowMetricsWithNoJobsIsEmpty) {
+  std::string out = Feed("SHOW METRICS;");
+  EXPECT_NE(out.find("0 metric(s)"), std::string::npos);
+}
+
+TEST_F(ShellTest, ShowMetricsSurfacesWindowedJoinObservability) {
+  // A windowed stream-stream join (paper §2: packet latency between two
+  // routers), driven to quiescence, then inspected via SHOW METRICS.
+  ASSERT_TRUE(workload::ProducePackets(*env_, 300).ok());
+  std::string out = Feed(
+      "SELECT STREAM PacketsR1.packetId, "
+      "PacketsR2.rowtime - PacketsR1.rowtime AS timeToTravel "
+      "FROM PacketsR1 JOIN PacketsR2 ON "
+      "PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND "
+      "AND PacketsR2.rowtime + INTERVAL '2' SECOND "
+      "AND PacketsR1.packetId = PacketsR2.packetId;");
+  ASSERT_NE(out.find("submitted"), std::string::npos) << out;
+  Feed("!run");
+
+  std::string table = Feed("SHOW METRICS;");
+  // Per-operator processed counters and latency percentiles.
+  EXPECT_NE(table.find("scan.processed"), std::string::npos) << table;
+  EXPECT_NE(table.find("stream-stream-join.processed"), std::string::npos) << table;
+  EXPECT_NE(table.find("latency_ns"), std::string::npos);
+  EXPECT_NE(table.find("p50="), std::string::npos);
+  EXPECT_NE(table.find("p95="), std::string::npos);
+  EXPECT_NE(table.find("p99="), std::string::npos);
+  // Event-time progress and lag behind wall clock.
+  EXPECT_NE(table.find("watermark_ms"), std::string::npos);
+  EXPECT_NE(table.find("watermark_lag_ms"), std::string::npos);
+  // Per-partition consumer lag gauges for both input topics.
+  EXPECT_NE(table.find("lag.PacketsR1.0"), std::string::npos);
+  EXPECT_NE(table.find("lag.PacketsR1.1"), std::string::npos);
+  EXPECT_NE(table.find("lag.PacketsR2.0"), std::string::npos);
+
+  std::string json = Feed("SHOW METRICS JSON;");
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ts_ms\":"), std::string::npos);
+  // Lower-case keyword and leading whitespace also work.
+  EXPECT_NE(Feed("  show metrics;").find("metric(s)"), std::string::npos);
+}
+
 TEST_F(ShellTest, UnknownMetaCommand) {
   EXPECT_NE(Feed("!frobnicate").find("unknown command"), std::string::npos);
 }
