@@ -11,6 +11,12 @@ int64_t Config::GetInt(const std::string& key, int64_t def) const {
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = props_.find(key);
+  if (it == props_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
 bool Config::GetBool(const std::string& key, bool def) const {
   auto it = props_.find(key);
   if (it == props_.end()) return def;

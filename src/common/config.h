@@ -35,6 +35,7 @@ class Config {
     return it == props_.end() ? def : it->second;
   }
   int64_t GetInt(const std::string& key, int64_t def = 0) const;
+  double GetDouble(const std::string& key, double def = 0.0) const;
   bool GetBool(const std::string& key, bool def = false) const;
 
   // All keys with the given prefix, with the prefix stripped.

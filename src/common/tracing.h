@@ -1,0 +1,156 @@
+// Sampled distributed tracing for the message flow of paper §4.2 Figure 4:
+// producer append -> log -> scan (Avro->Array) -> operators -> insert
+// (Array->Avro) -> downstream job. A TraceContext travels inside Message /
+// TupleEvent (and across repartitioning and multi-job pipelines, because the
+// broker stores the Message verbatim); spans land in a bounded ring buffer on
+// the process-wide Tracer and export as Chrome trace format JSON.
+//
+// Cost model: the sampling decision is a relaxed atomic increment at each
+// trace root (head-based — one decision per tuple lifetime, honored by every
+// downstream hop); the unsampled path through a span scope is two branches
+// and a thread-local save/restore, no allocation and no lock. Only sampled
+// spans take the buffer mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqs {
+
+// Propagated half of a span: which trace a message/tuple belongs to and
+// which span caused it (the parent of whatever the receiver starts).
+// trace_id 0 / sampled false = not traced; such contexts add no payload.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // parent span for work started under this context
+  bool sampled = false;
+
+  bool valid() const { return sampled && trace_id != 0; }
+};
+
+// One completed timed section. `scope` locates the span in the system
+// (`<job>.<task>` for operator/process spans, `producer.<topic>` /
+// `consumer` for the log layer); `name` is the operation (plan-unique
+// operator id like "op2-scan", or "process" / "produce" / "poll").
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  int64_t start_ns = 0;     // MonotonicNanos at span start
+  int64_t duration_ns = 0;  // inclusive of child spans
+  std::string name;
+  std::string scope;
+  int64_t tag = 0;  // small numeric payload: partition, batch size, ...
+};
+
+// Aggregate per span name, the basis of EXPLAIN ANALYZE. `self_ns` is
+// inclusive time minus the time of child spans *within the same scope
+// filter*, so for a job-scoped query the self times of all operators
+// telescope exactly to the root ("process") spans' inclusive time.
+struct SpanStats {
+  int64_t count = 0;
+  int64_t inclusive_ns = 0;
+  int64_t self_ns = 0;
+};
+
+// Process-wide trace collector. A single instance is shared by every job in
+// the process (shell, containers, producers, consumers) so one trace can
+// cross job boundaries the way the paper's Kappa pipelines chain topics.
+// Disabled (sample rate 0) unless a job config or the shell enables it.
+class Tracer {
+ public:
+  static Tracer& Instance();
+
+  // Enable with a head-sampling rate in (0,1] and a span ring capacity.
+  // rate r samples every round(1/r)-th trace root deterministically (no
+  // RNG), so runs with the same input order trace the same tuples.
+  // rate <= 0 disables. Reconfiguring with a new capacity drops buffered
+  // spans; same capacity keeps them.
+  void Configure(double sample_rate, size_t capacity = kDefaultCapacity);
+
+  bool enabled() const { return sample_every_ > 0; }
+  double sample_rate() const;
+  size_t capacity() const { return capacity_; }
+
+  // Head sampling decision at a trace root (producer append with no active
+  // context, or container ingest of an untraced message). Returns a sampled
+  // context with a fresh trace id, or an invalid context.
+  TraceContext MaybeStartTrace();
+
+  uint64_t NextSpanId() { return ++next_id_; }
+
+  // Append to the ring; evicts the oldest span when full.
+  void Record(Span span);
+
+  // Buffered spans, oldest first.
+  std::vector<Span> Spans() const;
+  int64_t recorded_total() const;
+  int64_t evicted() const;
+
+  // Drop buffered spans, keep configuration.
+  void Clear();
+  // Back to disabled defaults (tests).
+  void Reset();
+
+  static constexpr size_t kDefaultCapacity = 65536;
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  size_t write_ = 0;       // next ring slot
+  int64_t recorded_ = 0;   // total Record() calls since Clear/Reset
+  size_t capacity_ = kDefaultCapacity;
+  // Sampling/config state. Relaxed atomics would do; plain 64-bit members
+  // behind the decision counter keep it simple. sample_every_ 0 = disabled.
+  std::atomic<int64_t> sample_every_{0};
+  std::atomic<uint64_t> trace_seq_{0};
+  std::atomic<uint64_t> next_id_{0};
+};
+
+// Ambient trace context of the current thread: set by TraceSpan, read by
+// layers that cannot thread it explicitly (the producer stamping outgoing
+// messages under MessageCollector's trace-unaware API).
+TraceContext CurrentTraceContext();
+
+// RAII span. If `parent` is sampled and the tracer is enabled, allocates a
+// span id, installs itself as the thread's current context, and records the
+// span on destruction; otherwise clears the ambient context for its extent
+// (so nothing downstream mis-parents to an older span) and records nothing.
+class TraceSpan {
+ public:
+  TraceSpan(const TraceContext& parent, std::string_view name,
+            std::string_view scope, int64_t tag = 0);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+  void set_tag(int64_t tag) { span_.tag = tag; }
+  // Context for stamping messages/tuples caused by this span.
+  TraceContext context() const;
+
+ private:
+  Span span_;
+  TraceContext prev_;
+  bool active_ = false;
+};
+
+// Per-name aggregates over `spans`, restricted to spans whose scope starts
+// with `scope_prefix` (empty = all). Children outside the filter are not
+// subtracted from self time, so filtered self times still telescope to the
+// filtered roots' inclusive time.
+std::map<std::string, SpanStats> ComputeSpanStats(const std::vector<Span>& spans,
+                                                  const std::string& scope_prefix);
+
+// Chrome trace format (chrome://tracing, Perfetto): one complete event
+// ("ph":"X") per span, one metadata thread-name event per distinct scope.
+std::string SpansToChromeTraceJson(const std::vector<Span>& spans);
+
+}  // namespace sqs

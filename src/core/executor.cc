@@ -1,9 +1,14 @@
 #include "core/executor.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <set>
+#include <sstream>
 
+#include "common/tracing.h"
 #include "core/task.h"
 #include "ops/router.h"
 #include "sql/lexer.h"
@@ -23,6 +28,128 @@ void CollectScans(const sql::LogicalNode& node,
                   std::vector<const sql::LogicalNode*>& scans) {
   if (node.kind == sql::LogicalKind::kScan) scans.push_back(&node);
   for (const auto& input : node.inputs) CollectScans(*input, scans);
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string FmtUs(int64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(nanos) / 1000.0);
+  return buf;
+}
+
+std::string FmtPct(int64_t part, int64_t whole) {
+  if (whole <= 0) return "0.0%";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                100.0 * static_cast<double>(part) / static_cast<double>(whole));
+  return buf;
+}
+
+// Annotation for one plan line: "[op2-filter count=200 incl=1.2us ...]".
+std::string Annotate(const std::string& name, const SpanStats& st,
+                     int64_t busy_ns) {
+  std::ostringstream os;
+  os << "[" << name << " count=" << st.count << " incl=" << FmtUs(st.inclusive_ns)
+     << " self=" << FmtUs(st.self_ns) << " self%=" << FmtPct(st.self_ns, busy_ns)
+     << "]";
+  return os.str();
+}
+
+// Physical plan annotated with per-operator span statistics. Plan lines are
+// preorder — line k is the node the router registered as "op<k>-<name>";
+// the stream-insert root (not a plan node) is "op<#nodes>-insert".
+std::string RenderAnalyzedPlan(const sql::LogicalNode& plan,
+                               const std::vector<Span>& spans,
+                               const std::string& job_name,
+                               const std::string& output_topic) {
+  const std::string scope_prefix = job_name + ".";
+  std::map<std::string, SpanStats> stats = ComputeSpanStats(spans, scope_prefix);
+
+  // Index operator stats by preorder id ("op<k>-...").
+  std::map<int, std::pair<std::string, SpanStats>> by_id;
+  for (const auto& [name, st] : stats) {
+    if (name.compare(0, 2, "op") != 0) continue;
+    size_t dash = name.find('-');
+    if (dash == std::string::npos || dash == 2) continue;
+    by_id[std::atoi(name.substr(2, dash - 2).c_str())] = {name, st};
+  }
+
+  std::set<uint64_t> traces;
+  int64_t span_count = 0;
+  for (const Span& s : spans) {
+    if (s.scope.compare(0, scope_prefix.size(), scope_prefix) != 0) continue;
+    traces.insert(s.trace_id);
+    ++span_count;
+  }
+
+  const SpanStats process = stats.count("process") ? stats["process"] : SpanStats{};
+  // Total busy time the container measured for the sampled tuples: the
+  // per-message "process" spans are the trace roots within the job scope, so
+  // the self times of every span below telescope to their inclusive time.
+  const int64_t traced_busy_ns = process.inclusive_ns;
+  int64_t total_self_ns = 0;
+  int64_t serde_self_ns = 0;
+  int64_t operator_self_ns = 0;
+  for (const auto& [name, st] : stats) {
+    total_self_ns += st.self_ns;
+    if (name != "process") operator_self_ns += st.self_ns;
+    size_t dash = name.find('-');
+    if (dash != std::string::npos) {
+      std::string op = name.substr(dash + 1);
+      if (op == "scan" || op == "insert") serde_self_ns += st.self_ns;
+    }
+  }
+
+  std::vector<std::string> lines = SplitLines(plan.ToString());
+  size_t width = 0;
+  for (const std::string& line : lines) width = std::max(width, line.size());
+  std::string insert_line = "insert -> " + output_topic;
+  width = std::max(width, insert_line.size()) + 2;
+
+  std::ostringstream os;
+  os << "EXPLAIN ANALYZE " << job_name << " (traces=" << traces.size()
+     << ", spans=" << span_count << ")\n";
+  for (size_t k = 0; k < lines.size(); ++k) {
+    os << lines[k] << std::string(width - lines[k].size(), ' ');
+    auto it = by_id.find(static_cast<int>(k));
+    if (it != by_id.end()) {
+      os << Annotate(it->second.first, it->second.second, traced_busy_ns);
+    } else {
+      os << "[no sampled spans]";
+    }
+    os << "\n";
+  }
+  // The stream-insert root, registered after the plan traversal.
+  {
+    os << insert_line << std::string(width - insert_line.size(), ' ');
+    auto it = by_id.find(static_cast<int>(lines.size()));
+    if (it != by_id.end()) {
+      os << Annotate(it->second.first, it->second.second, traced_busy_ns);
+    } else {
+      os << "[no sampled spans]";
+    }
+    os << "\n";
+  }
+  os << "process: count=" << process.count << " incl=" << FmtUs(process.inclusive_ns)
+     << " self=" << FmtUs(process.self_ns)
+     << " (dispatch + commit outside operators)\n";
+  os << "serde share: " << FmtUs(serde_self_ns) << " scan+insert self = "
+     << FmtPct(serde_self_ns, traced_busy_ns) << " of traced busy time\n";
+  os << "operator_self_ns=" << operator_self_ns
+     << " total_self_ns=" << total_self_ns
+     << " traced_busy_ns=" << traced_busy_ns << "\n";
+  return os.str();
 }
 
 }  // namespace
@@ -68,6 +195,9 @@ Result<QueryExecutor::ExecutionResult> QueryExecutor::Execute(
     sql::QueryPlanner planner(env_->catalog);
     SQS_ASSIGN_OR_RETURN(plan, planner.Plan(*stmt.explain->select));
     plan = sql::Optimize(plan);
+    if (stmt.explain->analyze) {
+      return RunExplainAnalyze(*stmt.explain->select, *plan, statement_sql);
+    }
     ExecutionResult result;
     result.kind = ExecutionResult::Kind::kExplained;
     result.text = plan->ToString();
@@ -176,6 +306,46 @@ Result<QueryExecutor::ExecutionResult> QueryExecutor::RunBatchQuery(
   result.kind = ExecutionResult::Kind::kRows;
   result.rows = std::move(rows);
   result.schema = plan->schema;
+  return result;
+}
+
+Result<QueryExecutor::ExecutionResult> QueryExecutor::RunExplainAnalyze(
+    const sql::SelectStmt& select, const sql::LogicalNode& plan,
+    const std::string& original_sql) {
+  if (!select.stream) {
+    return Status::Unsupported(
+        "EXPLAIN ANALYZE requires SELECT STREAM (it profiles the streaming job)");
+  }
+  // Strip the "EXPLAIN ANALYZE" prefix using lexer token positions, so the
+  // task-side re-parse of the ZooKeeper-stored SQL (two-step planning) sees
+  // a plain SELECT.
+  SQS_ASSIGN_OR_RETURN(tokens, sql::Lex(original_sql));
+  if (tokens.size() < 3) return Status::Internal("EXPLAIN ANALYZE: bad statement");
+  std::string body = original_sql.substr(tokens[2].position);
+
+  // Profile with every trace sampled, on a clean buffer; the prior sampling
+  // configuration is restored on every exit path. Buffered spans are kept
+  // afterwards so SHOW TRACE can inspect the run.
+  Tracer& tracer = Tracer::Instance();
+  struct RestoreTracer {
+    double rate;
+    size_t capacity;
+    ~RestoreTracer() { Tracer::Instance().Configure(rate, capacity); }
+  } restore{tracer.sample_rate(), tracer.capacity()};
+  tracer.Configure(1.0, restore.capacity);
+  tracer.Clear();
+
+  SQS_ASSIGN_OR_RETURN(submitted, SubmitStreamingJob(select, "", body));
+  const std::string job_name = "samzasql-query-" + std::to_string(query_counter_ - 1);
+  SQS_RETURN_IF_ERROR(RunJobsUntilQuiescent().status());
+
+  ExecutionResult result;
+  result.kind = ExecutionResult::Kind::kExplained;
+  result.text =
+      RenderAnalyzedPlan(plan, tracer.Spans(), job_name, submitted.output_topic);
+  result.schema = plan.schema;
+  result.output_topic = submitted.output_topic;
+  result.job_index = submitted.job_index;
   return result;
 }
 

@@ -72,6 +72,13 @@ class QueryExecutor {
                                              const std::string& insert_target,
                                              const std::string& original_sql);
   Result<ExecutionResult> RunBatchQuery(const sql::SelectStmt& select);
+  // EXPLAIN ANALYZE: run the query as a streaming job with every trace
+  // sampled, then render the plan annotated with per-operator span stats
+  // (count, inclusive vs. self time, serde share). Restores the tracer's
+  // prior sampling configuration afterwards.
+  Result<ExecutionResult> RunExplainAnalyze(const sql::SelectStmt& select,
+                                            const sql::LogicalNode& plan,
+                                            const std::string& original_sql);
 
   EnvironmentPtr env_;
   Config defaults_;

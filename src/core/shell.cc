@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <iostream>
+#include <set>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/metrics_reporter.h"
+#include "common/tracing.h"
 
 namespace sqs::core {
 
@@ -84,6 +88,53 @@ void Shell::ExecuteBuffered(std::ostream& out) {
       }
       return;
     }
+    // SHOW TRACE [JSON | <job>]: inspect the process-wide span buffer.
+    if (w1 == "SHOW" && w2 == "TRACE") {
+      Tracer& tracer = Tracer::Instance();
+      std::vector<Span> spans = tracer.Spans();
+      if (w3 == "JSON") {
+        out << SpansToChromeTraceJson(spans) << "\n";
+        return;
+      }
+      // Job filter needs the original-case word (job names are lower-case).
+      std::string job_filter;
+      {
+        std::istringstream orig(statement);
+        std::string o1, o2;
+        orig >> o1 >> o2 >> job_filter;
+      }
+      std::string prefix = job_filter.empty() ? "" : job_filter + ".";
+      std::map<std::string, SpanStats> stats = ComputeSpanStats(spans, prefix);
+      std::set<uint64_t> traces;
+      int64_t in_scope = 0;
+      for (const Span& s : spans) {
+        if (!prefix.empty() && s.scope.compare(0, prefix.size(), prefix) != 0) {
+          continue;
+        }
+        traces.insert(s.trace_id);
+        ++in_scope;
+      }
+      char header[128];
+      std::snprintf(header, sizeof(header),
+                    "traces=%zu spans=%lld recorded=%lld evicted=%lld "
+                    "sample_rate=%g\n",
+                    traces.size(), static_cast<long long>(in_scope),
+                    static_cast<long long>(tracer.recorded_total()),
+                    static_cast<long long>(tracer.evicted()),
+                    tracer.sample_rate());
+      out << header;
+      std::snprintf(header, sizeof(header), "%-28s %10s %14s %14s\n", "span",
+                    "count", "incl_us", "self_us");
+      out << header;
+      for (const auto& [name, st] : stats) {
+        std::snprintf(header, sizeof(header), "%-28s %10lld %14.1f %14.1f\n",
+                      name.c_str(), static_cast<long long>(st.count),
+                      static_cast<double>(st.inclusive_ns) / 1000.0,
+                      static_cast<double>(st.self_ns) / 1000.0);
+        out << header;
+      }
+      return;
+    }
   }
   auto result = executor_->Execute(statement);
   if (!result.ok()) {
@@ -99,6 +150,8 @@ void Shell::ExecuteBuffered(std::ostream& out) {
       out << r.text;
       break;
     case QueryExecutor::ExecutionResult::Kind::kJobSubmitted:
+      SQS_INFOC("shell", "job submitted", {"output", r.output_topic},
+                {"job_index", std::to_string(r.job_index)});
       out << r.text << "\noutput stream: " << r.output_topic
           << "   (use !run to process, !output " << r.output_topic
           << " to sample)\n";
@@ -124,7 +177,11 @@ void Shell::MetaCommand(const std::string& command, std::ostream& out) {
            "statements:\n"
            "  SHOW METRICS;         job/task/operator metrics of submitted jobs\n"
            "  SHOW METRICS JSON;    the same snapshot as JSON lines\n"
-           "(see docs/METRICS.md for the metric reference)\n";
+           "  SHOW TRACE [<job>];   per-span statistics from the trace buffer\n"
+           "  SHOW TRACE JSON;      buffered spans as Chrome trace format\n"
+           "  EXPLAIN ANALYZE <q>;  run a streaming query fully sampled and\n"
+           "                        annotate its plan with span statistics\n"
+           "(see docs/METRICS.md and docs/TRACING.md for references)\n";
     return;
   }
   if (cmd == "!tables") {

@@ -1,6 +1,7 @@
 #include "log/broker.h"
 
 #include "common/clock.h"
+#include "common/logging.h"
 
 #include <map>
 
@@ -20,6 +21,9 @@ Status Broker::CreateTopic(const std::string& name, TopicConfig config) {
     topic->partitions.push_back(std::make_unique<Partition>());
   }
   topics_[name] = std::move(topic);
+  SQS_DEBUGC("broker", "topic created", {"topic", name},
+             {"partitions", std::to_string(config.num_partitions)},
+             {"compacted", config.compacted ? "true" : "false"});
   return Status::Ok();
 }
 

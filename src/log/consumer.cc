@@ -1,6 +1,7 @@
 #include "log/consumer.h"
 
 #include "common/clock.h"
+#include "common/tracing.h"
 
 namespace sqs {
 
@@ -35,6 +36,8 @@ Status Consumer::Seek(const StreamPartition& sp, int64_t offset) {
 Result<std::vector<IncomingMessage>> Consumer::Poll() {
   std::vector<IncomingMessage> batch;
   if (positions_.empty()) return batch;
+  Tracer& tracer = Tracer::Instance();
+  const int64_t poll_start = tracer.enabled() ? MonotonicNanos() : 0;
   if (poll_latency_nanos_ > 0) {
     int64_t until = MonotonicNanos() + poll_latency_nanos_;
     while (MonotonicNanos() < until) {
@@ -59,6 +62,25 @@ Result<std::vector<IncomingMessage>> Consumer::Poll() {
     pos += static_cast<int64_t>(msgs.size());
     budget -= static_cast<int32_t>(msgs.size());
     for (auto& m : msgs) batch.push_back(std::move(m));
+  }
+  if (poll_start != 0) {
+    // Attribute the fetch to the first sampled message in the batch; its
+    // producer span becomes the parent, so the trace shows log dwell + fetch
+    // between append and container processing. Tag = batch size.
+    for (const IncomingMessage& im : batch) {
+      if (!im.message.trace.valid()) continue;
+      Span s;
+      s.trace_id = im.message.trace.trace_id;
+      s.span_id = tracer.NextSpanId();
+      s.parent_span_id = im.message.trace.span_id;
+      s.start_ns = poll_start;
+      s.duration_ns = MonotonicNanos() - poll_start;
+      s.name = "poll";
+      s.scope = "consumer";
+      s.tag = static_cast<int64_t>(batch.size());
+      tracer.Record(std::move(s));
+      break;
+    }
   }
   return batch;
 }

@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "common/bytes.h"
+#include "common/tracing.h"
 
 namespace sqs {
 
@@ -28,17 +29,29 @@ struct StreamPartition {
 
 struct StreamPartitionHasher {
   size_t operator()(const StreamPartition& sp) const {
-    return std::hash<std::string>{}(sp.topic) * 31 +
-           static_cast<size_t>(sp.partition);
+    // SplitMix64-style combine: the old `hash(topic)*31 + partition` mapped
+    // adjacent partitions of one topic to consecutive hash values, clustering
+    // them into neighboring buckets of any power-of-two table.
+    uint64_t h = std::hash<std::string>{}(sp.topic);
+    uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(sp.partition)) +
+                 0x9e3779b97f4a7c15ull + h;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<size_t>(h ^ x);
   }
 };
 
 // A message as stored in / fetched from the log. `timestamp` is the log
 // append time (the *event* time lives inside the payload as `rowtime`).
+// `trace` is the sampled-tracing context stamped at append; the broker
+// stores it verbatim, so a trace survives repartitioning and follows the
+// tuple into downstream jobs.
 struct Message {
   Bytes key;
   Bytes value;
   int64_t timestamp = 0;
+  TraceContext trace;
 };
 
 // A fetched message together with its provenance.

@@ -1,5 +1,7 @@
 #include "log/producer.h"
 
+#include "common/tracing.h"
+
 namespace sqs {
 
 Producer::Producer(BrokerPtr broker, std::shared_ptr<Clock> clock)
@@ -23,6 +25,17 @@ Result<int64_t> Producer::SendTo(const StreamPartition& sp, Bytes key, Bytes val
   m.key = std::move(key);
   m.value = std::move(value);
   m.timestamp = clock_->NowMillis();
+  // Trace stamping: an append inside an active span (e.g. an InsertOperator
+  // emitting through the collector) continues that trace; an append with no
+  // ambient context is a trace root and takes the head-sampling decision.
+  // Unsampled sends skip the span (and its scope-string allocation) entirely.
+  TraceContext parent = CurrentTraceContext();
+  if (!parent.valid()) parent = Tracer::Instance().MaybeStartTrace();
+  if (parent.valid()) {
+    TraceSpan span(parent, "produce", "producer." + sp.topic, sp.partition);
+    m.trace = span.context();
+    return broker_->Append(sp, std::move(m));
+  }
   return broker_->Append(sp, std::move(m));
 }
 

@@ -5,6 +5,12 @@ namespace sqs::ops {
 Status ScanOperator::ProcessMessage(const IncomingMessage& message,
                                     OperatorContext& ctx) {
   EnsureMetrics(ctx);
+  // Parent preference: the container's per-message "process" span (ambient)
+  // when running inside a container loop; the message's own stamped context
+  // when fed directly (tests, native harnesses).
+  TraceContext parent = CurrentTraceContext();
+  if (!parent.valid()) parent = message.message.trace;
+  TraceSpan span(parent, TraceName(), TraceScopeName(), message.origin.partition);
   int64_t t0 = MonotonicNanos();
   Status st = DecodeAndEmit(message, ctx);
   // rowtime is only known post-decode; the router-facing watermark for scan

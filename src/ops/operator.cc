@@ -6,6 +6,8 @@ void Operator::EnsureMetrics(OperatorContext& ctx) {
   if (processed_ != nullptr || ctx.task == nullptr) return;
   ScopedMetrics scope(&ctx.task->metrics(),
                       ctx.task->config().Get(cfg::kJobName, "job"));
+  trace_scope_ = ctx.task->config().Get(cfg::kJobName, "job") + "." +
+                 ctx.task->task_name();
   scope = scope.Sub(ctx.task->task_name()).Sub(metric_id());
   processed_ = &scope.counter("processed");
   dropped_ = &scope.counter("dropped");
@@ -32,6 +34,7 @@ void Operator::RecordTuple(int64_t latency_nanos, int64_t rowtime) {
 
 Status Operator::Process(const TupleEvent& event, OperatorContext& ctx) {
   EnsureMetrics(ctx);
+  TraceSpan span(event.trace, TraceName(), trace_scope_, event.partition);
   if (processed_ == nullptr) return DoProcess(event, ctx);
   int64_t rowtime = event.rowtime;
   int64_t t0 = MonotonicNanos();

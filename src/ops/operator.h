@@ -16,6 +16,7 @@
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/tracing.h"
 #include "common/value.h"
 #include "serde/serde.h"
 #include "task/api.h"
@@ -29,6 +30,7 @@ struct TupleEvent {
   int32_t partition = 0;    // originating input partition id
   int64_t offset = 0;       // originating input offset (for idempotence)
   int side = 0;             // for joins: 0 = left input, 1 = right input
+  TraceContext trace;       // sampled-tracing context (invalid = untraced)
 };
 
 class Operator;
@@ -54,6 +56,8 @@ class Operator {
   // (`<job>.<task>.<operator>.*`) from the task context on first use, then
   // counts the tuple, times DoProcess (inclusive of downstream operators —
   // see docs/METRICS.md), and advances the event-time watermark gauges.
+  // When the event carries a sampled trace context, the call is also wrapped
+  // in a span named after the plan-unique operator id, scoped `<job>.<task>`.
   Status Process(const TupleEvent& event, OperatorContext& ctx);
 
   // Timer callback (window emission). Default: no-op.
@@ -80,10 +84,14 @@ class Operator {
   // Process one tuple, forwarding results downstream via EmitNext().
   virtual Status DoProcess(const TupleEvent& event, OperatorContext& ctx) = 0;
 
-  // Forward an event downstream, tagging the configured side.
+  // Forward an event downstream, tagging the configured side. The ambient
+  // trace context (this operator's span, if sampled) becomes the emitted
+  // event's parent, so derived tuples — window emissions, join outputs —
+  // chain to the operator that produced them.
   Status EmitNext(TupleEvent event, OperatorContext& ctx) {
     if (!next_) return Status::Ok();
     event.side = next_side_;
+    event.trace = CurrentTraceContext();
     return next_->Process(event, ctx);
   }
 
@@ -101,10 +109,23 @@ class Operator {
     if (dropped_) dropped_->Inc(n);
   }
 
+  // Span identity for instrumented entry points (Process, scan's
+  // ProcessMessage). Name lazily binds to metric_id() on first use; scope is
+  // bound together with the metrics in EnsureMetrics.
+  const std::string& TraceName() {
+    if (trace_name_.empty()) trace_name_ = metric_id();
+    return trace_name_;
+  }
+  const std::string& TraceScopeName() const { return trace_scope_; }
+
  private:
   OperatorPtr next_;
   int next_side_ = 0;
   std::string metric_id_;
+  // Cached span identity: name = metric_id() (bound on first Process),
+  // scope = `<job>.<task>` (bound with the metrics).
+  std::string trace_name_;
+  std::string trace_scope_;
 
   // Scoped instruments, bound on first Process with a task context.
   Counter* processed_ = nullptr;

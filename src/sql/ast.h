@@ -156,6 +156,7 @@ struct InsertStmt {
 
 struct ExplainStmt {
   std::unique_ptr<SelectStmt> select;
+  bool analyze = false;  // EXPLAIN ANALYZE: run sampled, annotate with spans
 };
 
 // A parsed statement: exactly one member is set.

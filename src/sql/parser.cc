@@ -7,6 +7,15 @@ namespace sqs::sql {
 
 namespace {
 
+bool IsAnalyze(const std::string& text) {
+  if (text.size() != 7) return false;
+  const char* kw = "ANALYZE";
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) != kw[i]) return false;
+  }
+  return true;
+}
+
 // Millisecond multipliers for interval units.
 Result<int64_t> UnitMillis(const std::string& unit) {
   if (unit == "SECOND") return int64_t{1000};
@@ -128,6 +137,11 @@ class Parser {
     }
     if (EatKw("EXPLAIN")) {
       auto explain = std::make_unique<ExplainStmt>();
+      // ANALYZE is not a reserved keyword; it lexes as an identifier.
+      if (Check(TokenType::kIdentifier) && IsAnalyze(Peek().text)) {
+        Advance();
+        explain->analyze = true;
+      }
       SQS_ASSIGN_OR_RETURN(sel, ParseSelect());
       explain->select = std::move(sel);
       stmt.explain = std::move(explain);

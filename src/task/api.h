@@ -122,6 +122,16 @@ inline constexpr const char* kMetricsReporterIntervalMs = "metrics.reporter.inte
 inline constexpr const char* kMetricsReporterPath = "metrics.reporter.path";
 // stores.<name>.changelog = <topic>
 inline constexpr const char* kStoresPrefix = "stores.";
+// Head-based trace sampling rate in (0,1]; 0 / unset = tracing disabled.
+inline constexpr const char* kTracingSampleRate = "tracing.sample.rate";
+// Span ring-buffer capacity (default Tracer::kDefaultCapacity).
+inline constexpr const char* kTracingBufferSpans = "tracing.buffer.spans";
+// If set, the container writes a Chrome-trace-format JSON file here on Stop().
+inline constexpr const char* kTracingExportPath = "tracing.export.path";
+// Structured logging: minimum level (debug|info|warn|error|off) and record
+// format (plain|json) — see common/logging.h.
+inline constexpr const char* kLogLevel = "log.level";
+inline constexpr const char* kLogFormat = "log.format";
 }  // namespace cfg
 
 }  // namespace sqs

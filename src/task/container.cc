@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "common/logging.h"
+#include "common/tracing.h"
 
 namespace sqs {
 
@@ -41,6 +42,8 @@ struct Container::TaskInstance : public TaskContext, public TaskCoordinator {
   int64_t since_commit = 0;
   bool commit_requested = false;
   Container* container = nullptr;
+  // Precomputed `<job>.<task>` span scope (avoids per-message allocation).
+  std::string trace_scope;
 
   // TaskContext
   const std::string& task_name() const override { return model.task_name; }
@@ -142,6 +145,18 @@ Status Container::InitTask(TaskInstance& task) {
 Status Container::Start() {
   if (started_) return Status::StateError("container already started");
 
+  ApplyLogConfig(config_);
+  // The tracer is process-global (traces cross job boundaries); only touch
+  // it when this job's config actually carries a tracing key, so a job
+  // without one does not reset a rate the shell (EXPLAIN ANALYZE) enabled.
+  if (config_.Has(cfg::kTracingSampleRate)) {
+    Tracer::Instance().Configure(
+        config_.GetDouble(cfg::kTracingSampleRate, 0.0),
+        static_cast<size_t>(config_.GetInt(
+            cfg::kTracingBufferSpans,
+            static_cast<int64_t>(Tracer::kDefaultCapacity))));
+  }
+
   producer_ = std::make_unique<Producer>(broker_, clock_);
   int32_t max_poll =
       static_cast<int32_t>(config_.GetInt(cfg::kMaxPollMessages, 256));
@@ -198,6 +213,8 @@ Status Container::Start() {
     auto instance = std::make_unique<TaskInstance>();
     instance->model = tm;
     instance->container = this;
+    instance->trace_scope =
+        config_.Get(cfg::kJobName, "job") + "." + tm.task_name;
     instance->task = factory();
     if (!instance->task) return Status::Internal("task factory returned null");
     SQS_RETURN_IF_ERROR(InitTask(*instance));
@@ -215,6 +232,10 @@ Status Container::Start() {
   SQS_RETURN_IF_ERROR(UpdateLagGauges());
 
   started_ = true;
+  SQS_INFOC("container", "container started",
+            {"job", config_.Get(cfg::kJobName, "job")},
+            {"id", std::to_string(model_.container_id)},
+            {"tasks", std::to_string(tasks_.size())});
   return Status::Ok();
 }
 
@@ -238,6 +259,12 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
       return Status::Internal("no task for partition " + msg.origin.ToString());
     }
     TaskInstance& task = *it->second;
+    // Per-message span. A message stamped by a producer continues its trace;
+    // an untraced message (pre-existing log data) is a head-sampling point,
+    // so ingest-rooted traces work on topics written before tracing was on.
+    TraceContext parent = msg.message.trace;
+    if (!parent.valid()) parent = Tracer::Instance().MaybeStartTrace();
+    TraceSpan span(parent, "process", task.trace_scope, msg.origin.partition);
     int64_t t0 = MonotonicNanos();
     SQS_RETURN_IF_ERROR(task.task->Process(msg, collector, task));
     if (m_process_latency_ns_ != nullptr) {
@@ -330,7 +357,24 @@ Status Container::Stop() {
     SQS_RETURN_IF_ERROR(CommitTask(*task));
     SQS_RETURN_IF_ERROR(task->task->Close());
   }
+  std::string trace_path = config_.Get(cfg::kTracingExportPath);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out.good()) {
+      SQS_WARNC("container", "cannot write trace export",
+                {"path", trace_path});
+    } else {
+      std::vector<Span> spans = Tracer::Instance().Spans();
+      out << SpansToChromeTraceJson(spans);
+      SQS_INFOC("container", "trace export written", {"path", trace_path},
+                {"spans", std::to_string(spans.size())});
+    }
+  }
   started_ = false;
+  SQS_INFOC("container", "container stopped",
+            {"job", config_.Get(cfg::kJobName, "job")},
+            {"id", std::to_string(model_.container_id)},
+            {"processed", std::to_string(processed_total_)});
   return Status::Ok();
 }
 

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
+#include <sstream>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 #include "common/config.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/status.h"
 #include "common/value.h"
 
@@ -216,6 +220,93 @@ TEST(HashTest, DeterministicAndSpread) {
   EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
   EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
   EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+// The logger is a process-global singleton; restore defaults on every path.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger& logger = Logger::Instance();
+    logger.SetSink(&out_);
+    logger.SetClock(std::make_shared<ManualClock>(1786018496123));
+    logger.SetLevel(LogLevel::kDebug);
+    logger.SetFormat(LogFormat::kPlain);
+  }
+  void TearDown() override {
+    Logger& logger = Logger::Instance();
+    logger.SetSink(nullptr);
+    logger.SetClock(nullptr);
+    logger.SetLevel(LogLevel::kWarn);
+    logger.SetFormat(LogFormat::kPlain);
+  }
+  std::string Drain() {
+    std::string s = out_.str();
+    out_.str("");
+    return s;
+  }
+  std::ostringstream out_;
+};
+
+TEST_F(LoggingTest, PlainFormatHasTimestampComponentAndFields) {
+  SQS_INFOC("container", "started", {"job", "q0"}, {"tasks", "4"});
+  std::string line = Drain();
+  // ISO-8601 UTC timestamp from the injected clock.
+  EXPECT_NE(line.find("2026-08-06T12:14:56.123Z"), std::string::npos) << line;
+  EXPECT_NE(line.find("INFO"), std::string::npos);
+  EXPECT_NE(line.find("[container]"), std::string::npos);
+  EXPECT_NE(line.find("started job=q0 tasks=4"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST_F(LoggingTest, JsonFormatEscapesAndCarriesFields) {
+  Logger::Instance().SetFormat(LogFormat::kJson);
+  SQS_WARNC("broker", "bad \"topic\"", {"name", "a\\b"});
+  std::string line = Drain();
+  EXPECT_NE(line.find("{\"ts_ms\":1786018496123,\"level\":\"WARN\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"component\":\"broker\""), std::string::npos);
+  EXPECT_NE(line.find("\"msg\":\"bad \\\"topic\\\"\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"name\":\"a\\\\b\""), std::string::npos) << line;
+}
+
+TEST_F(LoggingTest, RecordsBelowLevelAreDropped) {
+  Logger::Instance().SetLevel(LogLevel::kError);
+  SQS_DEBUGC("shell", "noise");
+  SQS_INFOC("shell", "noise");
+  SQS_WARNC("shell", "noise");
+  EXPECT_EQ(Drain(), "");
+  SQS_ERRORC("shell", "kept");
+  EXPECT_NE(Drain().find("kept"), std::string::npos);
+  Logger::Instance().SetLevel(LogLevel::kOff);
+  SQS_ERRORC("shell", "muted");
+  EXPECT_EQ(Drain(), "");
+}
+
+TEST_F(LoggingTest, LegacyMacrosRouteToAppComponent) {
+  SQS_WARN("old style " << 42);
+  std::string line = Drain();
+  EXPECT_NE(line.find("[app]"), std::string::npos) << line;
+  EXPECT_NE(line.find("old style 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ApplyLogConfigMapsKeysAndIgnoresAbsentOnes) {
+  Config config;
+  config.Set("log.level", "debug");
+  config.Set("log.format", "json");
+  ApplyLogConfig(config);
+  EXPECT_EQ(Logger::Instance().level(), LogLevel::kDebug);
+  EXPECT_EQ(Logger::Instance().format(), LogFormat::kJson);
+  // Absent keys leave the current settings untouched.
+  ApplyLogConfig(Config{});
+  EXPECT_EQ(Logger::Instance().level(), LogLevel::kDebug);
+  EXPECT_EQ(Logger::Instance().format(), LogFormat::kJson);
+  Config off;
+  off.Set("log.level", "off");
+  off.Set("log.format", "plain");
+  ApplyLogConfig(off);
+  EXPECT_EQ(Logger::Instance().level(), LogLevel::kOff);
+  EXPECT_EQ(Logger::Instance().format(), LogFormat::kPlain);
 }
 
 }  // namespace

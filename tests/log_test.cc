@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bit>
 #include <set>
 
 #include "log/broker.h"
@@ -286,6 +288,56 @@ TEST(BrokerLatencyTest, FetchLatencyConsumesTime) {
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(broker->Fetch({"t", 0}, 0, 1).ok());
   int64_t elapsed = MonotonicNanos() - t0;
   EXPECT_GE(elapsed, 10 * 200000);
+}
+
+// Regression tests for StreamPartitionHasher. The original
+// `hash(topic) * 31 + partition` mapped adjacent partitions of one topic to
+// consecutive hash values: high bits never moved with the partition, and
+// power-of-two bucket tables saw heavy low-bit collisions across topics.
+TEST(StreamPartitionHasherTest, DeterministicPerKey) {
+  StreamPartitionHasher hasher;
+  EXPECT_EQ(hasher({"Orders", 3}), hasher({"Orders", 3}));
+  EXPECT_NE(hasher({"Orders", 3}), hasher({"Orders", 4}));
+  EXPECT_NE(hasher({"Orders", 3}), hasher({"Packets", 3}));
+}
+
+TEST(StreamPartitionHasherTest, AdjacentPartitionsAvalanche) {
+  StreamPartitionHasher hasher;
+  int64_t total_flipped = 0;
+  int64_t high32_changed = 0;
+  constexpr int kPairs = 256;
+  for (int p = 0; p < kPairs; ++p) {
+    uint64_t a = hasher({"Orders", p});
+    uint64_t b = hasher({"Orders", p + 1});
+    total_flipped += std::popcount(a ^ b);
+    if ((a >> 32) != (b >> 32)) ++high32_changed;
+  }
+  // A +1 partition step must flip about half of the 64 output bits on
+  // average (the old hasher flipped ~2) and must reach the high word.
+  EXPECT_GE(total_flipped / kPairs, 24);
+  EXPECT_GE(high32_changed, kPairs - 2);
+}
+
+TEST(StreamPartitionHasherTest, SpreadsOverPowerOfTwoBuckets) {
+  StreamPartitionHasher hasher;
+  constexpr size_t kBuckets = 64;
+  constexpr int kTopics = 8;
+  constexpr int kPartitions = 32;  // 256 keys, ideal load 4 per bucket
+  std::array<int, kBuckets> load{};
+  std::set<uint64_t> distinct;
+  for (int t = 0; t < kTopics; ++t) {
+    for (int p = 0; p < kPartitions; ++p) {
+      uint64_t h = hasher({"topic-" + std::to_string(t), p});
+      distinct.insert(h);
+      ++load[h & (kBuckets - 1)];
+    }
+  }
+  EXPECT_EQ(distinct.size(), size_t{kTopics * kPartitions});
+  // No bucket may carry more than 4x the ideal load. The old hasher packed
+  // each topic's partitions into runs, overloading shared low-bit residues.
+  for (size_t b = 0; b < kBuckets; ++b) {
+    EXPECT_LE(load[b], 16) << "bucket " << b << " overloaded";
+  }
 }
 
 }  // namespace

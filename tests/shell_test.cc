@@ -2,8 +2,10 @@
 // full scripted session.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
+#include "common/tracing.h"
 #include "core/shell.h"
 #include "workload/generators.h"
 
@@ -134,6 +136,98 @@ TEST_F(ShellTest, ShowMetricsSurfacesWindowedJoinObservability) {
   EXPECT_NE(json.find("\"ts_ms\":"), std::string::npos);
   // Lower-case keyword and leading whitespace also work.
   EXPECT_NE(Feed("  show metrics;").find("metric(s)"), std::string::npos);
+}
+
+// The tracer is process-global; these tests reset it around each run so state
+// never leaks into (or from) other tests in this binary.
+class TracedShellTest : public ShellTest {
+ protected:
+  void SetUp() override {
+    Tracer::Instance().Reset();
+    ShellTest::SetUp();
+  }
+  void TearDown() override { Tracer::Instance().Reset(); }
+
+  // Parse "key=<int>" from the machine-readable EXPLAIN ANALYZE footer.
+  static int64_t FooterValue(const std::string& text, const std::string& key) {
+    size_t pos = text.find(key + "=");
+    if (pos == std::string::npos) {
+      ADD_FAILURE() << "footer key " << key << " missing in:\n" << text;
+      return -1;
+    }
+    return std::atoll(text.c_str() + pos + key.size() + 1);
+  }
+};
+
+TEST_F(TracedShellTest, ExplainAnalyzeAnnotatesPlanWithSpanStats) {
+  std::string out =
+      Feed("EXPLAIN ANALYZE SELECT STREAM orderId, units * 2 AS doubled "
+           "FROM Orders WHERE units > 50;");
+  // Header names the profiled job and how many traces/spans were captured.
+  EXPECT_NE(out.find("EXPLAIN ANALYZE samzasql-query-0 (traces="), std::string::npos)
+      << out;
+  // Every plan line carries a per-operator annotation with plan-unique ids.
+  EXPECT_NE(out.find("op0-"), std::string::npos) << out;
+  EXPECT_NE(out.find("-scan count="), std::string::npos) << out;
+  EXPECT_NE(out.find("incl="), std::string::npos);
+  EXPECT_NE(out.find("self%="), std::string::npos);
+  // The stream-insert root (not a plan node) gets its own synthetic line.
+  EXPECT_NE(out.find("insert -> samzasql-query-0-output"), std::string::npos) << out;
+  EXPECT_NE(out.find("-insert count="), std::string::npos) << out;
+  EXPECT_NE(out.find("process: count=200"), std::string::npos) << out;
+  EXPECT_NE(out.find("serde share:"), std::string::npos);
+  // Profiling must not leave the sample rate forced to 1.0.
+  EXPECT_DOUBLE_EQ(Tracer::Instance().sample_rate(), 0.0);
+}
+
+TEST_F(TracedShellTest, ExplainAnalyzeSelfTimesSumToContainerBusyTime) {
+  // Acceptance criterion: on a windowed-join query, per-operator self times
+  // must sum (within 10%) to the container's measured busy time for the
+  // sampled tuples — no double counting, nothing unattributed.
+  ASSERT_TRUE(workload::ProducePackets(*env_, 300).ok());
+  std::string out = Feed(
+      "EXPLAIN ANALYZE SELECT STREAM PacketsR1.packetId, "
+      "PacketsR2.rowtime - PacketsR1.rowtime AS timeToTravel "
+      "FROM PacketsR1 JOIN PacketsR2 ON "
+      "PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND "
+      "AND PacketsR2.rowtime + INTERVAL '2' SECOND "
+      "AND PacketsR1.packetId = PacketsR2.packetId;");
+  EXPECT_NE(out.find("-join count="), std::string::npos) << out;
+  int64_t total_self = FooterValue(out, "total_self_ns");
+  int64_t op_self = FooterValue(out, "operator_self_ns");
+  int64_t busy = FooterValue(out, "traced_busy_ns");
+  ASSERT_GT(busy, 0) << out;
+  ASSERT_GT(op_self, 0) << out;
+  EXPECT_LE(std::abs(total_self - busy), busy / 10)
+      << "total_self_ns=" << total_self << " traced_busy_ns=" << busy;
+  // Operators can never account for more than the container busy time.
+  EXPECT_LE(op_self, total_self);
+}
+
+TEST_F(TracedShellTest, ExplainAnalyzeRejectsBatchQueries) {
+  std::string out =
+      Feed("EXPLAIN ANALYZE SELECT COUNT(*) AS c FROM Orders "
+           "GROUP BY FLOOR(rowtime TO DAY);");
+  EXPECT_NE(out.find("ERROR"), std::string::npos) << out;
+  // Plain EXPLAIN is untouched by the ANALYZE path.
+  out = Feed("EXPLAIN SELECT STREAM orderId FROM Orders;");
+  EXPECT_EQ(out.find("traces="), std::string::npos) << out;
+  EXPECT_NE(out.find("Scan("), std::string::npos) << out;
+}
+
+TEST_F(TracedShellTest, ShowTraceSummarizesAndExportsSpans) {
+  Feed("EXPLAIN ANALYZE SELECT STREAM orderId FROM Orders WHERE units > 10;");
+  std::string out = Feed("SHOW TRACE;");
+  EXPECT_NE(out.find("traces="), std::string::npos) << out;
+  EXPECT_NE(out.find("sample_rate="), std::string::npos);
+  EXPECT_NE(out.find("process"), std::string::npos) << out;
+  // Scoped to one job, span names keep their plan-unique operator ids.
+  out = Feed("SHOW TRACE samzasql-query-0;");
+  EXPECT_NE(out.find("-scan"), std::string::npos) << out;
+  // Chrome trace export for chrome://tracing / Perfetto.
+  out = Feed("SHOW TRACE JSON;");
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
 }
 
 TEST_F(ShellTest, UnknownMetaCommand) {

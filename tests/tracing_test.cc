@@ -1,0 +1,341 @@
+// Tracing tests: sampling determinism, ring-buffer eviction, span
+// parent/child links and self-time telescoping, Chrome trace export, and
+// end-to-end context propagation — through a filter/project pipeline, a
+// windowed stream-stream join, and a two-job (insert -> scan) pipeline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/tracing.h"
+#include "core/executor.h"
+#include "workload/generators.h"
+
+namespace sqs {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::Instance().Reset(); }
+  void TearDown() override { Tracer::Instance().Reset(); }
+};
+
+TEST_F(TracerTest, DisabledByDefaultAndNeverSamples) {
+  Tracer& tracer = Tracer::Instance();
+  EXPECT_FALSE(tracer.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(tracer.MaybeStartTrace().valid());
+  EXPECT_EQ(tracer.recorded_total(), 0);
+}
+
+TEST_F(TracerTest, SamplingIsDeterministicCounterBased) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Configure(0.25);
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_DOUBLE_EQ(tracer.sample_rate(), 0.25);
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) first.push_back(tracer.MaybeStartTrace().valid());
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(first[static_cast<size_t>(i)], i % 4 == 0) << "decision " << i;
+    if (first[static_cast<size_t>(i)]) ++sampled;
+  }
+  EXPECT_EQ(sampled, 25);
+  // Same input order after a reset -> the same tuples are traced.
+  tracer.Reset();
+  tracer.Configure(0.25);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(tracer.MaybeStartTrace().valid(), first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(TracerTest, RateOneSamplesEverything) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Configure(1.0);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    TraceContext ctx = tracer.MaybeStartTrace();
+    ASSERT_TRUE(ctx.valid());
+    EXPECT_EQ(ctx.span_id, 0u);  // root: first span under it has no parent
+    ids.insert(ctx.trace_id);
+  }
+  EXPECT_EQ(ids.size(), 10u);  // fresh trace id each time
+}
+
+TEST_F(TracerTest, RingBufferEvictsOldestFirst) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Configure(1.0, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    Span s;
+    s.trace_id = 1;
+    s.span_id = static_cast<uint64_t>(i + 1);
+    s.name = "s" + std::to_string(i);
+    tracer.Record(s);
+  }
+  EXPECT_EQ(tracer.recorded_total(), 10);
+  EXPECT_EQ(tracer.evicted(), 6);
+  std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest first: spans 6..9 survive.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(spans[static_cast<size_t>(i)].name,
+                                        "s" + std::to_string(i + 6));
+  tracer.Clear();
+  EXPECT_EQ(tracer.recorded_total(), 0);
+  EXPECT_TRUE(tracer.Spans().empty());
+  EXPECT_TRUE(tracer.enabled());  // Clear keeps configuration
+}
+
+TEST_F(TracerTest, TraceSpanLinksParentChildAndAmbientContext) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Configure(1.0);
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  TraceContext root = tracer.MaybeStartTrace();
+  {
+    TraceSpan outer(root, "outer", "job.t");
+    ASSERT_TRUE(outer.active());
+    TraceContext ambient = CurrentTraceContext();
+    EXPECT_EQ(ambient.trace_id, root.trace_id);
+    EXPECT_EQ(ambient.span_id, outer.context().span_id);
+    {
+      TraceSpan inner(ambient, "inner", "job.t");
+      ASSERT_TRUE(inner.active());
+      EXPECT_EQ(CurrentTraceContext().span_id, inner.context().span_id);
+    }
+    // Restored to the outer span after the inner one closes.
+    EXPECT_EQ(CurrentTraceContext().span_id, outer.context().span_id);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);  // recorded on destruction: inner, then outer
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent_span_id, 0u);
+  EXPECT_EQ(spans[0].parent_span_id, spans[1].span_id);
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+}
+
+TEST_F(TracerTest, InactiveSpanClearsAmbientContextForItsExtent) {
+  Tracer& tracer = Tracer::Instance();
+  tracer.Configure(1.0);
+  TraceContext root = tracer.MaybeStartTrace();
+  TraceSpan outer(root, "outer", "job.t");
+  {
+    // An untraced message flows through: nothing may attach to `outer`.
+    TraceSpan untraced(TraceContext{}, "untraced", "job.t");
+    EXPECT_FALSE(untraced.active());
+    EXPECT_FALSE(CurrentTraceContext().valid());
+  }
+  EXPECT_TRUE(CurrentTraceContext().valid());
+}
+
+TEST_F(TracerTest, ComputeSpanStatsSelfTimeTelescopes) {
+  // root(100) -> a(60) -> b(20); self: root=40, a=40, b=20.
+  auto mk = [](uint64_t span, uint64_t parent, int64_t dur, const char* name,
+               const char* scope) {
+    Span s;
+    s.trace_id = 7;
+    s.span_id = span;
+    s.parent_span_id = parent;
+    s.duration_ns = dur;
+    s.name = name;
+    s.scope = scope;
+    return s;
+  };
+  std::vector<Span> spans{mk(1, 0, 100, "process", "job.t"),
+                          mk(2, 1, 60, "op0-scan", "job.t"),
+                          mk(3, 2, 20, "op1-filter", "job.t"),
+                          mk(4, 3, 15, "produce", "producer.out")};
+  auto all = ComputeSpanStats(spans, "");
+  EXPECT_EQ(all["process"].inclusive_ns, 100);
+  EXPECT_EQ(all["process"].self_ns, 40);
+  EXPECT_EQ(all["op0-scan"].self_ns, 40);
+  EXPECT_EQ(all["op1-filter"].self_ns, 5);  // minus the 15ns producer child
+  // Scoped to the job: the producer child is filtered out and NOT
+  // subtracted, so job-scope self times telescope to the process time.
+  auto scoped = ComputeSpanStats(spans, "job.");
+  EXPECT_EQ(scoped.count("produce"), 0u);
+  EXPECT_EQ(scoped["op1-filter"].self_ns, 20);
+  int64_t total_self = 0;
+  for (const auto& [name, st] : scoped) total_self += st.self_ns;
+  EXPECT_EQ(total_self, scoped["process"].inclusive_ns);
+}
+
+TEST_F(TracerTest, ChromeTraceJsonShape) {
+  Span s;
+  s.trace_id = 3;
+  s.span_id = 9;
+  s.parent_span_id = 4;
+  s.start_ns = 2'000;
+  s.duration_ns = 1'500;
+  s.name = "op2-filter";
+  s.scope = "job.Partition 0";
+  std::string json = SpansToChromeTraceJson({s});
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // One thread-name metadata event per scope, then the complete event.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"job.Partition 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end propagation through real jobs.
+
+class TracingE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Instance().Reset();
+    env_ = core::SamzaSqlEnvironment::Make();
+    ASSERT_TRUE(workload::SetupPaperSources(*env_, 2).ok());
+    Config defaults;
+    defaults.SetInt(cfg::kContainerCount, 1);
+    executor_ = std::make_unique<core::QueryExecutor>(env_, defaults);
+  }
+  void TearDown() override { Tracer::Instance().Reset(); }
+
+  // Index span_id -> span for ancestry walks.
+  static std::map<uint64_t, Span> ById(const std::vector<Span>& spans) {
+    std::map<uint64_t, Span> by_id;
+    for (const Span& s : spans) by_id[s.span_id] = s;
+    return by_id;
+  }
+
+  // Walk parent links from `leaf` to the root, returning span names
+  // root-first. Fails the test on a broken link.
+  static std::vector<std::string> AncestryOf(const Span& leaf,
+                                             const std::map<uint64_t, Span>& by_id) {
+    std::vector<std::string> chain{leaf.name};
+    Span cur = leaf;
+    while (cur.parent_span_id != 0) {
+      auto it = by_id.find(cur.parent_span_id);
+      if (it == by_id.end()) {
+        ADD_FAILURE() << "broken parent link from span " << cur.name;
+        break;
+      }
+      EXPECT_EQ(it->second.trace_id, leaf.trace_id);
+      cur = it->second;
+      chain.insert(chain.begin(), cur.name);
+    }
+    return chain;
+  }
+
+  core::EnvironmentPtr env_;
+  std::unique_ptr<core::QueryExecutor> executor_;
+};
+
+TEST_F(TracingE2eTest, TraceFollowsTupleProducerToInsert) {
+  // Enable tracing BEFORE producing, so traces root at the producer append
+  // (Figure 4: producer -> log -> scan -> operators -> insert).
+  Tracer::Instance().Configure(1.0);
+  workload::OrdersGenerator gen(*env_, {});
+  ASSERT_TRUE(gen.Produce(50).ok());
+
+  auto submitted = executor_->Execute(
+      "SELECT STREAM orderId, units * 2 AS doubled FROM Orders WHERE units >= 0");
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  ASSERT_TRUE(executor_->RunJobsUntilQuiescent().ok());
+
+  std::vector<Span> spans = Tracer::Instance().Spans();
+  auto by_id = ById(spans);
+  // Find an output append (insert -> producer.<output topic>) and walk up:
+  // produce(root) -> process -> scan -> filter -> project -> insert -> produce.
+  bool found = false;
+  for (const Span& s : spans) {
+    if (s.name != "produce" || s.scope.find("producer.samzasql-query-") != 0) {
+      continue;
+    }
+    std::vector<std::string> chain = AncestryOf(s, by_id);
+    ASSERT_GE(chain.size(), 6u) << "short chain";
+    EXPECT_EQ(chain.front(), "produce");             // root: input append
+    EXPECT_EQ(chain[1], "process");                  // container loop
+    EXPECT_NE(chain[2].find("-scan"), std::string::npos);
+    EXPECT_NE(chain[3].find("-filter"), std::string::npos);
+    EXPECT_NE(chain[4].find("-project"), std::string::npos);
+    EXPECT_NE(chain[5].find("-insert"), std::string::npos);
+    found = true;
+    break;
+  }
+  EXPECT_TRUE(found) << "no traced output append found among " << spans.size()
+                     << " spans";
+}
+
+TEST_F(TracingE2eTest, TraceCrossesWindowedJoin) {
+  Tracer::Instance().Configure(1.0);
+  ASSERT_TRUE(workload::ProducePackets(*env_, 100).ok());
+  auto submitted = executor_->Execute(
+      "SELECT STREAM PacketsR1.packetId, "
+      "PacketsR2.rowtime - PacketsR1.rowtime AS timeToTravel "
+      "FROM PacketsR1 JOIN PacketsR2 ON "
+      "PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND "
+      "AND PacketsR2.rowtime + INTERVAL '2' SECOND "
+      "AND PacketsR1.packetId = PacketsR2.packetId");
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  ASSERT_TRUE(executor_->RunJobsUntilQuiescent().ok());
+
+  std::vector<Span> spans = Tracer::Instance().Spans();
+  auto by_id = ById(spans);
+  int join_outputs = 0;
+  for (const Span& s : spans) {
+    if (s.name.find("-insert") == std::string::npos) continue;
+    std::vector<std::string> chain = AncestryOf(s, by_id);
+    // Join output tuples chain through the join operator span, which chains
+    // to the scan of the side that triggered the match.
+    bool through_join = false, through_scan = false;
+    for (const std::string& name : chain) {
+      if (name.find("-join") != std::string::npos) through_join = true;
+      if (name.find("-scan") != std::string::npos) through_scan = true;
+    }
+    EXPECT_TRUE(through_join) << "insert without join ancestor";
+    EXPECT_TRUE(through_scan) << "insert without scan ancestor";
+    ++join_outputs;
+  }
+  EXPECT_GT(join_outputs, 0);
+}
+
+TEST_F(TracingE2eTest, TraceCrossesTwoJobPipeline) {
+  // Config-driven enablement: the container reads tracing.sample.rate.
+  Config defaults;
+  defaults.SetInt(cfg::kContainerCount, 1);
+  defaults.Set(cfg::kTracingSampleRate, "1");
+  executor_ = std::make_unique<core::QueryExecutor>(env_, defaults);
+
+  auto first = executor_->Execute(
+      "INSERT INTO BigOrders SELECT STREAM rowtime, orderId, units "
+      "FROM Orders WHERE units > 10");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // The first job's container Start() configures the tracer; produce after
+  // submission so appends are sampled.
+  workload::OrdersGenerator gen(*env_, {});
+  ASSERT_TRUE(gen.Produce(50).ok());
+  auto second = executor_->Execute(
+      "SELECT STREAM orderId FROM BigOrders WHERE units > 50");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_TRUE(executor_->RunJobsUntilQuiescent().ok());
+
+  // At least one trace must have spans in BOTH job scopes: the insert of
+  // job 0 stamps the intermediate topic's messages, job 1's scan continues
+  // the same trace (Kappa pipeline, paper §2).
+  std::map<uint64_t, std::set<std::string>> jobs_by_trace;
+  for (const Span& s : Tracer::Instance().Spans()) {
+    if (s.scope.find("samzasql-query-") == 0) {
+      jobs_by_trace[s.trace_id].insert(s.scope.substr(0, s.scope.find('.')));
+    }
+  }
+  bool crossed = false;
+  for (const auto& [trace, jobs] : jobs_by_trace) {
+    if (jobs.size() >= 2) crossed = true;
+  }
+  EXPECT_TRUE(crossed) << "no trace crossed the job boundary ("
+                       << jobs_by_trace.size() << " traces seen)";
+}
+
+}  // namespace
+}  // namespace sqs
