@@ -1,0 +1,99 @@
+// Monitoring overhead: the Figure 5a filter/project query with the monitor
+// (1) disabled, (2) enabled but unscraped, and (3) enabled while a client
+// thread scrapes GET /metrics at 10 Hz. The scrape path takes a full
+// registry snapshot per request concurrently with container processing, so
+// this bounds the observability tax a Prometheus deployment pays on the hot
+// path. Numbers are recorded in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "bench_common.h"
+#include "http/http_server.h"
+
+namespace sqs::bench {
+namespace {
+
+// Sized so the processing phase spans several scrape intervals (~0.5 s on
+// the reference single-core box), unlike the 20k-message figure benches.
+constexpr int64_t kMessages = 200'000;
+constexpr int64_t kScrapeIntervalMs = 100;  // 10 Hz
+
+const char* ModeName(int mode) {
+  switch (mode) {
+    case 0: return "off";
+    case 1: return "on";
+    default: return "scraped";
+  }
+}
+
+// state.range(0): 0 = monitor off, 1 = monitor on, 2 = on + scraped at 10 Hz.
+void BM_MonitorOverhead_Filter(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto env = MakeBenchEnv();
+    workload::OrdersGenerator gen(*env, {});
+    auto produced = gen.Produce(kMessages);
+    if (!produced.ok()) state.SkipWithError(produced.status().ToString().c_str());
+
+    Config config = BenchJobConfig(1);
+    if (mode >= 1) {
+      config.SetBool(cfg::kMonitorEnable, true);
+      config.SetInt(cfg::kMonitorPort, 0);  // ephemeral
+    }
+    core::QueryExecutor executor(env, config);
+    auto submitted = executor.Execute(
+        "SELECT STREAM orderId, units * 2 AS doubled FROM Orders WHERE units > 50");
+    if (!submitted.ok()) state.SkipWithError(submitted.status().ToString().c_str());
+
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> scrapes{0};
+    std::atomic<int64_t> scrape_bytes{0};
+    std::thread scraper;
+    if (mode == 2) {
+      const int port = executor.monitor().port();
+      scraper = std::thread([&stop, &scrapes, &scrape_bytes, port] {
+        while (!stop.load(std::memory_order_acquire)) {
+          auto res = HttpGet("127.0.0.1", port, "/metrics");
+          if (res.ok() && res.value().status == 200) {
+            scrapes.fetch_add(1, std::memory_order_relaxed);
+            scrape_bytes.fetch_add(static_cast<int64_t>(res.value().body.size()),
+                                   std::memory_order_relaxed);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(kScrapeIntervalMs));
+        }
+      });
+    }
+
+    JobRunner* job = executor.job(submitted.value().job_index);
+    ThroughputResult r = MeasureJob(*job);
+    stop.store(true, std::memory_order_release);
+    if (scraper.joinable()) scraper.join();
+    Status st = job->Stop();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+
+    state.counters["job_msgs_per_s"] = r.job_tput;
+    state.counters["scrapes"] = static_cast<double>(scrapes.load());
+
+    std::printf("MonitorOverhead mode=%-8s job=%.0f msg/s  msgs=%lld  "
+                "scrapes=%lld  scraped_bytes=%lld\n",
+                ModeName(mode), r.job_tput, static_cast<long long>(r.messages),
+                static_cast<long long>(scrapes.load()),
+                static_cast<long long>(scrape_bytes.load()));
+    std::fflush(stdout);
+  }
+}
+
+BENCHMARK(BM_MonitorOverhead_Filter)
+    ->Arg(0)   // baseline: monitor disabled
+    ->Arg(1)   // HTTP endpoint up, nobody scraping
+    ->Arg(2)   // scraped at 10 Hz while the job runs
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sqs::bench
+
+BENCHMARK_MAIN();

@@ -9,6 +9,14 @@
 //   samzasql> !output samzasql-query-0-output 5
 //
 // Also scriptable: echo "SELECT 1 FROM Orders;" | ./samzasql_shell
+//
+// Set SAMZASQL_MONITOR_PORT to serve the monitoring endpoints
+// (/metrics, /healthz, /readyz, ... — see docs/MONITORING.md) while the
+// shell runs, and SAMZASQL_ALERT_RULES to configure threshold alerts:
+//
+//   $ SAMZASQL_MONITOR_PORT=8048 ./samzasql_shell
+//   $ SAMZASQL_ALERT_RULES="consumer_lag>10000 for 5s" ./samzasql_shell
+#include <cstdlib>
 #include <iostream>
 
 #include "core/shell.h"
@@ -38,7 +46,18 @@ int main() {
 
   Config defaults;
   defaults.SetInt(cfg::kContainerCount, 2);
+  if (const char* port = std::getenv("SAMZASQL_MONITOR_PORT")) {
+    defaults.SetBool(cfg::kMonitorEnable, true);
+    defaults.SetInt(cfg::kMonitorPort, std::atoi(port));
+  }
+  if (const char* rules = std::getenv("SAMZASQL_ALERT_RULES")) {
+    defaults.Set(cfg::kAlertRules, rules);
+  }
   core::Shell shell(env, defaults);
+  if (shell.executor().monitor().http_running()) {
+    std::cout << "monitor: http://127.0.0.1:" << shell.executor().monitor().port()
+              << "/ (metrics, healthz, readyz, jobs, history, alerts)\n";
+  }
   shell.Repl(std::cin, std::cout);
   return 0;
 }

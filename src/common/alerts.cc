@@ -1,0 +1,271 @@
+#include "common/alerts.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sqs {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t start = s.find_first_not_of(" \t\r\n");
+  if (start == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(start, end - start + 1);
+}
+
+// Does `name` refer to the selected metric? Either the whole dotted name,
+// a dotted suffix, or — for the "consumer_lag" aggregate — any
+// per-partition lag gauge (`<scope>.lag.<topic>.<partition>`).
+bool Matches(const std::string& selector, const std::string& name) {
+  if (selector == "consumer_lag") return name.find(".lag.") != std::string::npos;
+  if (name == selector) return true;
+  if (name.size() > selector.size() + 1 &&
+      name.compare(name.size() - selector.size() - 1, 1, ".") == 0 &&
+      name.compare(name.size() - selector.size(), selector.size(), selector) == 0) {
+    return true;
+  }
+  return false;
+}
+
+bool Compare(double value, const std::string& op, double threshold) {
+  if (op == ">") return value > threshold;
+  if (op == ">=") return value >= threshold;
+  if (op == "<") return value < threshold;
+  return value <= threshold;  // "<="
+}
+
+Result<int64_t> ParseDuration(const std::string& raw) {
+  char* end = nullptr;
+  long long n = std::strtoll(raw.c_str(), &end, 10);
+  std::string unit = Trim(end);
+  if (end == raw.c_str() || n < 0) {
+    return Status::ParseError("alert rule: bad duration '" + raw + "'");
+  }
+  if (unit == "ms") return static_cast<int64_t>(n);
+  if (unit == "s") return static_cast<int64_t>(n) * 1000;
+  if (unit == "m") return static_cast<int64_t>(n) * 60'000;
+  return Status::ParseError("alert rule: bad duration unit '" + raw +
+                            "' (use ms, s, or m)");
+}
+
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive: return "inactive";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+  }
+  return "?";
+}
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules)
+    : rules_(std::move(rules)) {
+  entries_.reserve(rules_.size());
+  for (const AlertRule& rule : rules_) {
+    Entry entry;
+    entry.rule = rule;
+    entries_.push_back(std::move(entry));
+  }
+}
+
+Result<std::vector<AlertRule>> AlertEngine::ParseRules(const std::string& spec) {
+  std::vector<AlertRule> rules;
+  std::stringstream ss(spec);
+  std::string piece;
+  while (std::getline(ss, piece, ';')) {
+    std::string rule_text = Trim(piece);
+    if (rule_text.empty()) continue;
+
+    // Find the comparator (the first '<' or '>').
+    size_t op_pos = rule_text.find_first_of("<>");
+    if (op_pos == std::string::npos || op_pos == 0) {
+      return Status::ParseError("alert rule missing comparator: '" + rule_text +
+                                "'");
+    }
+    AlertRule rule;
+    rule.op = rule_text.substr(op_pos, 1);
+    size_t rhs_pos = op_pos + 1;
+    if (rhs_pos < rule_text.size() && rule_text[rhs_pos] == '=') {
+      rule.op += '=';
+      ++rhs_pos;
+    }
+
+    // Left side: selector, optionally followed by the "rate" keyword.
+    std::istringstream lhs(rule_text.substr(0, op_pos));
+    std::string word, extra;
+    lhs >> rule.selector >> word >> extra;
+    if (!extra.empty()) {
+      return Status::ParseError("alert rule: unexpected '" + extra + "' in '" +
+                                rule_text + "'");
+    }
+    if (word == "rate") {
+      rule.rate = true;
+    } else if (!word.empty()) {
+      return Status::ParseError("alert rule: unexpected '" + word + "' in '" +
+                                rule_text + "' (only 'rate' may follow the metric)");
+    }
+    if (rule.selector.empty()) {
+      return Status::ParseError("alert rule missing metric: '" + rule_text + "'");
+    }
+
+    // Right side: threshold, optionally "for <duration>".
+    std::string rhs = Trim(rule_text.substr(rhs_pos));
+    size_t for_pos = rhs.find("for ");
+    std::string number = Trim(for_pos == std::string::npos ? rhs : rhs.substr(0, for_pos));
+    char* end = nullptr;
+    rule.threshold = std::strtod(number.c_str(), &end);
+    if (number.empty() || end != number.c_str() + number.size()) {
+      return Status::ParseError("alert rule: bad threshold '" + number +
+                                "' in '" + rule_text + "'");
+    }
+    if (for_pos != std::string::npos) {
+      SQS_ASSIGN_OR_RETURN(for_ms, ParseDuration(Trim(rhs.substr(for_pos + 4))));
+      rule.for_ms = for_ms;
+    }
+
+    std::ostringstream canon;
+    canon << rule.selector << (rule.rate ? " rate" : "") << rule.op
+          << FormatValue(rule.threshold);
+    if (rule.for_ms > 0) canon << " for " << rule.for_ms << "ms";
+    rule.text = canon.str();
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+bool AlertEngine::Condition(const Entry& entry, const MetricsSnapshot& snapshot,
+                            const MetricsHistory* history, double* value,
+                            std::string* subject) const {
+  const AlertRule& rule = entry.rule;
+  bool found = false;
+  double worst = 0;
+  std::string worst_name;
+  // "Worst" = the value most likely to breach: max for '>' rules, min
+  // for '<' rules, so one breaching series is enough to trip the alert.
+  const bool want_max = rule.op[0] == '>';
+  auto consider = [&](const std::string& name, double v) {
+    if (!Matches(rule.selector, name)) return;
+    if (!found || (want_max ? v > worst : v < worst)) {
+      worst = v;
+      worst_name = name;
+    }
+    found = true;
+  };
+  if (rule.rate) {
+    if (history != nullptr) {
+      for (const auto& [name, v] : snapshot.counters) {
+        (void)v;
+        if (Matches(rule.selector, name)) {
+          double r = history->RatePerSec(name);
+          if (!found || (want_max ? r > worst : r < worst)) {
+            worst = r;
+            worst_name = name;
+          }
+          found = true;
+        }
+      }
+    }
+  } else {
+    for (const auto& [name, v] : snapshot.gauges) consider(name, static_cast<double>(v));
+    for (const auto& [name, v] : snapshot.counters) consider(name, static_cast<double>(v));
+  }
+  *value = found ? worst : 0;
+  *subject = worst_name;
+  // A selector that matches nothing never trips (otherwise every '<' rule
+  // would fire on jobs that have not minted the metric yet).
+  return found && Compare(worst, rule.op, rule.threshold);
+}
+
+void AlertEngine::Evaluate(int64_t now_ms, const MetricsSnapshot& snapshot,
+                           const MetricsHistory* history) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    double value = 0;
+    std::string subject;
+    bool holds = Condition(entry, snapshot, history, &value, &subject);
+    entry.value = value;
+    if (!subject.empty()) entry.subject = subject;
+
+    if (!holds) {
+      if (entry.state == AlertState::kFiring) {
+        SQS_INFOC("alerts", "alert resolved", {"rule", entry.rule.text},
+                  {"value", FormatValue(value)}, {"subject", entry.subject});
+      }
+      entry.state = AlertState::kInactive;
+      entry.since_ms = 0;
+      continue;
+    }
+    if (entry.state == AlertState::kInactive) {
+      entry.state = AlertState::kPending;
+      entry.since_ms = now_ms;
+      SQS_DEBUGC("alerts", "alert pending", {"rule", entry.rule.text},
+                 {"value", FormatValue(value)}, {"subject", entry.subject});
+    }
+    if (entry.state == AlertState::kPending &&
+        now_ms - entry.since_ms >= entry.rule.for_ms) {
+      entry.state = AlertState::kFiring;
+      ++entry.fired_count;
+      SQS_WARNC("alerts", "alert firing", {"rule", entry.rule.text},
+                {"value", FormatValue(value)}, {"subject", entry.subject},
+                {"held_ms", std::to_string(now_ms - entry.since_ms)});
+    }
+  }
+}
+
+std::vector<AlertStatus> AlertEngine::Statuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertStatus> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    AlertStatus status;
+    status.rule = entry.rule;
+    status.state = entry.state;
+    status.since_ms = entry.since_ms;
+    status.value = entry.value;
+    status.subject = entry.subject;
+    status.fired_count = entry.fired_count;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+int64_t AlertEngine::FiringCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.state == AlertState::kFiring) ++n;
+  }
+  return n;
+}
+
+std::string AlertEngine::ToJson(int64_t now_ms) const {
+  std::vector<AlertStatus> statuses = Statuses();
+  std::ostringstream os;
+  os << "{\"ts_ms\":" << now_ms << ",\"firing\":" << FiringCount()
+     << ",\"alerts\":[";
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const AlertStatus& s = statuses[i];
+    if (i) os << ",";
+    os << "{\"rule\":\"" << s.rule.text << "\",\"state\":\""
+       << AlertStateName(s.state) << "\",\"value\":" << FormatValue(s.value)
+       << ",\"subject\":\"" << s.subject << "\",\"since_ms\":" << s.since_ms
+       << ",\"fired_count\":" << s.fired_count << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace sqs

@@ -1,0 +1,97 @@
+// AlertEngine: declarative threshold alerting over metrics snapshots and the
+// metrics history ring. Rules come from the `alert.rules` config key as a
+// ';'-separated list:
+//
+//   alert.rules=consumer_lag>10000 for 5s; dropped rate>0; watermark_lag_ms>60000 for 2s
+//
+// Rule grammar (whitespace-insensitive around operators):
+//
+//   rule     := selector ["rate"] op number ["for" duration]
+//   selector := "consumer_lag"            max over per-partition lag gauges
+//             | <metric leaf or suffix>   matched against dotted metric names
+//   op       := ">" | ">=" | "<" | "<="
+//   duration := <int> ("ms" | "s" | "m")
+//
+// "rate" compares the per-second rate of matching counters from the history
+// ring instead of the level (e.g. `dropped rate>0` fires while any operator
+// is actively dropping tuples). A rule's condition must hold for `for`
+// (default 0) before it transitions pending -> firing; when the condition
+// clears, a firing alert logs a structured "resolved" event and returns to
+// inactive. Evaluate() is driven by the monitor's history tick, so alert
+// timing is deterministic under an injected clock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/history.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace sqs {
+
+struct AlertRule {
+  std::string selector;     // metric leaf/suffix or "consumer_lag"
+  bool rate = false;        // compare history rate instead of the level
+  std::string op = ">";     // ">", ">=", "<", "<="
+  double threshold = 0;
+  int64_t for_ms = 0;       // how long the condition must hold before firing
+  std::string text;         // canonical rule text (used as the alert name)
+};
+
+enum class AlertState { kInactive, kPending, kFiring };
+const char* AlertStateName(AlertState state);
+
+struct AlertStatus {
+  AlertRule rule;
+  AlertState state = AlertState::kInactive;
+  int64_t since_ms = 0;      // when the condition started holding
+  double value = 0;          // last evaluated value
+  std::string subject;       // metric name that produced the value
+  int64_t fired_count = 0;   // lifetime pending->firing transitions
+};
+
+class AlertEngine {
+ public:
+  AlertEngine() = default;
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  // Parse an `alert.rules` config value. Empty input yields no rules.
+  static Result<std::vector<AlertRule>> ParseRules(const std::string& spec);
+
+  // Evaluate every rule against one snapshot at `now_ms`; `history` supplies
+  // rates for `rate` rules (may be null: rate rules then read 0). Emits
+  // structured log events on pending/firing/resolved transitions.
+  void Evaluate(int64_t now_ms, const MetricsSnapshot& snapshot,
+                const MetricsHistory* history);
+
+  std::vector<AlertStatus> Statuses() const;
+  int64_t FiringCount() const;
+  bool empty() const { return rules_.empty(); }
+  size_t num_rules() const { return rules_.size(); }
+
+  // {"firing":N,"alerts":[{"rule":...,"state":...,...},...]}
+  std::string ToJson(int64_t now_ms) const;
+
+ private:
+  struct Entry {
+    AlertRule rule;
+    AlertState state = AlertState::kInactive;
+    int64_t since_ms = 0;
+    double value = 0;
+    std::string subject;
+    int64_t fired_count = 0;
+  };
+
+  bool Condition(const Entry& entry, const MetricsSnapshot& snapshot,
+                 const MetricsHistory* history, double* value,
+                 std::string* subject) const;
+
+  mutable std::mutex mu_;
+  std::vector<AlertRule> rules_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sqs

@@ -53,6 +53,18 @@ HistogramStats Histogram::GetStats() const {
   s.p50 = Percentile(50);
   s.p95 = Percentile(95);
   s.p99 = Percentile(99);
+  // Cumulative occupied buckets. The inclusive upper bound of bucket i is
+  // one below the next bucket's lower bound (values are integers); the last
+  // bucket has no successor and is capped at INT64_MAX.
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    cumulative += n;
+    int64_t le =
+        i + 1 < kNumBuckets ? BucketLowerBound(i + 1) - 1 : INT64_MAX;
+    s.buckets.emplace_back(le, cumulative);
+  }
   return s;
 }
 

@@ -59,6 +59,11 @@ struct HistogramStats {
   int64_t p50 = 0;
   int64_t p95 = 0;
   int64_t p99 = 0;
+  // Occupied buckets as (inclusive upper bound, cumulative count) pairs:
+  // bounds strictly increasing, cumulative counts non-decreasing, the last
+  // cumulative count covering every recording seen by the scan. This is what
+  // the Prometheus exposition renders as `_bucket{le="..."}` series.
+  std::vector<std::pair<int64_t, int64_t>> buckets;
 };
 
 // Log-bucketed histogram with a lock-free record path (HdrHistogram-style

@@ -84,8 +84,8 @@ std::string SnapshotToTable(const MetricsSnapshot& snapshot) {
   }
   for (const auto& [k, h] : snapshot.histograms) {
     std::ostringstream v;
-    v << "count=" << h.count << " p50=" << h.p50 << " p95=" << h.p95
-      << " p99=" << h.p99 << " max=" << h.max;
+    v << "count=" << h.count << " min=" << h.min << " p50=" << h.p50
+      << " p95=" << h.p95 << " p99=" << h.p99 << " max=" << h.max;
     rows.push_back({k, "histogram", v.str()});
   }
   std::sort(rows.begin(), rows.end(),
@@ -125,20 +125,53 @@ MetricsReporter::MetricsReporter(std::shared_ptr<MetricsRegistry> registry,
       clock_(clock ? std::move(clock) : SystemClock::Instance()),
       last_report_ms_(clock_->NowMillis()) {}
 
+MetricsReporter::MetricsReporter(std::shared_ptr<MetricsRegistry> registry,
+                                 std::string path, int64_t interval_ms,
+                                 int64_t max_bytes, std::shared_ptr<Clock> clock)
+    : registry_(std::move(registry)),
+      out_(nullptr),
+      interval_ms_(interval_ms),
+      clock_(clock ? std::move(clock) : SystemClock::Instance()),
+      last_report_ms_(clock_->NowMillis()),
+      path_(std::move(path)),
+      max_bytes_(max_bytes) {
+  // Rotation counts from the file's existing size, so restarted containers
+  // appending to a previous run's file still honor the cap.
+  std::ifstream existing(path_, std::ios::binary | std::ios::ate);
+  if (existing) bytes_written_ = static_cast<int64_t>(existing.tellg());
+  file_.open(path_, std::ios::app);
+}
+
+void MetricsReporter::Emit(const std::string& payload) {
+  if (out_ != nullptr) {
+    *out_ << payload;
+    out_->flush();
+    return;
+  }
+  if (max_bytes_ > 0 && bytes_written_ > 0 &&
+      bytes_written_ + static_cast<int64_t>(payload.size()) > max_bytes_) {
+    file_.close();
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+    file_.open(path_, std::ios::trunc);
+    bytes_written_ = 0;
+  }
+  file_ << payload;
+  file_.flush();
+  bytes_written_ += static_cast<int64_t>(payload.size());
+}
+
 bool MetricsReporter::MaybeReport() {
   int64_t now = clock_->NowMillis();
   if (now - last_report_ms_ < interval_ms_) return false;
   last_report_ms_ = now;
-  *out_ << SnapshotToJsonLines(registry_->Snapshot(), now);
-  out_->flush();
+  Emit(SnapshotToJsonLines(registry_->Snapshot(), now));
   return true;
 }
 
 void MetricsReporter::ReportNow() {
   int64_t now = clock_->NowMillis();
   last_report_ms_ = now;
-  *out_ << SnapshotToJsonLines(registry_->Snapshot(), now);
-  out_->flush();
+  Emit(SnapshotToJsonLines(registry_->Snapshot(), now));
 }
 
 }  // namespace sqs

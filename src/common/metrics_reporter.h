@@ -6,7 +6,7 @@
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,21 +39,39 @@ class MetricsReporter {
   MetricsReporter(std::shared_ptr<MetricsRegistry> registry, std::ostream* out,
                   int64_t interval_ms, std::shared_ptr<Clock> clock = nullptr);
 
+  // File-backed variant: the reporter owns the stream, appends to `path`,
+  // and — when `max_bytes` > 0 — rolls the file to `<path>.1` (replacing any
+  // previous roll) before a report would push it past `max_bytes`, so
+  // long-running jobs keep at most ~2x max_bytes of metrics on disk.
+  MetricsReporter(std::shared_ptr<MetricsRegistry> registry, std::string path,
+                  int64_t interval_ms, int64_t max_bytes,
+                  std::shared_ptr<Clock> clock = nullptr);
+
   // Emits if at least interval_ms elapsed since the last report. Returns
   // true when a report was written.
   bool MaybeReport();
 
-  // Unconditional snapshot + emit.
+  // Unconditional snapshot + emit (also the flush-on-shutdown path).
   void ReportNow();
 
   int64_t interval_ms() const { return interval_ms_; }
+  // Bytes currently in the active file (file-backed reporters only).
+  int64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
 
  private:
+  void Emit(const std::string& payload);
+
   std::shared_ptr<MetricsRegistry> registry_;
   std::ostream* out_;
   int64_t interval_ms_;
   std::shared_ptr<Clock> clock_;
   int64_t last_report_ms_;
+  // File-backed mode.
+  std::string path_;
+  int64_t max_bytes_ = 0;
+  int64_t bytes_written_ = 0;
+  std::ofstream file_;
 };
 
 }  // namespace sqs

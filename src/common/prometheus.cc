@@ -1,0 +1,232 @@
+#include "common/prometheus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace sqs {
+
+namespace {
+
+bool ValidNameChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+std::vector<std::string> SplitDots(const std::string& name) {
+  std::vector<std::string> segments;
+  size_t start = 0;
+  while (start <= name.size()) {
+    size_t dot = name.find('.', start);
+    if (dot == std::string::npos) {
+      segments.push_back(name.substr(start));
+      break;
+    }
+    segments.push_back(name.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return segments;
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Split a dotted internal name into the leaf metric and the label set.
+// The per-partition lag gauges (`<scope>.lag.<topic>.<partition>`) get the
+// dedicated `consumer_lag` family with topic/partition labels — their leaf
+// segment is a bare partition number, which cannot name a family.
+struct FamilyKey {
+  std::string leaf;  // pre-sanitization metric leaf ("processed", ...)
+  // Ordered label pairs, values unescaped.
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+FamilyKey SplitName(const std::string& name) {
+  FamilyKey key;
+  std::vector<std::string> segments = SplitDots(name);
+  if (segments.size() >= 4 && AllDigits(segments.back()) &&
+      segments[segments.size() - 3] == "lag") {
+    key.leaf = "consumer_lag";
+    std::string scope;
+    for (size_t i = 0; i + 3 < segments.size(); ++i) {
+      if (i) scope += '.';
+      scope += segments[i];
+    }
+    key.labels.emplace_back("scope", scope);
+    key.labels.emplace_back("topic", segments[segments.size() - 2]);
+    key.labels.emplace_back("partition", segments.back());
+    return key;
+  }
+  key.leaf = segments.back();
+  if (segments.size() > 1) {
+    key.labels.emplace_back("scope",
+                            name.substr(0, name.size() - key.leaf.size() - 1));
+  }
+  return key;
+}
+
+std::string FormatLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& extra_key = "", const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += PrometheusName(k) + "=\"" + PrometheusLabelValue(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// One family: a # TYPE header plus its accumulated sample lines.
+struct Family {
+  std::string type;  // "counter" | "gauge" | "histogram"
+  std::string help;
+  std::vector<std::string> lines;
+};
+
+void AddSample(std::map<std::string, Family>& families, const std::string& name,
+               const std::string& type, const std::string& help,
+               std::string line) {
+  Family& fam = families[name];
+  if (fam.type.empty()) {
+    fam.type = type;
+    fam.help = help;
+  }
+  fam.lines.push_back(std::move(line));
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 1);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (ValidNameChar(c, out.empty())) {
+      out += c;
+    } else if (out.empty() && std::isdigit(static_cast<unsigned char>(c))) {
+      out += '_';
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string PrometheusLabelValue(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::map<std::string, Family> families;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    FamilyKey key = SplitName(name);
+    std::string fam = "samzasql_" + PrometheusName(key.leaf) + "_total";
+    AddSample(families, fam, "counter",
+              "monotone total of internal counter '" + key.leaf + "'",
+              fam + FormatLabels(key.labels) + " " + std::to_string(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    FamilyKey key = SplitName(name);
+    std::string fam = "samzasql_" + PrometheusName(key.leaf);
+    AddSample(families, fam, "gauge",
+              "last value of internal gauge '" + key.leaf + "'",
+              fam + FormatLabels(key.labels) + " " + std::to_string(value));
+  }
+  for (const auto& [name, nanos] : snapshot.timers) {
+    FamilyKey key = SplitName(name);
+    std::string fam = "samzasql_" + PrometheusName(key.leaf) + "_seconds_total";
+    AddSample(families, fam, "counter",
+              "accumulated busy time of internal timer '" + key.leaf + "'",
+              fam + FormatLabels(key.labels) + " " +
+                  FormatDouble(static_cast<double>(nanos) / 1e9));
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    FamilyKey key = SplitName(name);
+    std::string base = "samzasql_" + PrometheusName(key.leaf);
+    Family& fam = families[base];
+    if (fam.type.empty()) {
+      fam.type = "histogram";
+      fam.help = "log-bucketed distribution of '" + key.leaf + "'";
+    }
+    // Cumulative buckets; +Inf must agree with `_count`, and a racing
+    // Record() between the bucket scan and the count read can leave either
+    // one ahead — take the max so the series stays monotone.
+    int64_t last_cumulative = stats.buckets.empty() ? 0 : stats.buckets.back().second;
+    int64_t total = std::max(stats.count, last_cumulative);
+    for (const auto& [le, cumulative] : stats.buckets) {
+      fam.lines.push_back(base + "_bucket" +
+                          FormatLabels(key.labels, "le", std::to_string(le)) +
+                          " " + std::to_string(std::min(cumulative, total)));
+    }
+    fam.lines.push_back(base + "_bucket" +
+                        FormatLabels(key.labels, "le", "+Inf") + " " +
+                        std::to_string(total));
+    fam.lines.push_back(base + "_sum" + FormatLabels(key.labels) + " " +
+                        std::to_string(stats.sum));
+    fam.lines.push_back(base + "_count" + FormatLabels(key.labels) + " " +
+                        std::to_string(total));
+    const std::pair<const char*, int64_t> range[] = {{"min", stats.min},
+                                                     {"max", stats.max}};
+    for (const auto& [suffix, value] : range) {
+      std::string gname = base + "_" + suffix;
+      AddSample(families, gname, "gauge",
+                std::string("recorded ") + suffix + " of '" + key.leaf + "'",
+                gname + FormatLabels(key.labels) + " " + std::to_string(value));
+    }
+  }
+
+  std::ostringstream os;
+  for (const auto& [name, fam] : families) {
+    std::string help = fam.help;
+    // HELP escaping: backslash and newline only (spec).
+    std::string escaped;
+    for (char c : help) {
+      if (c == '\\') escaped += "\\\\";
+      else if (c == '\n') escaped += "\\n";
+      else escaped += c;
+    }
+    os << "# HELP " << name << " " << escaped << "\n";
+    os << "# TYPE " << name << " " << fam.type << "\n";
+    for (const std::string& line : fam.lines) os << line << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sqs

@@ -1,0 +1,44 @@
+// Prometheus text exposition (format 0.0.4) rendered from MetricsSnapshot.
+// The dot-separated internal names (`<job>.<task>.<operator>.<metric>`, see
+// docs/METRICS.md) become one metric *family* per leaf metric with the
+// owning scope as a label, so a single family aggregates across jobs, tasks
+// and operators:
+//
+//   samzasql_processed_total{scope="samzasql-query-0.Partition_0.op2-scan"} 42
+//   samzasql_consumer_lag{scope="q0.container0",topic="Orders",partition="1"} 7
+//
+// Rendering rules:
+//  - counters  -> `samzasql_<leaf>_total` (counter)
+//  - gauges    -> `samzasql_<leaf>` (gauge); per-partition lag gauges
+//                 (`...lag.<topic>.<partition>`) become the dedicated
+//                 `samzasql_consumer_lag` family with topic/partition labels
+//  - timers    -> `samzasql_<leaf>_seconds_total` (counter, ns -> s)
+//  - histograms-> `samzasql_<leaf>` histogram: cumulative `_bucket{le=...}`
+//                 series ending at `le="+Inf"`, plus `_sum` / `_count`, and
+//                 companion `_min` / `_max` gauges from the recorded range
+// Family and label names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]*; label
+// values escape backslash, double quote, and newline per the spec.
+#pragma once
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace sqs {
+
+// The Content-Type a /metrics endpoint must serve for format 0.0.4.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+// Sanitize an arbitrary string into a valid metric/label name: invalid
+// characters become '_', and a leading digit is prefixed with '_'.
+std::string PrometheusName(const std::string& raw);
+
+// Escape a label value: \ -> \\, " -> \", newline -> \n.
+std::string PrometheusLabelValue(const std::string& raw);
+
+// Render a whole snapshot in exposition format, families sorted by name,
+// each preceded by its # HELP / # TYPE header.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace sqs

@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/tracing.h"
 #include "core/task.h"
 #include "ops/router.h"
@@ -162,12 +163,39 @@ QueryExecutor::QueryExecutor(EnvironmentPtr env, Config job_defaults)
   TaskFactoryRegistry::Instance().Register(factory_name_, [captured] {
     return std::make_unique<SamzaSqlTask>(captured);
   });
+  monitor_ = std::make_unique<MonitorServer>(
+      defaults_, [this] { return CollectJobViews(); }, env_->clock);
+  Status st = monitor_->Start();
+  if (!st.ok()) {
+    // A busy port must not take down query execution; the monitor simply
+    // stays HTTP-less (history and alerting still work).
+    SQS_WARNC("monitor", "monitor http disabled", {"error", st.message()});
+  }
 }
 
 QueryExecutor::~QueryExecutor() {
+  // Stop the monitor first so its HTTP worker cannot observe jobs mid-stop.
+  monitor_->Stop();
   for (auto& job : jobs_) {
     if (job) (void)job->Stop();
   }
+}
+
+std::vector<MonitorJobView> QueryExecutor::CollectJobViews() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  std::vector<MonitorJobView> views;
+  views.reserve(jobs_.size());
+  for (const auto& job : jobs_) {
+    if (!job) continue;
+    MonitorJobView view;
+    view.name = job->job_name();
+    view.containers_total = job->NumContainers();
+    view.containers_running = job->NumRunningContainers();
+    view.processed = job->TotalProcessed();
+    view.snapshot = job->metrics_registry()->Snapshot();
+    views.push_back(std::move(view));
+  }
+  return views;
 }
 
 Result<QueryExecutor::ExecutionResult> QueryExecutor::Execute(
@@ -460,7 +488,10 @@ Result<QueryExecutor::ExecutionResult> QueryExecutor::SubmitStreamingJob(
 
   auto runner = std::make_unique<JobRunner>(env_->broker, config, env_->clock);
   SQS_RETURN_IF_ERROR(runner->Start());
-  jobs_.push_back(std::move(runner));
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back(std::move(runner));
+  }
 
   ExecutionResult result;
   result.kind = ExecutionResult::Kind::kJobSubmitted;
@@ -473,9 +504,16 @@ Result<QueryExecutor::ExecutionResult> QueryExecutor::SubmitStreamingJob(
 
 Result<int64_t> QueryExecutor::RunJobsUntilQuiescent() {
   std::vector<JobRunner*> raw;
-  raw.reserve(jobs_.size());
-  for (auto& job : jobs_) raw.push_back(job.get());
-  return JobRunner::RunPipelineUntilQuiescent(raw);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    raw.reserve(jobs_.size());
+    for (auto& job : jobs_) raw.push_back(job.get());
+  }
+  Result<int64_t> processed = JobRunner::RunPipelineUntilQuiescent(raw);
+  // Sample history / evaluate alerts on the driving clock so SHOW HISTORY,
+  // SHOW ALERTS and /readyz reflect the state the run just produced.
+  monitor_->Tick();
+  return processed;
 }
 
 Result<std::vector<Row>> QueryExecutor::ReadOutputRows(const std::string& topic) const {

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "core/environment.h"
+#include "http/monitor.h"
 #include "sql/batch_eval.h"
 #include "sql/planner.h"
 #include "task/runner.h"
@@ -57,6 +59,15 @@ class QueryExecutor {
   }
   size_t num_jobs() const { return jobs_.size(); }
 
+  // The monitoring surface over this executor's jobs: Prometheus /metrics,
+  // health/readiness, history ring, alerts. Always constructed; its HTTP
+  // endpoint only listens when `monitor.enable` is set in the job defaults.
+  MonitorServer& monitor() { return *monitor_; }
+
+  // Snapshot of every submitted job for the monitor (thread-safe with
+  // respect to concurrent SubmitStreamingJob calls).
+  std::vector<MonitorJobView> CollectJobViews() const;
+
   // Materialize the contents of an output topic as rows (uses the schema
   // registered under `topic` in the schema registry).
   Result<std::vector<Row>> ReadOutputRows(const std::string& topic) const;
@@ -83,7 +94,11 @@ class QueryExecutor {
   EnvironmentPtr env_;
   Config defaults_;
   std::string factory_name_;
+  // Guards jobs_ between the submitting thread and the monitor's HTTP
+  // worker, which calls CollectJobViews() concurrently.
+  mutable std::mutex jobs_mu_;
   std::vector<std::unique_ptr<JobRunner>> jobs_;
+  std::unique_ptr<MonitorServer> monitor_;
   std::string views_script_;
   int query_counter_ = 0;
 };

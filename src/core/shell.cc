@@ -135,6 +135,74 @@ void Shell::ExecuteBuffered(std::ostream& out) {
       }
       return;
     }
+    // SHOW HISTORY [JSON | <job>]: the monitor's metrics history ring with
+    // per-series rates and sparklines.
+    if (w1 == "SHOW" && w2 == "HISTORY") {
+      MetricsHistory& history = executor_->monitor().history();
+      if (w3 == "JSON") {
+        out << history.ToJson() << "\n";
+        return;
+      }
+      std::string job_filter;
+      {
+        std::istringstream orig(statement);
+        std::string o1, o2;
+        orig >> o1 >> o2 >> job_filter;
+      }
+      while (!job_filter.empty() && job_filter.back() == ';') job_filter.pop_back();
+      std::string prefix = job_filter.empty() ? "" : job_filter + ".";
+      std::vector<std::string> keys = history.Keys();
+      char header[192];
+      std::snprintf(header, sizeof(header), "%-44s %12s %12s  %s\n", "series",
+                    "last", "rate/s", "sparkline");
+      out << header;
+      size_t shown = 0;
+      for (const std::string& key : keys) {
+        if (!prefix.empty() && key.compare(0, prefix.size(), prefix) != 0) continue;
+        std::vector<MetricsHistory::Point> points = history.Series(key);
+        if (points.empty()) continue;
+        std::snprintf(header, sizeof(header), "%-44s %12.6g %12.6g  %s\n",
+                      key.c_str(), points.back().value, history.RatePerSec(key),
+                      AsciiSparkline(points).c_str());
+        out << header;
+        ++shown;
+      }
+      if (shown == 0) {
+        out << "(no history samples"
+            << (job_filter.empty() ? "" : " for " + job_filter)
+            << " — run !run or scrape the monitor to tick)\n";
+      }
+      return;
+    }
+    // SHOW ALERTS [JSON]: current alert engine state.
+    if (w1 == "SHOW" && w2 == "ALERTS") {
+      MonitorServer& monitor = executor_->monitor();
+      if (w3 == "JSON") {
+        out << monitor.alerts().ToJson(SystemClock::Instance()->NowMillis())
+            << "\n";
+        return;
+      }
+      if (!monitor.rules_status().ok()) {
+        out << "alert rules disabled: " << monitor.rules_status().message() << "\n";
+        return;
+      }
+      if (monitor.alerts().empty()) {
+        out << "(no alert rules configured — set alert.rules)\n";
+        return;
+      }
+      char header[256];
+      std::snprintf(header, sizeof(header), "%-10s %-44s %12s %6s  %s\n",
+                    "state", "rule", "value", "fired", "subject");
+      out << header;
+      for (const AlertStatus& status : monitor.alerts().Statuses()) {
+        std::snprintf(header, sizeof(header), "%-10s %-44s %12.6g %6lld  %s\n",
+                      AlertStateName(status.state), status.rule.text.c_str(),
+                      status.value, static_cast<long long>(status.fired_count),
+                      status.subject.c_str());
+        out << header;
+      }
+      return;
+    }
   }
   auto result = executor_->Execute(statement);
   if (!result.ok()) {
@@ -179,9 +247,12 @@ void Shell::MetaCommand(const std::string& command, std::ostream& out) {
            "  SHOW METRICS JSON;    the same snapshot as JSON lines\n"
            "  SHOW TRACE [<job>];   per-span statistics from the trace buffer\n"
            "  SHOW TRACE JSON;      buffered spans as Chrome trace format\n"
+           "  SHOW HISTORY [<job>]; metrics history ring: rates + sparklines\n"
+           "  SHOW HISTORY JSON;    the history ring as JSON\n"
+           "  SHOW ALERTS [JSON];   threshold alert states (alert.rules)\n"
            "  EXPLAIN ANALYZE <q>;  run a streaming query fully sampled and\n"
            "                        annotate its plan with span statistics\n"
-           "(see docs/METRICS.md and docs/TRACING.md for references)\n";
+           "(see docs/METRICS.md, docs/TRACING.md, docs/MONITORING.md)\n";
     return;
   }
   if (cmd == "!tables") {

@@ -1,0 +1,263 @@
+#include "http/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sqs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 64 * 1024;
+
+void SetIoTimeout(int fd, int millis) {
+  timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Read until the end of the header block (GET requests carry no body).
+bool ReadHeaders(int fd, std::string* raw) {
+  char buf[4096];
+  while (raw->find("\r\n\r\n") == std::string::npos) {
+    if (raw->size() > kMaxRequestBytes) return false;
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    raw->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool ParseRequest(const std::string& raw, HttpRequest* req) {
+  std::istringstream in(raw);
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::istringstream request_line(line);
+  std::string target, version;
+  request_line >> req->method >> target >> version;
+  if (req->method.empty() || target.empty() ||
+      version.compare(0, 5, "HTTP/") != 0) {
+    return false;
+  }
+  size_t qmark = target.find('?');
+  req->path = target.substr(0, qmark);
+  if (qmark != std::string::npos) req->query = target.substr(qmark + 1);
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    for (char& c : key) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    size_t value_start = line.find_first_not_of(" \t", colon + 1);
+    req->headers[key] =
+        value_start == std::string::npos ? "" : line.substr(value_start);
+  }
+  return true;
+}
+
+std::string SerializeResponse(const HttpResponse& res) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << res.status << " " << HttpServer::ReasonPhrase(res.status)
+     << "\r\nContent-Type: " << res.content_type
+     << "\r\nContent-Length: " << res.body.size()
+     << "\r\nConnection: close\r\n\r\n"
+     << res.body;
+  return os.str();
+}
+
+}  // namespace
+
+const char* HttpServer::ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+HttpServer::HttpServer(int port, HttpHandler handler)
+    : requested_port_(port), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load()) return Status::StateError("http server already started");
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(requested_port_));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Internal("bind 127.0.0.1:" +
+                                 std::to_string(requested_port_) + ": " +
+                                 std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (listen(listen_fd_, 16) < 0) {
+    Status st = Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  worker_ = std::thread([this] { AcceptLoop(); });
+  SQS_INFOC("http", "server listening", {"port", std::to_string(port_)});
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (worker_.joinable()) worker_.join();
+    return;
+  }
+  // shutdown() unblocks the accept(); the fd is closed after the join so the
+  // worker never races a reused descriptor.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (worker_.joinable()) worker_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  SQS_INFOC("http", "server stopped", {"port", std::to_string(port_)},
+            {"requests", std::to_string(requests_served_.load())});
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listen socket gone
+    }
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  SetIoTimeout(fd, 5000);
+  std::string raw;
+  HttpRequest req;
+  HttpResponse res;
+  if (!ReadHeaders(fd, &raw) || !ParseRequest(raw, &req)) {
+    res.status = 400;
+    res.body = "bad request\n";
+  } else if (req.method != "GET" && req.method != "HEAD") {
+    res.status = 405;
+    res.body = "only GET is supported\n";
+  } else {
+    res = handler_(req);
+    if (req.method == "HEAD") res.body.clear();
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  SendAll(fd, SerializeResponse(res));
+}
+
+Result<HttpResponse> HttpGet(const std::string& host, int port,
+                             const std::string& path, int timeout_ms) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  SetIoTimeout(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("HttpGet: bad host " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Internal("connect " + host + ":" + std::to_string(port) +
+                                 ": " + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request)) {
+    close(fd);
+    return Status::Internal("HttpGet: send failed");
+  }
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      close(fd);
+      return Status::Internal(std::string("HttpGet: recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+
+  size_t header_end = raw.find("\r\n\r\n");
+  if (raw.compare(0, 5, "HTTP/") != 0 || header_end == std::string::npos) {
+    return Status::ParseError("HttpGet: malformed response");
+  }
+  HttpResponse res;
+  std::istringstream in(raw.substr(0, header_end));
+  std::string line;
+  std::getline(in, line);
+  {
+    std::istringstream status_line(line);
+    std::string version;
+    status_line >> version >> res.status;
+    if (res.status == 0) return Status::ParseError("HttpGet: bad status line");
+  }
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    for (char& c : key) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (key == "content-type") {
+      size_t start = line.find_first_not_of(" \t", colon + 1);
+      res.content_type = start == std::string::npos ? "" : line.substr(start);
+    }
+  }
+  res.body = raw.substr(header_end + 4);
+  return res;
+}
+
+}  // namespace sqs

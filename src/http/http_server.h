@@ -1,0 +1,82 @@
+// Dependency-free embedded HTTP/1.1 server over POSIX sockets: one blocking
+// accept loop on a worker thread, one request per connection
+// (`Connection: close`), GET-oriented. Built for the monitoring surface
+// (/metrics, /healthz, ...) — low request rates, tiny responses — not as a
+// general web server. Binds loopback only; port 0 picks an ephemeral port
+// (the bound port is readable via port(), used by tests and benches).
+//
+// HttpGet() is the matching minimal client, so tests and the overhead bench
+// can scrape endpoints without shelling out to curl.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace sqs {
+
+struct HttpRequest {
+  std::string method;  // "GET", ...
+  std::string path;    // "/metrics" (query string stripped)
+  std::string query;   // "job=q0" (without '?'; empty if none)
+  std::map<std::string, std::string> headers;  // keys lower-cased
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  // `port` 0 = ephemeral. The handler runs on the server's worker thread
+  // and must be thread-safe with respect to the owning application.
+  HttpServer(int port, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Bind 127.0.0.1:<port>, listen, and start the accept thread.
+  Status Start();
+
+  // Unblock accept, join the worker, close the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The actually bound port (resolves port 0 after Start()).
+  int port() const { return port_; }
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  static const char* ReasonPhrase(int status);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  int requested_port_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::thread worker_;
+};
+
+// Blocking GET of http://<host>:<port><path>; fails on connect/IO errors or
+// a malformed response (the HTTP status code is returned in the response,
+// not mapped to an error). `path` may include a query string.
+Result<HttpResponse> HttpGet(const std::string& host, int port,
+                             const std::string& path, int timeout_ms = 5000);
+
+}  // namespace sqs

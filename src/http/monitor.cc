@@ -1,0 +1,243 @@
+#include "http/monitor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/metrics_reporter.h"
+#include "common/prometheus.h"
+#include "task/api.h"
+
+namespace sqs {
+
+namespace {
+
+constexpr int64_t kDefaultHistoryIntervalMs = 1000;
+
+// Leaf segment of a dotted metric name.
+std::string Leaf(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Value of `key` in an (unescaped) query string like "job=q0&n=3".
+std::string QueryParam(const std::string& query, const std::string& key) {
+  std::stringstream ss(query);
+  std::string pair;
+  while (std::getline(ss, pair, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    if (pair.compare(0, eq, key) == 0) return pair.substr(eq + 1);
+  }
+  return "";
+}
+
+}  // namespace
+
+MonitorServer::MonitorServer(const Config& config, MonitorJobsProvider provider,
+                             std::shared_ptr<Clock> clock)
+    : config_(config),
+      provider_(std::move(provider)),
+      clock_(clock ? std::move(clock) : SystemClock::Instance()),
+      history_interval_ms_(
+          config.GetInt(cfg::kMetricsHistoryIntervalMs, kDefaultHistoryIntervalMs)),
+      max_consumer_lag_(config.GetInt(cfg::kMonitorReadyMaxConsumerLag, -1)),
+      max_watermark_lag_ms_(config.GetInt(cfg::kMonitorReadyMaxWatermarkLagMs, -1)),
+      history_(static_cast<size_t>(config.GetInt(
+          cfg::kMetricsHistorySamples, MetricsHistory::kDefaultSamples))),
+      self_metrics_(std::make_shared<MetricsRegistry>()) {
+  if (history_interval_ms_ <= 0) history_interval_ms_ = kDefaultHistoryIntervalMs;
+  std::vector<AlertRule> rules;
+  Result<std::vector<AlertRule>> parsed =
+      AlertEngine::ParseRules(config.Get(cfg::kAlertRules));
+  if (parsed.ok()) {
+    rules = std::move(parsed).value();
+  } else {
+    rules_status_ = parsed.status();
+    SQS_WARNC("monitor", "alert rules disabled",
+              {"error", rules_status_.message()});
+  }
+  alerts_ = std::make_unique<AlertEngine>(std::move(rules));
+}
+
+MonitorServer::~MonitorServer() { Stop(); }
+
+Status MonitorServer::Start() {
+  if (!config_.GetBool(cfg::kMonitorEnable, false)) return Status::Ok();
+  if (http_) return Status::StateError("monitor already started");
+  int port = static_cast<int>(config_.GetInt(cfg::kMonitorPort, 0));
+  http_ = std::make_unique<HttpServer>(
+      port, [this](const HttpRequest& request) { return Handle(request); });
+  Status st = http_->Start();
+  if (!st.ok()) {
+    http_.reset();
+    return st;
+  }
+  SQS_INFOC("monitor", "monitor serving",
+            {"port", std::to_string(http_->port())},
+            {"alert_rules", std::to_string(alerts_->num_rules())});
+  return Status::Ok();
+}
+
+void MonitorServer::Stop() {
+  if (http_) {
+    http_->Stop();
+    http_.reset();
+  }
+}
+
+void MonitorServer::Tick() {
+  int64_t now = clock_->NowMillis();
+  {
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    if (last_tick_ms_ != INT64_MIN && now - last_tick_ms_ < history_interval_ms_) {
+      return;
+    }
+    last_tick_ms_ = now;
+  }
+  ForceTick();
+}
+
+void MonitorServer::ForceTick() {
+  int64_t now = clock_->NowMillis();
+  // Count the tick before sampling so the very first history sample already
+  // carries the monitor's own instruments.
+  self_metrics_->GetCounter("monitor.ticks").Inc();
+  MetricsSnapshot merged = MergedSnapshot(nullptr);
+  history_.Record(now, merged);
+  alerts_->Evaluate(now, merged, &history_);
+  self_metrics_->GetGauge("monitor.alerts_firing").Set(alerts_->FiringCount());
+  {
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    last_tick_ms_ = now;
+  }
+}
+
+MetricsSnapshot MonitorServer::MergedSnapshot(
+    std::vector<MonitorJobView>* views_out) const {
+  std::vector<MonitorJobView> views = provider_ ? provider_() : std::vector<MonitorJobView>{};
+  std::vector<MetricsSnapshot> snapshots;
+  snapshots.reserve(views.size() + 1);
+  for (MonitorJobView& view : views) snapshots.push_back(std::move(view.snapshot));
+  snapshots.push_back(self_metrics_->Snapshot());
+  if (views_out != nullptr) *views_out = std::move(views);
+  return MergeSnapshots(snapshots);
+}
+
+MonitorServer::Readiness MonitorServer::CheckReadiness() const {
+  Readiness readiness;
+  std::vector<MonitorJobView> views =
+      provider_ ? provider_() : std::vector<MonitorJobView>{};
+  for (const MonitorJobView& view : views) {
+    if (view.containers_running < view.containers_total) {
+      readiness.ready = false;
+      readiness.reason = "job " + view.name + ": " +
+                         std::to_string(view.containers_running) + "/" +
+                         std::to_string(view.containers_total) +
+                         " containers running";
+      return readiness;
+    }
+  }
+  if (max_consumer_lag_ < 0 && max_watermark_lag_ms_ < 0) return readiness;
+  for (const MonitorJobView& view : views) {
+    for (const auto& [name, value] : view.snapshot.gauges) {
+      if (max_consumer_lag_ >= 0 && name.find(".lag.") != std::string::npos &&
+          value > max_consumer_lag_) {
+        readiness.ready = false;
+        readiness.reason = "consumer lag " + std::to_string(value) + " > " +
+                           std::to_string(max_consumer_lag_) + " (" + name + ")";
+        return readiness;
+      }
+      if (max_watermark_lag_ms_ >= 0 && Leaf(name) == "watermark_lag_ms" &&
+          value > max_watermark_lag_ms_) {
+        readiness.ready = false;
+        readiness.reason = "watermark lag " + std::to_string(value) + "ms > " +
+                           std::to_string(max_watermark_lag_ms_) + "ms (" + name +
+                           ")";
+        return readiness;
+      }
+    }
+  }
+  return readiness;
+}
+
+std::string MonitorServer::RenderPrometheusText() const {
+  return RenderPrometheus(MergedSnapshot(nullptr));
+}
+
+std::string MonitorServer::RenderJobsJson() const {
+  std::vector<MonitorJobView> views =
+      provider_ ? provider_() : std::vector<MonitorJobView>{};
+  std::ostringstream os;
+  os << "{\"ts_ms\":" << clock_->NowMillis() << ",\"jobs\":[";
+  for (size_t i = 0; i < views.size(); ++i) {
+    const MonitorJobView& view = views[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << JsonEscape(view.name)
+       << "\",\"containers_total\":" << view.containers_total
+       << ",\"containers_running\":" << view.containers_running
+       << ",\"processed\":" << view.processed << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+HttpResponse MonitorServer::Handle(const HttpRequest& request) {
+  // Keep history/alerts fresh even when nothing is driving jobs (an idle
+  // executor scraped by Prometheus still advances on wall-clock ticks).
+  Tick();
+  HttpResponse res;
+  if (request.path == "/metrics") {
+    self_metrics_->GetCounter("monitor.scrapes").Inc();
+    res.content_type = kPrometheusContentType;
+    res.body = RenderPrometheusText();
+  } else if (request.path == "/healthz") {
+    res.body = "ok\n";
+  } else if (request.path == "/readyz") {
+    Readiness readiness = CheckReadiness();
+    if (readiness.ready) {
+      res.body = "ready\n";
+    } else {
+      res.status = 503;
+      res.body = "not ready: " + readiness.reason + "\n";
+    }
+  } else if (request.path == "/jobs") {
+    res.content_type = "application/json";
+    res.body = RenderJobsJson();
+  } else if (request.path == "/history") {
+    res.content_type = "application/json";
+    res.body = history_.ToJson(QueryParam(request.query, "job"));
+  } else if (request.path == "/alerts") {
+    res.content_type = "application/json";
+    res.body = alerts_->ToJson(clock_->NowMillis());
+  } else if (request.path == "/") {
+    res.body =
+        "samzasql monitor\n"
+        "  /metrics   Prometheus text exposition\n"
+        "  /healthz   liveness\n"
+        "  /readyz    readiness (containers + lag thresholds)\n"
+        "  /jobs      submitted jobs (JSON)\n"
+        "  /history   metrics history ring (JSON, ?job=<prefix>)\n"
+        "  /alerts    alert engine state (JSON)\n";
+  } else {
+    res.status = 404;
+    res.body = "not found: " + request.path + "\n";
+  }
+  return res;
+}
+
+}  // namespace sqs

@@ -1,0 +1,119 @@
+// MonitorServer: the embedded external-observability surface of a SamzaSQL
+// deployment. One instance per QueryExecutor aggregates every submitted
+// job's metrics registry and exposes:
+//
+//   GET /metrics   Prometheus text exposition 0.0.4 (common/prometheus.h)
+//   GET /healthz   liveness: 200 while the process serves requests
+//   GET /readyz    readiness: 200 only while all containers of all submitted
+//                  jobs are running AND max consumer / watermark lag are
+//                  under the configured thresholds; 503 otherwise
+//   GET /jobs      submitted jobs as JSON (containers, processed counts)
+//   GET /history   the metrics history ring as JSON (?job=<name> filters)
+//   GET /alerts    alert engine state as JSON
+//
+// Behind the endpoints sit a MetricsHistory ring and an AlertEngine, both
+// advanced by Tick() on the same injected clock the MetricsReporter uses, so
+// history retention and alert firing/resolution are deterministic under a
+// manual clock in tests. The HTTP server itself is optional
+// (`monitor.enable`); SHOW HISTORY / SHOW ALERTS in the shell read the same
+// MonitorServer without it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/alerts.h"
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/history.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "http/http_server.h"
+
+namespace sqs {
+
+// What the monitor needs to know about one submitted job. Collected through
+// a provider callback so the monitor has no dependency on the runner layer
+// (and so the owner can guard its job list with its own lock).
+struct MonitorJobView {
+  std::string name;
+  size_t containers_total = 0;
+  size_t containers_running = 0;
+  int64_t processed = 0;
+  MetricsSnapshot snapshot;
+};
+
+using MonitorJobsProvider = std::function<std::vector<MonitorJobView>()>;
+
+class MonitorServer {
+ public:
+  // Reads monitor.*, metrics.history.*, and alert.rules from `config`.
+  // The provider is called from the HTTP worker thread and from Tick(); it
+  // must be safe to call concurrently with job submission.
+  MonitorServer(const Config& config, MonitorJobsProvider provider,
+                std::shared_ptr<Clock> clock = nullptr);
+  ~MonitorServer();
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  // Start the HTTP endpoint when `monitor.enable` is set; history and
+  // alerting work either way. Returns the HTTP server's bind error, if any.
+  Status Start();
+  void Stop();
+
+  // Sample history + evaluate alerts if `metrics.history.interval.ms` has
+  // elapsed since the last tick; called after every job-driving round and
+  // before every HTTP request. ForceTick() samples unconditionally.
+  void Tick();
+  void ForceTick();
+
+  bool http_running() const { return http_ && http_->running(); }
+  // Bound port of the HTTP endpoint (0 when not running).
+  int port() const { return http_ ? http_->port() : 0; }
+
+  MetricsHistory& history() { return history_; }
+  AlertEngine& alerts() { return *alerts_; }
+  // Monitor-scoped self-instruments (`monitor.alerts_firing`,
+  // `monitor.scrapes`, `monitor.ticks`), merged into /metrics output.
+  MetricsRegistry& self_metrics() { return *self_metrics_; }
+
+  struct Readiness {
+    bool ready = true;
+    std::string reason;  // first failing check when not ready
+  };
+  Readiness CheckReadiness() const;
+
+  // Rendering entry points, independent of HTTP (used by shell and tests).
+  std::string RenderPrometheusText() const;
+  std::string RenderJobsJson() const;
+
+  // Full endpoint dispatch (exposed for handler tests).
+  HttpResponse Handle(const HttpRequest& request);
+
+  // Status of the last `alert.rules` parse (rules that fail to parse
+  // disable alerting but never fail executor construction).
+  const Status& rules_status() const { return rules_status_; }
+
+ private:
+  MetricsSnapshot MergedSnapshot(std::vector<MonitorJobView>* views_out) const;
+
+  Config config_;
+  MonitorJobsProvider provider_;
+  std::shared_ptr<Clock> clock_;
+  int64_t history_interval_ms_;
+  int64_t max_consumer_lag_;
+  int64_t max_watermark_lag_ms_;
+  MetricsHistory history_;
+  std::unique_ptr<AlertEngine> alerts_;
+  Status rules_status_;
+  std::shared_ptr<MetricsRegistry> self_metrics_;
+  std::unique_ptr<HttpServer> http_;
+
+  std::mutex tick_mu_;
+  int64_t last_tick_ms_ = INT64_MIN;
+};
+
+}  // namespace sqs

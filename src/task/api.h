@@ -120,6 +120,24 @@ inline constexpr const char* kStoreAccessLatencyNanos = "stores.access.latency.n
 inline constexpr const char* kMetricsReporterIntervalMs = "metrics.reporter.interval.ms";
 // Where the reporter appends JSON lines; empty = stderr.
 inline constexpr const char* kMetricsReporterPath = "metrics.reporter.path";
+// Size-based rotation for the reporter file: when the next report would push
+// the file past this many bytes, it is rolled to `<path>.1` first
+// (0 = never rotate). Only applies when `metrics.reporter.path` is set.
+inline constexpr const char* kMetricsReporterMaxBytes = "metrics.reporter.max.bytes";
+// --- live monitoring (docs/MONITORING.md) ---
+// Serve /metrics, /healthz, /readyz, /jobs, /history, /alerts over HTTP.
+inline constexpr const char* kMonitorEnable = "monitor.enable";
+// TCP port for the monitor (loopback); 0 = ephemeral (see MonitorServer::port).
+inline constexpr const char* kMonitorPort = "monitor.port";
+// Readiness thresholds: /readyz reports 503 while any per-partition consumer
+// lag / operator watermark lag exceeds these (-1 = check disabled).
+inline constexpr const char* kMonitorReadyMaxConsumerLag = "monitor.ready.max.consumer.lag";
+inline constexpr const char* kMonitorReadyMaxWatermarkLagMs = "monitor.ready.max.watermark.lag.ms";
+// Metrics history ring: sampling interval and retained points per key.
+inline constexpr const char* kMetricsHistoryIntervalMs = "metrics.history.interval.ms";
+inline constexpr const char* kMetricsHistorySamples = "metrics.history.samples";
+// ';'-separated threshold alert rules (grammar in common/alerts.h).
+inline constexpr const char* kAlertRules = "alert.rules";
 // stores.<name>.changelog = <topic>
 inline constexpr const char* kStoresPrefix = "stores.";
 // Head-based trace sampling rate in (0,1]; 0 / unset = tracing disabled.

@@ -192,13 +192,15 @@ Status Container::Start() {
 
   int64_t report_interval = config_.GetInt(cfg::kMetricsReporterIntervalMs, 0);
   if (report_interval > 0) {
-    std::ostream* out = &std::cerr;
     std::string path = config_.Get(cfg::kMetricsReporterPath);
     if (!path.empty()) {
-      reporter_file_ = std::make_unique<std::ofstream>(path, std::ios::app);
-      if (reporter_file_->good()) out = reporter_file_.get();
+      reporter_ = std::make_unique<MetricsReporter>(
+          metrics_, path, report_interval,
+          config_.GetInt(cfg::kMetricsReporterMaxBytes, 0), clock_);
+    } else {
+      reporter_ = std::make_unique<MetricsReporter>(metrics_, &std::cerr,
+                                                    report_interval, clock_);
     }
-    reporter_ = std::make_unique<MetricsReporter>(metrics_, out, report_interval, clock_);
   }
 
   commit_every_ = config_.GetInt(cfg::kCommitEveryMessages, 0);
@@ -357,6 +359,9 @@ Status Container::Stop() {
     SQS_RETURN_IF_ERROR(CommitTask(*task));
     SQS_RETURN_IF_ERROR(task->task->Close());
   }
+  // Flush a final report so the tail of the run is never lost to the
+  // reporting interval.
+  if (reporter_) reporter_->ReportNow();
   std::string trace_path = config_.Get(cfg::kTracingExportPath);
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);

@@ -106,8 +106,9 @@ class Container {
   Histogram* m_process_latency_ns_ = nullptr;
   std::map<StreamPartition, Gauge*> lag_gauges_;
 
-  // Periodic JSON-lines reporter (metrics.reporter.interval.ms > 0).
-  std::unique_ptr<std::ofstream> reporter_file_;
+  // Periodic JSON-lines reporter (metrics.reporter.interval.ms > 0); owns
+  // its file when metrics.reporter.path is set, rotating per
+  // metrics.reporter.max.bytes, and flushes a last report on Stop().
   std::unique_ptr<MetricsReporter> reporter_;
 };
 

@@ -111,6 +111,14 @@ Status JobRunner::RestartContainer(int32_t container_id) {
   return Status::Ok();
 }
 
+size_t JobRunner::NumRunningContainers() const {
+  size_t n = 0;
+  for (const auto& c : containers_) {
+    if (c) ++n;
+  }
+  return n;
+}
+
 int64_t JobRunner::TotalProcessed() const {
   int64_t total = 0;
   for (const auto& c : containers_) {

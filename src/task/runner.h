@@ -45,7 +45,14 @@ class JobRunner {
   Status RestartContainer(int32_t container_id);
 
   const JobModel& job_model() const { return model_; }
+  const std::string& job_name() const { return model_.job_name; }
   size_t NumContainers() const { return containers_.size(); }
+  // Allocated containers currently alive (a killed slot stays nullptr until
+  // RestartContainer); feeds the monitor's /readyz containers check.
+  size_t NumRunningContainers() const;
+  bool AllContainersRunning() const {
+    return NumRunningContainers() == containers_.size();
+  }
   Container* container(int32_t id) {
     return id >= 0 && id < static_cast<int32_t>(containers_.size())
                ? containers_[id].get()

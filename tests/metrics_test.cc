@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -223,6 +225,101 @@ TEST(MetricsReporterTest, ReportNowIgnoresInterval) {
   MetricsReporter reporter(registry, &out, /*interval_ms=*/1'000'000, clock);
   reporter.ReportNow();
   EXPECT_NE(out.str().find("\"value\":4"), std::string::npos);
+}
+
+TEST(MetricsReporterTest, FileBackedReporterRotatesAtMaxBytes) {
+  std::string dir = ::testing::TempDir();
+  std::string path = dir + "/reporter_rotation.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+
+  auto registry = std::make_shared<MetricsRegistry>();
+  registry->GetCounter("job.container0.processed").Inc(1);
+  auto clock = std::make_shared<ManualClock>(0);
+  int64_t report_bytes =
+      static_cast<int64_t>(SnapshotToJsonLines(registry->Snapshot(), 0).size());
+  // Cap below two reports: the second report must roll the file.
+  MetricsReporter reporter(registry, path, /*interval_ms=*/1,
+                           /*max_bytes=*/report_bytes + report_bytes / 2, clock);
+  reporter.ReportNow();
+  EXPECT_EQ(reporter.bytes_written(), report_bytes);
+  EXPECT_FALSE(std::ifstream(path + ".1").good());
+
+  reporter.ReportNow();
+  // The first report moved to <path>.1; the active file holds only the second.
+  EXPECT_EQ(reporter.bytes_written(), report_bytes);
+  std::ifstream rolled(path + ".1", std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(rolled.good());
+  EXPECT_EQ(static_cast<int64_t>(rolled.tellg()), report_bytes);
+  std::ifstream active(path, std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(active.good());
+  EXPECT_EQ(static_cast<int64_t>(active.tellg()), report_bytes);
+
+  // A third report replaces the previous roll instead of accumulating files.
+  reporter.ReportNow();
+  std::ifstream rolled2(path + ".1", std::ios::binary | std::ios::ate);
+  EXPECT_EQ(static_cast<int64_t>(rolled2.tellg()), report_bytes);
+}
+
+TEST(MetricsReporterTest, FileBackedReporterResumesExistingFileSize) {
+  std::string dir = ::testing::TempDir();
+  std::string path = dir + "/reporter_resume.jsonl";
+  {
+    std::ofstream seed(path, std::ios::trunc);
+    seed << "previous run\n";
+  }
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto clock = std::make_shared<ManualClock>(0);
+  MetricsReporter reporter(registry, path, /*interval_ms=*/1, /*max_bytes=*/0,
+                           clock);
+  // Rotation accounting starts from the pre-existing size, and max_bytes=0
+  // disables rotation entirely.
+  EXPECT_EQ(reporter.bytes_written(), 13);
+  reporter.ReportNow();
+  EXPECT_FALSE(std::ifstream(path + ".1").good());
+}
+
+TEST(RenderTest, TableHistogramRowShowsMinAndMax) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("job.latency_ns");
+  h.Record(3);
+  h.Record(900);
+  std::string table = SnapshotToTable(registry.Snapshot());
+  EXPECT_NE(table.find("min=3"), std::string::npos) << table;
+  EXPECT_NE(table.find("max=900"), std::string::npos) << table;
+}
+
+TEST(HistogramTest, EmptyStatsAreAllZero) {
+  Histogram h;
+  HistogramStats s = h.GetStats();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.sum, 0);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_EQ(s.p50, 0);
+  EXPECT_EQ(s.p99, 0);
+  EXPECT_TRUE(s.buckets.empty());
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, StatsIncludeMinMaxAndOccupiedBuckets) {
+  Histogram h;
+  for (int64_t v : {2, 2, 50, 7000}) h.Record(v);
+  HistogramStats s = h.GetStats();
+  EXPECT_EQ(s.min, 2);
+  EXPECT_EQ(s.max, 7000);
+  // Three distinct buckets (2, ~50, ~7000), cumulative counts ending at 4.
+  ASSERT_EQ(s.buckets.size(), 3u);
+  EXPECT_EQ(s.buckets[0].second, 2);
+  EXPECT_EQ(s.buckets.back().second, 4);
+  for (const auto& [le, cumulative] : s.buckets) {
+    (void)cumulative;
+    EXPECT_GE(le, 0);
+  }
+  // Every recorded value is covered by a bucket whose bound is >= it.
+  EXPECT_GE(s.buckets.back().first, 7000);
 }
 
 }  // namespace
