@@ -1,0 +1,107 @@
+// Retry with capped exponential backoff + jitter for transient (Unavailable)
+// failures on the broker data path. Producers, consumers, changelog stores,
+// and the checkpoint manager all share this one implementation so retry
+// semantics — what is retryable, how backoff grows, which counters move —
+// are identical everywhere (docs/FAULT_TOLERANCE.md).
+//
+// Only ErrorCode::kUnavailable is retried: every other code is a logic or
+// data error that a retry cannot fix and must surface immediately.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/config.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace sqs {
+
+// `retry.*` configuration keys (parsed by RetryPolicy::FromConfig). Declared
+// here rather than task/api.h because common/ cannot depend on task/.
+namespace cfg {
+// Total attempts per operation, including the first (1 = no retry).
+inline constexpr const char* kRetryMaxAttempts = "retry.max.attempts";
+// Initial backoff before the first retry; doubles per retry up to the cap.
+inline constexpr const char* kRetryBackoffMs = "retry.backoff.ms";
+inline constexpr const char* kRetryBackoffMaxMs = "retry.backoff.max.ms";
+}  // namespace cfg
+
+struct RetryPolicy {
+  int32_t max_attempts = 1;  // 1 = retries disabled
+  int64_t backoff_ms = 10;
+  int64_t backoff_max_ms = 1000;
+
+  static RetryPolicy FromConfig(const Config& config) {
+    RetryPolicy p;
+    p.max_attempts =
+        static_cast<int32_t>(config.GetInt(cfg::kRetryMaxAttempts, 1));
+    p.backoff_ms = config.GetInt(cfg::kRetryBackoffMs, 10);
+    p.backoff_max_ms = config.GetInt(cfg::kRetryBackoffMaxMs, 1000);
+    if (p.max_attempts < 1) p.max_attempts = 1;
+    if (p.backoff_ms < 0) p.backoff_ms = 0;
+    if (p.backoff_max_ms < p.backoff_ms) p.backoff_max_ms = p.backoff_ms;
+    return p;
+  }
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+// Runs operations under a RetryPolicy. Sleeping uses real wall time
+// (std::this_thread::sleep_for), never the injectable Clock: backoff must
+// elapse even under ManualClock, and tests simply configure ~1ms backoffs.
+class Retrier {
+ public:
+  Retrier() = default;
+  explicit Retrier(RetryPolicy policy) : policy_(policy) {}
+
+  void SetPolicy(RetryPolicy policy) { policy_ = policy; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  // Optional counters: `retries` increments once per re-attempt, `giveups`
+  // once per operation that exhausts its budget and surfaces the error.
+  void BindMetrics(Counter* retries, Counter* giveups) {
+    retries_ = retries;
+    giveups_ = giveups;
+  }
+
+  // fn: () -> Status. Retries while fn returns Unavailable and attempts
+  // remain; any other status (or Ok) is returned as-is immediately.
+  template <typename Fn>
+  Status Run(Fn&& fn) {
+    int64_t backoff = policy_.backoff_ms;
+    for (int32_t attempt = 1;; ++attempt) {
+      Status st = fn();
+      if (st.ok() || st.code() != ErrorCode::kUnavailable) return st;
+      if (attempt >= policy_.max_attempts) {
+        if (giveups_ != nullptr) giveups_->Inc();
+        return st;
+      }
+      if (retries_ != nullptr) retries_->Inc();
+      SleepWithJitter(backoff);
+      backoff = std::min(backoff * 2, policy_.backoff_max_ms);
+    }
+  }
+
+ private:
+  // Full-jitter-lite: sleep a uniform duration in [backoff/2, backoff] so
+  // simultaneously-failing containers don't retry in lockstep.
+  void SleepWithJitter(int64_t backoff_ms) {
+    if (backoff_ms <= 0) return;
+    jitter_state_ = jitter_state_ * 6364136223846793005ull + 1442695040888963407ull;
+    int64_t half = backoff_ms / 2;
+    int64_t span = backoff_ms - half + 1;
+    int64_t sleep_ms = half + static_cast<int64_t>((jitter_state_ >> 33) %
+                                                   static_cast<uint64_t>(span));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+
+  RetryPolicy policy_;
+  Counter* retries_ = nullptr;
+  Counter* giveups_ = nullptr;
+  uint64_t jitter_state_ = 0x853c49e6748fea9bull;
+};
+
+}  // namespace sqs

@@ -14,6 +14,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kSerdeError: return "SerdeError";
     case ErrorCode::kStateError: return "StateError";
     case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kInternal: return "Internal";
   }
   return "Unknown";

@@ -23,6 +23,9 @@ enum class ErrorCode {
   kSerdeError,
   kStateError,
   kUnsupported,
+  // Transient infrastructure failure (broker unreachable, injected fault).
+  // The only code the retry layer (common/retry.h) considers retryable.
+  kUnavailable,
   kInternal,
 };
 
@@ -65,6 +68,9 @@ class Status {
   }
   static Status Unsupported(std::string m) {
     return Status(ErrorCode::kUnsupported, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(ErrorCode::kUnavailable, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(ErrorCode::kInternal, std::move(m));

@@ -192,6 +192,7 @@ std::vector<MonitorJobView> QueryExecutor::CollectJobViews() const {
     view.containers_total = job->NumContainers();
     view.containers_running = job->NumRunningContainers();
     view.processed = job->TotalProcessed();
+    view.restarts = job->TotalRestarts();
     view.snapshot = job->metrics_registry()->Snapshot();
     views.push_back(std::move(view));
   }

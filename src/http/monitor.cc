@@ -149,6 +149,10 @@ MonitorServer::Readiness MonitorServer::CheckReadiness() const {
                          std::to_string(view.containers_running) + "/" +
                          std::to_string(view.containers_total) +
                          " containers running";
+      if (view.restarts > 0) {
+        readiness.reason +=
+            " (" + std::to_string(view.restarts) + " supervisor restarts)";
+      }
       return readiness;
     }
   }
@@ -190,7 +194,8 @@ std::string MonitorServer::RenderJobsJson() const {
     os << "{\"name\":\"" << JsonEscape(view.name)
        << "\",\"containers_total\":" << view.containers_total
        << ",\"containers_running\":" << view.containers_running
-       << ",\"processed\":" << view.processed << "}";
+       << ",\"processed\":" << view.processed
+       << ",\"restarts\":" << view.restarts << "}";
   }
   os << "]}";
   return os.str();

@@ -42,6 +42,9 @@ struct MonitorJobView {
   size_t containers_total = 0;
   size_t containers_running = 0;
   int64_t processed = 0;
+  // Supervisor restart attempts so far (0 when supervision is off). Shown
+  // in /jobs and in the /readyz dead-container reason.
+  int64_t restarts = 0;
   MetricsSnapshot snapshot;
 };
 

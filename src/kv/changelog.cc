@@ -4,25 +4,37 @@
 
 namespace sqs {
 
+Status ChangelogBackedStore::AppendWithRetry(const Bytes& key, const Bytes& value) {
+  return retrier_.Run([&]() -> Status {
+    Message m;
+    m.key = key;
+    m.value = value;
+    auto r = broker_->Append(sp_, std::move(m));
+    return r.ok() ? Status::Ok() : r.status();
+  });
+}
+
 void ChangelogBackedStore::Put(const Bytes& key, Bytes value) {
-  Message m;
-  m.key = key;
-  m.value = value;
-  auto st = broker_->Append(sp_, std::move(m));
+  if (!health_.ok()) return;  // already failed; don't diverge further
+  Status st = AppendWithRetry(key, value);
   if (!st.ok()) {
-    throw std::runtime_error("changelog append failed: " + st.status().ToString());
+    health_ = st;
+    SQS_ERRORC("changelog", "append failed, store unhealthy until restore",
+               {"partition", sp_.ToString()}, {"error", st.ToString()});
+    return;  // backing store untouched: it never holds un-logged state
   }
   CountWrite(key.size(), value.size());
   backing_->Put(key, std::move(value));
 }
 
 void ChangelogBackedStore::Delete(const Bytes& key) {
-  Message m;
-  m.key = key;
-  m.value = Bytes{};  // tombstone
-  auto st = broker_->Append(sp_, std::move(m));
+  if (!health_.ok()) return;
+  Status st = AppendWithRetry(key, Bytes{});  // tombstone
   if (!st.ok()) {
-    throw std::runtime_error("changelog append failed: " + st.status().ToString());
+    health_ = st;
+    SQS_ERRORC("changelog", "tombstone append failed, store unhealthy until restore",
+               {"partition", sp_.ToString()}, {"error", st.ToString()});
+    return;
   }
   CountWrite(key.size(), 0);
   backing_->Delete(key);
@@ -37,7 +49,13 @@ Status ChangelogBackedStore::Restore() {
   int64_t pos = begin;
   int64_t restored = 0;
   while (pos < end) {
-    SQS_ASSIGN_OR_RETURN(batch, broker_->Fetch(sp_, pos, 1024));
+    std::vector<IncomingMessage> batch;
+    SQS_RETURN_IF_ERROR(retrier_.Run([&]() -> Status {
+      auto r = broker_->Fetch(sp_, pos, 1024);
+      if (!r.ok()) return r.status();
+      batch = std::move(r).value();
+      return Status::Ok();
+    }));
     if (batch.empty()) break;
     for (auto& m : batch) {
       if (m.message.value.empty()) {
@@ -49,6 +67,9 @@ Status ChangelogBackedStore::Restore() {
     }
     pos += static_cast<int64_t>(batch.size());
   }
+  // Replayed state matches the changelog exactly — any sticky write failure
+  // from the previous incarnation is moot now.
+  health_ = Status::Ok();
   SQS_DEBUG("restored " << restored << " changelog entries from " << sp_.ToString());
   return Status::Ok();
 }

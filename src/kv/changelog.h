@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "kv/store.h"
 #include "log/broker.h"
@@ -24,8 +25,19 @@ class ChangelogBackedStore : public KeyValueStore {
 
   std::optional<Bytes> Get(const Bytes& key) const override { return backing_->Get(key); }
 
+  // Put/Delete mirror the write to the changelog first. A broker append
+  // failure (after retries) does NOT throw and does NOT apply the write to
+  // the backing store — it records a sticky error instead, which the
+  // container checks via health() before committing. KeyValueStore's write
+  // signatures stay void, so operator code is unchanged; the failure
+  // surfaces as a clean task error at the commit boundary rather than an
+  // exception unwinding through Status-based code.
   void Put(const Bytes& key, Bytes value) override;
   void Delete(const Bytes& key) override;
+
+  // Ok until a changelog append has permanently failed; then the first
+  // failure, sticky until Restore() rebuilds consistent state.
+  Status health() const { return health_; }
 
   void Range(const Bytes& from, const Bytes& to, const RangeCallback& cb) const override {
     backing_->Range(from, to, cb);
@@ -36,9 +48,18 @@ class ChangelogBackedStore : public KeyValueStore {
 
   // Replay the changelog partition from the beginning into the (cleared)
   // backing store. An empty changelog value is a tombstone (delete).
+  // Success resets the sticky health error: replayed state is exactly what
+  // the changelog holds, so the store is consistent again.
   Status Restore();
 
   const StreamPartition& changelog_partition() const { return sp_; }
+
+  // Transient (Unavailable) changelog append/fetch failures are retried
+  // under this policy; default is no retry.
+  void SetRetryPolicy(RetryPolicy policy) { retrier_.SetPolicy(policy); }
+  void BindRetryMetrics(Counter* retries, Counter* giveups) {
+    retrier_.BindMetrics(retries, giveups);
+  }
 
   // Attach write-volume instruments (scoped `changelog_writes` /
   // `changelog_bytes` counters). Optional; writes are uncounted until bound.
@@ -48,6 +69,7 @@ class ChangelogBackedStore : public KeyValueStore {
   }
 
  private:
+  Status AppendWithRetry(const Bytes& key, const Bytes& value);
   void CountWrite(size_t key_bytes, size_t value_bytes) {
     if (writes_ == nullptr) return;
     writes_->Inc();
@@ -57,6 +79,8 @@ class ChangelogBackedStore : public KeyValueStore {
   KeyValueStorePtr backing_;
   BrokerPtr broker_;
   StreamPartition sp_;
+  Status health_;  // sticky first changelog failure
+  Retrier retrier_;
   Counter* writes_ = nullptr;  // changelog appends (puts + tombstones)
   Counter* bytes_ = nullptr;   // key + value bytes appended
 };

@@ -25,45 +25,49 @@ struct TopicConfig {
   bool compacted = false;
 };
 
+// Virtual so decorators (log/fault_broker.h) can interpose on any
+// operation; the in-process implementation below is the default.
 class Broker {
  public:
+  virtual ~Broker() = default;
+
   // Simulated network round-trip cost charged (as real CPU spin) on every
   // Fetch call. A real Kafka fetch pays a broker RTT regardless of how much
   // data it returns; this knob reproduces that fixed cost so poll batch
   // size affects throughput the way it does on a cluster. Defaults to 0
   // (off) — the bench harness turns it on.
-  void SetFetchLatencyNanos(int64_t nanos) { fetch_latency_nanos_ = nanos; }
-  int64_t fetch_latency_nanos() const { return fetch_latency_nanos_; }
+  virtual void SetFetchLatencyNanos(int64_t nanos) { fetch_latency_nanos_ = nanos; }
+  virtual int64_t fetch_latency_nanos() const { return fetch_latency_nanos_; }
 
-  Status CreateTopic(const std::string& name, TopicConfig config);
-  bool HasTopic(const std::string& name) const;
-  Result<int32_t> NumPartitions(const std::string& topic) const;
-  std::vector<std::string> Topics() const;
+  virtual Status CreateTopic(const std::string& name, TopicConfig config);
+  virtual bool HasTopic(const std::string& name) const;
+  virtual Result<int32_t> NumPartitions(const std::string& topic) const;
+  virtual std::vector<std::string> Topics() const;
 
   // Append; returns the assigned offset.
-  Result<int64_t> Append(const StreamPartition& sp, Message message);
+  virtual Result<int64_t> Append(const StreamPartition& sp, Message message);
 
   // Fetch up to max_messages starting at `offset`. Returns fewer (possibly
   // zero) if the log is short. Fetching below the log-start offset is an
   // error (the data was retained away); fetching at/after the end offset
   // returns an empty batch.
-  Result<std::vector<IncomingMessage>> Fetch(const StreamPartition& sp,
-                                             int64_t offset,
-                                             int32_t max_messages) const;
+  virtual Result<std::vector<IncomingMessage>> Fetch(const StreamPartition& sp,
+                                                     int64_t offset,
+                                                     int32_t max_messages) const;
 
   // Next offset to be assigned (== high watermark).
-  Result<int64_t> EndOffset(const StreamPartition& sp) const;
+  virtual Result<int64_t> EndOffset(const StreamPartition& sp) const;
   // Oldest available offset.
-  Result<int64_t> BeginOffset(const StreamPartition& sp) const;
+  virtual Result<int64_t> BeginOffset(const StreamPartition& sp) const;
 
   // Apply retention/compaction policy to all partitions of a topic.
-  Status EnforceRetention(const std::string& topic);
-  Status Compact(const std::string& topic);
+  virtual Status EnforceRetention(const std::string& topic);
+  virtual Status Compact(const std::string& topic);
 
   // Total messages currently held in a topic (across partitions).
-  Result<int64_t> TopicSize(const std::string& topic) const;
+  virtual Result<int64_t> TopicSize(const std::string& topic) const;
 
-  Status DeleteTopic(const std::string& name);
+  virtual Status DeleteTopic(const std::string& name);
 
  private:
   struct Partition {

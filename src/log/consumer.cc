@@ -57,7 +57,13 @@ Result<std::vector<IncomingMessage>> Consumer::Poll() {
     auto& [sp, pos] = *order[(start + i) % order.size()];
     int32_t want = budget;
     if (max_fetch_per_partition_ > 0) want = std::min(want, max_fetch_per_partition_);
-    SQS_ASSIGN_OR_RETURN(msgs, broker_->Fetch(sp, pos, want));
+    std::vector<IncomingMessage> msgs;
+    SQS_RETURN_IF_ERROR(retrier_.Run([&]() -> Status {
+      auto r = broker_->Fetch(sp, pos, want);
+      if (!r.ok()) return r.status();
+      msgs = std::move(r).value();
+      return Status::Ok();
+    }));
     if (msgs.empty()) continue;
     pos += static_cast<int64_t>(msgs.size());
     budget -= static_cast<int32_t>(msgs.size());

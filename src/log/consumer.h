@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "log/broker.h"
 
@@ -22,6 +23,14 @@ class Consumer {
  public:
   explicit Consumer(BrokerPtr broker, int32_t max_poll_messages = 256)
       : broker_(std::move(broker)), max_poll_messages_(max_poll_messages) {}
+
+  // Transient (Unavailable) fetch failures inside Poll() are retried under
+  // this policy; default is no retry. Metadata reads (CaughtUp/Lag) are not
+  // retried — they are cheap and their callers tolerate an error round.
+  void SetRetryPolicy(RetryPolicy policy) { retrier_.SetPolicy(policy); }
+  void BindRetryMetrics(Counter* retries, Counter* giveups) {
+    retrier_.BindMetrics(retries, giveups);
+  }
 
   // Cap messages returned per partition per poll (Kafka's
   // max.partition.fetch.bytes analogue). With this set, a container
@@ -70,6 +79,7 @@ class Consumer {
   int64_t poll_latency_nanos_ = 0;
   std::map<StreamPartition, int64_t> positions_;
   size_t next_start_ = 0;  // round-robin start index over assignments
+  Retrier retrier_;
 };
 
 }  // namespace sqs

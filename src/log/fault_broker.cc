@@ -1,0 +1,154 @@
+#include "log/fault_broker.h"
+
+#include <chrono>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace sqs {
+namespace {
+
+// SplitMix64: tiny, seedable, and good enough for a Bernoulli schedule.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void SpinFor(int64_t nanos) {
+  int64_t start = MonotonicNanos();
+  while (MonotonicNanos() - start < nanos) {
+    // busy-wait: injected latency must consume time even under ManualClock
+  }
+}
+
+}  // namespace
+
+FaultPolicy FaultPolicy::FromConfig(const Config& config) {
+  FaultPolicy p;
+  p.seed = static_cast<uint64_t>(config.GetInt(cfg::kFaultSeed, 1));
+  p.append_fail_rate = config.GetDouble(cfg::kFaultAppendFailRate, 0.0);
+  p.fetch_fail_rate = config.GetDouble(cfg::kFaultFetchFailRate, 0.0);
+  p.latency_nanos = config.GetInt(cfg::kFaultLatencyNanos, 0);
+  p.latency_rate = config.GetDouble(cfg::kFaultLatencyRate, 0.0);
+  p.topics = config.GetList(cfg::kFaultTopics);
+  return p;
+}
+
+FaultInjectingBroker::FaultInjectingBroker(BrokerPtr inner, FaultPolicy policy)
+    : inner_(std::move(inner)), policy_(std::move(policy)), rng_(policy_.seed) {}
+
+void FaultInjectingBroker::BlackoutPartition(const StreamPartition& sp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blackouts_.insert(sp);
+}
+
+void FaultInjectingBroker::Heal(const StreamPartition& sp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blackouts_.erase(sp);
+}
+
+void FaultInjectingBroker::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blackouts_.clear();
+}
+
+int64_t FaultInjectingBroker::AppendCount(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = append_counts_.find(topic);
+  return it == append_counts_.end() ? 0 : it->second;
+}
+
+int64_t FaultInjectingBroker::FetchCount(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fetch_counts_.find(topic);
+  return it == fetch_counts_.end() ? 0 : it->second;
+}
+
+bool FaultInjectingBroker::TopicCovered(const std::string& topic) const {
+  if (policy_.topics.empty()) return true;
+  for (const auto& t : policy_.topics) {
+    if (t == topic) return true;
+  }
+  return false;
+}
+
+bool FaultInjectingBroker::Blackout(const StreamPartition& sp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blackouts_.count(sp) > 0;
+}
+
+double FaultInjectingBroker::NextUniform() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // 53 random bits → uniform double in [0,1).
+  return static_cast<double>(SplitMix64(rng_) >> 11) * 0x1.0p-53;
+}
+
+void FaultInjectingBroker::MaybeInjectLatency() const {
+  if (policy_.latency_nanos <= 0 || policy_.latency_rate <= 0) return;
+  if (NextUniform() < policy_.latency_rate) SpinFor(policy_.latency_nanos);
+}
+
+void FaultInjectingBroker::CountOp(std::map<std::string, int64_t>& counts,
+                                   const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts[topic];
+}
+
+Result<int64_t> FaultInjectingBroker::Append(const StreamPartition& sp,
+                                             Message message) {
+  CountOp(append_counts_, sp.topic);
+  if (TopicCovered(sp.topic)) {
+    if (Blackout(sp)) {
+      append_failures_.fetch_add(1);
+      return Status::Unavailable("partition blackout: " + sp.ToString());
+    }
+    // fetch_sub so concurrent callers can't both consume the last token.
+    if (forced_append_failures_.load() > 0 &&
+        forced_append_failures_.fetch_sub(1) > 0) {
+      append_failures_.fetch_add(1);
+      return Status::Unavailable("injected append failure: " + sp.ToString());
+    }
+    MaybeInjectLatency();
+    if (policy_.append_fail_rate > 0 && NextUniform() < policy_.append_fail_rate) {
+      append_failures_.fetch_add(1);
+      return Status::Unavailable("injected append failure: " + sp.ToString());
+    }
+  }
+  return inner_->Append(sp, std::move(message));
+}
+
+Result<std::vector<IncomingMessage>> FaultInjectingBroker::Fetch(
+    const StreamPartition& sp, int64_t offset, int32_t max_messages) const {
+  CountOp(fetch_counts_, sp.topic);
+  if (TopicCovered(sp.topic)) {
+    if (Blackout(sp)) {
+      fetch_failures_.fetch_add(1);
+      return Status::Unavailable("partition blackout: " + sp.ToString());
+    }
+    if (forced_fetch_failures_.load() > 0 &&
+        forced_fetch_failures_.fetch_sub(1) > 0) {
+      fetch_failures_.fetch_add(1);
+      return Status::Unavailable("injected fetch failure: " + sp.ToString());
+    }
+    MaybeInjectLatency();
+    if (policy_.fetch_fail_rate > 0 && NextUniform() < policy_.fetch_fail_rate) {
+      fetch_failures_.fetch_add(1);
+      return Status::Unavailable("injected fetch failure: " + sp.ToString());
+    }
+  }
+  return inner_->Fetch(sp, offset, max_messages);
+}
+
+BrokerPtr MaybeWrapWithFaults(BrokerPtr broker, const Config& config) {
+  FaultPolicy policy = FaultPolicy::FromConfig(config);
+  if (!policy.any_faults()) return broker;
+  SQS_INFOC("fault", "fault injection enabled",
+            {"seed", std::to_string(policy.seed)},
+            {"append_fail_rate", std::to_string(policy.append_fail_rate)},
+            {"fetch_fail_rate", std::to_string(policy.fetch_fail_rate)});
+  return std::make_shared<FaultInjectingBroker>(std::move(broker), policy);
+}
+
+}  // namespace sqs

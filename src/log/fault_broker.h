@@ -1,0 +1,153 @@
+// FaultInjectingBroker: a decorator over the Broker interface that injects
+// seeded, reproducible failures into the data path — the harness behind the
+// crash-recovery tests (docs/FAULT_TOLERANCE.md). Injection covers Append
+// and Fetch only; metadata operations (offsets, topic lookup) always pass
+// through, matching the failure modes a Kafka client actually retries.
+//
+// Three failure shapes:
+//  - transient: each Append/Fetch independently fails with Unavailable at a
+//    configured probability (seeded RNG, so a failure schedule is a pure
+//    function of the seed and the operation sequence);
+//  - forced: FailNextAppends/FailNextFetches deterministically fail the next
+//    N operations — tests use this to place a fault at an exact point;
+//  - permanent: a blacked-out partition fails every data operation until
+//    Heal()/HealAll() — models a broker node outage.
+// Injected latency (a real CPU spin, like the broker's simulated RTT) can be
+// attached to a random fraction of data operations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "log/broker.h"
+
+namespace sqs {
+
+// `fault.*` configuration keys (parsed by FaultPolicy::FromConfig).
+namespace cfg {
+// RNG seed for the transient-failure schedule (default 1).
+inline constexpr const char* kFaultSeed = "fault.seed";
+// Probability in [0,1] that an Append / Fetch fails with Unavailable.
+inline constexpr const char* kFaultAppendFailRate = "fault.append.fail.rate";
+inline constexpr const char* kFaultFetchFailRate = "fault.fetch.fail.rate";
+// Injected latency: CPU-spin `fault.latency.nanos` on a `fault.latency.rate`
+// fraction of data operations.
+inline constexpr const char* kFaultLatencyNanos = "fault.latency.nanos";
+inline constexpr const char* kFaultLatencyRate = "fault.latency.rate";
+// Restrict injection to these topics (comma list; empty = all topics).
+inline constexpr const char* kFaultTopics = "fault.topics";
+}  // namespace cfg
+
+struct FaultPolicy {
+  uint64_t seed = 1;
+  double append_fail_rate = 0.0;
+  double fetch_fail_rate = 0.0;
+  int64_t latency_nanos = 0;
+  double latency_rate = 0.0;
+  std::vector<std::string> topics;  // empty = inject everywhere
+
+  static FaultPolicy FromConfig(const Config& config);
+  bool any_faults() const {
+    return append_fail_rate > 0 || fetch_fail_rate > 0 ||
+           (latency_nanos > 0 && latency_rate > 0);
+  }
+};
+
+class FaultInjectingBroker : public Broker {
+ public:
+  FaultInjectingBroker(BrokerPtr inner, FaultPolicy policy);
+
+  // --- test-driven fault control ---
+  // Deterministically fail the next n data operations (regardless of rate).
+  void FailNextAppends(int32_t n) { forced_append_failures_.store(n); }
+  void FailNextFetches(int32_t n) { forced_fetch_failures_.store(n); }
+  // Permanent failure of one partition's data path until healed.
+  void BlackoutPartition(const StreamPartition& sp);
+  void Heal(const StreamPartition& sp);
+  void HealAll();
+
+  // --- observability for tests ---
+  int64_t injected_append_failures() const { return append_failures_.load(); }
+  int64_t injected_fetch_failures() const { return fetch_failures_.load(); }
+  // Data operations observed per topic (successful or failed). The
+  // checkpoint-manager scan-once test counts fetches through these.
+  int64_t AppendCount(const std::string& topic) const;
+  int64_t FetchCount(const std::string& topic) const;
+
+  const BrokerPtr& inner() const { return inner_; }
+
+  // --- Broker interface: delegation with injection on the data path ---
+  void SetFetchLatencyNanos(int64_t nanos) override {
+    inner_->SetFetchLatencyNanos(nanos);
+  }
+  int64_t fetch_latency_nanos() const override {
+    return inner_->fetch_latency_nanos();
+  }
+  Status CreateTopic(const std::string& name, TopicConfig config) override {
+    return inner_->CreateTopic(name, std::move(config));
+  }
+  bool HasTopic(const std::string& name) const override {
+    return inner_->HasTopic(name);
+  }
+  Result<int32_t> NumPartitions(const std::string& topic) const override {
+    return inner_->NumPartitions(topic);
+  }
+  std::vector<std::string> Topics() const override { return inner_->Topics(); }
+
+  Result<int64_t> Append(const StreamPartition& sp, Message message) override;
+  Result<std::vector<IncomingMessage>> Fetch(const StreamPartition& sp,
+                                             int64_t offset,
+                                             int32_t max_messages) const override;
+
+  Result<int64_t> EndOffset(const StreamPartition& sp) const override {
+    return inner_->EndOffset(sp);
+  }
+  Result<int64_t> BeginOffset(const StreamPartition& sp) const override {
+    return inner_->BeginOffset(sp);
+  }
+  Status EnforceRetention(const std::string& topic) override {
+    return inner_->EnforceRetention(topic);
+  }
+  Status Compact(const std::string& topic) override { return inner_->Compact(topic); }
+  Result<int64_t> TopicSize(const std::string& topic) const override {
+    return inner_->TopicSize(topic);
+  }
+  Status DeleteTopic(const std::string& name) override {
+    return inner_->DeleteTopic(name);
+  }
+
+ private:
+  bool TopicCovered(const std::string& topic) const;
+  bool Blackout(const StreamPartition& sp) const;
+  // Draw in [0,1) from the seeded schedule (thread-safe).
+  double NextUniform() const;
+  void MaybeInjectLatency() const;
+  void CountOp(std::map<std::string, int64_t>& counts, const std::string& topic) const;
+
+  BrokerPtr inner_;
+  FaultPolicy policy_;
+
+  mutable std::mutex mu_;  // guards rng_, blackouts_, op counts
+  mutable uint64_t rng_;   // SplitMix64 state
+  std::set<StreamPartition> blackouts_;
+  mutable std::map<std::string, int64_t> append_counts_;
+  mutable std::map<std::string, int64_t> fetch_counts_;
+
+  std::atomic<int32_t> forced_append_failures_{0};
+  mutable std::atomic<int32_t> forced_fetch_failures_{0};
+  std::atomic<int64_t> append_failures_{0};
+  mutable std::atomic<int64_t> fetch_failures_{0};
+};
+
+// Wraps `broker` in a FaultInjectingBroker when `config` carries any active
+// fault.* policy; returns it unchanged otherwise.
+BrokerPtr MaybeWrapWithFaults(BrokerPtr broker, const Config& config);
+
+}  // namespace sqs

@@ -34,9 +34,24 @@ Result<int64_t> Producer::SendTo(const StreamPartition& sp, Bytes key, Bytes val
   if (parent.valid()) {
     TraceSpan span(parent, "produce", "producer." + sp.topic, sp.partition);
     m.trace = span.context();
-    return broker_->Append(sp, std::move(m));
+    return AppendWithRetry(sp, std::move(m));
   }
-  return broker_->Append(sp, std::move(m));
+  return AppendWithRetry(sp, std::move(m));
+}
+
+Result<int64_t> Producer::AppendWithRetry(const StreamPartition& sp, Message m) {
+  if (!retrier_.policy().enabled()) return broker_->Append(sp, std::move(m));
+  // Append takes the Message by value, so each attempt needs a fresh copy;
+  // the final attempt moves the original.
+  int64_t offset = -1;
+  Status st = retrier_.Run([&]() -> Status {
+    auto r = broker_->Append(sp, m);
+    if (!r.ok()) return r.status();
+    offset = r.value();
+    return Status::Ok();
+  });
+  if (!st.ok()) return st;
+  return offset;
 }
 
 }  // namespace sqs

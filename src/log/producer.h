@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "common/hash.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "log/broker.h"
 
@@ -19,6 +20,13 @@ namespace sqs {
 class Producer {
  public:
   explicit Producer(BrokerPtr broker, std::shared_ptr<Clock> clock = nullptr);
+
+  // Transient (Unavailable) append failures are retried under this policy;
+  // default is no retry. Counters are optional (see Retrier::BindMetrics).
+  void SetRetryPolicy(RetryPolicy policy) { retrier_.SetPolicy(policy); }
+  void BindRetryMetrics(Counter* retries, Counter* giveups) {
+    retrier_.BindMetrics(retries, giveups);
+  }
 
   // Keyed send: partition chosen by key hash. Returns assigned offset.
   Result<int64_t> Send(const std::string& topic, Bytes key, Bytes value);
@@ -34,9 +42,12 @@ class Producer {
   }
 
  private:
+  Result<int64_t> AppendWithRetry(const StreamPartition& sp, Message m);
+
   BrokerPtr broker_;
   std::shared_ptr<Clock> clock_;
   std::map<std::string, int32_t> round_robin_;
+  Retrier retrier_;
 };
 
 }  // namespace sqs

@@ -150,6 +150,23 @@ inline constexpr const char* kTracingExportPath = "tracing.export.path";
 // format (plain|json) — see common/logging.h.
 inline constexpr const char* kLogLevel = "log.level";
 inline constexpr const char* kLogFormat = "log.format";
+// --- fault tolerance (docs/FAULT_TOLERANCE.md) ---
+// What to do when task->Process fails on a message: "fail" (stop the
+// container — the default), "skip" (log, count as dropped, advance past
+// it), or "dead-letter" (route the original bytes + error string to the
+// DLQ topic, then advance).
+inline constexpr const char* kTaskErrorPolicy = "task.error.policy";
+// Dead-letter topic; empty = `<job.name>.dlq`.
+inline constexpr const char* kTaskDlqTopic = "task.error.dlq.topic";
+// Supervisor: restart a dead container up to this many times per slot
+// (0 = supervision off, a dead container fails the job).
+inline constexpr const char* kContainerRestartMax = "container.restart.max";
+// Delay before the first restart of a slot; doubles per restart up to the
+// cap.
+inline constexpr const char* kContainerRestartBackoffMs = "container.restart.backoff.ms";
+inline constexpr const char* kContainerRestartBackoffMaxMs =
+    "container.restart.backoff.max.ms";
+// `retry.*` keys live in common/retry.h, `fault.*` keys in log/fault_broker.h.
 }  // namespace cfg
 
 }  // namespace sqs

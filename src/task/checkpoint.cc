@@ -1,5 +1,7 @@
 #include "task/checkpoint.h"
 
+#include <algorithm>
+
 namespace sqs {
 
 CheckpointManager::CheckpointManager(BrokerPtr broker, std::string checkpoint_topic)
@@ -42,37 +44,69 @@ Result<Checkpoint> CheckpointManager::DecodeCheckpoint(const Bytes& bytes) {
 
 Status CheckpointManager::WriteCheckpoint(const std::string& task_name,
                                           const Checkpoint& checkpoint) {
-  Message m;
-  m.key = ToBytes(task_name);
-  m.value = EncodeCheckpoint(checkpoint);
-  const int64_t written = static_cast<int64_t>(m.key.size() + m.value.size());
-  auto st = broker_->Append({topic_, 0}, std::move(m));
-  if (st.ok() && writes_ != nullptr) {
+  Bytes key = ToBytes(task_name);
+  Bytes value = EncodeCheckpoint(checkpoint);
+  const int64_t written = static_cast<int64_t>(key.size() + value.size());
+  int64_t offset = -1;
+  SQS_RETURN_IF_ERROR(retrier_.Run([&]() -> Status {
+    Message m;
+    m.key = key;
+    m.value = value;
+    auto r = broker_->Append({topic_, 0}, std::move(m));
+    if (!r.ok()) return r.status();
+    offset = r.value();
+    return Status::Ok();
+  }));
+  if (writes_ != nullptr) {
     writes_->Inc();
     bytes_->Inc(written);
   }
-  return st.ok() ? Status::Ok() : st.status();
+  {
+    // Keep the cache current without refetching our own write. cache_end_
+    // only advances if the write landed exactly at the cached frontier —
+    // with concurrent writers the refresh path fills any gap.
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[task_name] = checkpoint;
+    if (cache_end_ == offset) cache_end_ = offset + 1;
+  }
+  return Status::Ok();
+}
+
+Status CheckpointManager::RefreshCacheLocked() const {
+  StreamPartition sp{topic_, 0};
+  SQS_ASSIGN_OR_RETURN(begin, broker_->BeginOffset(sp));
+  SQS_ASSIGN_OR_RETURN(end, broker_->EndOffset(sp));
+  // Compaction can rebase the log-start past our frontier; entries it
+  // removed were superseded by newer ones at offsets >= begin, which this
+  // pass folds, so jumping forward loses nothing.
+  int64_t pos = cache_end_ < begin ? begin : cache_end_;
+  while (pos < end) {
+    std::vector<IncomingMessage> batch;
+    SQS_RETURN_IF_ERROR(retrier_.Run([&]() -> Status {
+      auto r = broker_->Fetch(sp, pos, 1024);
+      if (!r.ok()) return r.status();
+      batch = std::move(r).value();
+      return Status::Ok();
+    }));
+    if (batch.empty()) break;
+    for (const auto& m : batch) {
+      SQS_ASSIGN_OR_RETURN(cp, DecodeCheckpoint(m.message.value));
+      cache_[FromBytes(m.message.key)] = std::move(cp);
+    }
+    pos += static_cast<int64_t>(batch.size());
+    cache_end_ = pos;
+  }
+  if (cache_end_ < end) cache_end_ = end;
+  return Status::Ok();
 }
 
 Result<Checkpoint> CheckpointManager::ReadLastCheckpoint(
     const std::string& task_name) const {
-  SQS_ASSIGN_OR_RETURN(begin, broker_->BeginOffset({topic_, 0}));
-  SQS_ASSIGN_OR_RETURN(end, broker_->EndOffset({topic_, 0}));
-  Bytes key = ToBytes(task_name);
-  Checkpoint latest;
-  int64_t pos = begin;
-  while (pos < end) {
-    SQS_ASSIGN_OR_RETURN(batch, broker_->Fetch({topic_, 0}, pos, 1024));
-    if (batch.empty()) break;
-    for (const auto& m : batch) {
-      if (m.message.key == key) {
-        SQS_ASSIGN_OR_RETURN(cp, DecodeCheckpoint(m.message.value));
-        latest = std::move(cp);
-      }
-    }
-    pos += static_cast<int64_t>(batch.size());
-  }
-  return latest;
+  std::lock_guard<std::mutex> lock(mu_);
+  SQS_RETURN_IF_ERROR(RefreshCacheLocked());
+  auto it = cache_.find(task_name);
+  if (it == cache_.end()) return Checkpoint{};
+  return it->second;
 }
 
 }  // namespace sqs

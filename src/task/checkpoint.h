@@ -5,9 +5,11 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "log/broker.h"
 
@@ -27,10 +29,23 @@ class CheckpointManager {
   Status WriteCheckpoint(const std::string& task_name, const Checkpoint& checkpoint);
 
   // Latest checkpoint for the task, or empty if none was ever written.
+  //
+  // Reads are served from a task→latest cache built by scanning the topic
+  // once per manager (i.e. once per container), then kept current
+  // incrementally: each call fetches only [cache_end, end), and
+  // WriteCheckpoint updates the cache in place. A container restoring N
+  // tasks therefore pays one pass over checkpoint history, not N.
   Result<Checkpoint> ReadLastCheckpoint(const std::string& task_name) const;
 
   static Bytes EncodeCheckpoint(const Checkpoint& checkpoint);
   static Result<Checkpoint> DecodeCheckpoint(const Bytes& bytes);
+
+  // Transient (Unavailable) append/fetch failures on the checkpoint topic
+  // are retried under this policy; default is no retry.
+  void SetRetryPolicy(RetryPolicy policy) { retrier_.SetPolicy(policy); }
+  void BindRetryMetrics(Counter* retries, Counter* giveups) {
+    retrier_.BindMetrics(retries, giveups);
+  }
 
   // Attach write instruments (scoped `checkpoint_writes` /
   // `checkpoint_bytes` counters). Optional; writes are uncounted until bound.
@@ -40,10 +55,18 @@ class CheckpointManager {
   }
 
  private:
+  // Fold checkpoint entries in [cache_end_, end) into cache_. Holds mu_.
+  Status RefreshCacheLocked() const;
+
   BrokerPtr broker_;
   std::string topic_;
+  mutable Retrier retrier_;
   Counter* writes_ = nullptr;
   Counter* bytes_ = nullptr;
+
+  mutable std::mutex mu_;  // guards cache_ and cache_end_
+  mutable std::map<std::string, Checkpoint> cache_;
+  mutable int64_t cache_end_ = -1;  // next topic offset to fold; -1 = never scanned
 };
 
 }  // namespace sqs

@@ -32,6 +32,46 @@ class ProducerCollector : public MessageCollector {
 
 }  // namespace
 
+Result<TaskErrorPolicy> ParseTaskErrorPolicy(const std::string& value) {
+  if (value.empty() || value == "fail") return TaskErrorPolicy::kFail;
+  if (value == "skip") return TaskErrorPolicy::kSkip;
+  if (value == "dead-letter") return TaskErrorPolicy::kDeadLetter;
+  return Status::InvalidArgument("task.error.policy must be fail|skip|dead-letter, got: " +
+                                 value);
+}
+
+Bytes EncodeDeadLetter(const DeadLetterRecord& record) {
+  BytesWriter w(64);
+  w.WriteString(record.task_name);
+  w.WriteString(record.origin.topic);
+  w.WriteVarint(record.origin.partition);
+  w.WriteVarint(record.offset);
+  w.WriteString(record.error);
+  w.WriteBytes(record.key);
+  w.WriteBytes(record.value);
+  return w.Take();
+}
+
+Result<DeadLetterRecord> DecodeDeadLetter(const Bytes& bytes) {
+  BytesReader r(bytes);
+  DeadLetterRecord rec;
+  SQS_ASSIGN_OR_RETURN(task_name, r.ReadString());
+  rec.task_name = std::move(task_name);
+  SQS_ASSIGN_OR_RETURN(topic, r.ReadString());
+  rec.origin.topic = std::move(topic);
+  SQS_ASSIGN_OR_RETURN(partition, r.ReadVarint());
+  rec.origin.partition = static_cast<int32_t>(partition);
+  SQS_ASSIGN_OR_RETURN(offset, r.ReadVarint());
+  rec.offset = offset;
+  SQS_ASSIGN_OR_RETURN(error, r.ReadString());
+  rec.error = std::move(error);
+  SQS_ASSIGN_OR_RETURN(key, r.ReadBytes());
+  rec.key = std::move(key);
+  SQS_ASSIGN_OR_RETURN(value, r.ReadBytes());
+  rec.value = std::move(value);
+  return rec;
+}
+
 // One task instance: the user task, its stores, and its commit bookkeeping.
 struct Container::TaskInstance : public TaskContext, public TaskCoordinator {
   TaskModel model;
@@ -44,6 +84,8 @@ struct Container::TaskInstance : public TaskContext, public TaskCoordinator {
   Container* container = nullptr;
   // Precomputed `<job>.<task>` span scope (avoids per-message allocation).
   std::string trace_scope;
+  // `<job>.<task>.dropped`: messages discarded by skip/dead-letter policy.
+  Counter* dropped = nullptr;
 
   // TaskContext
   const std::string& task_name() const override { return model.task_name; }
@@ -110,6 +152,12 @@ Status Container::InitTask(TaskInstance& task) {
             .Sub(store_name);
     store->BindMetrics(&store_scope.counter("changelog_writes"),
                        &store_scope.counter("changelog_bytes"));
+    store->SetRetryPolicy(retry_policy_);
+    ScopedMetrics retry_scope =
+        ScopedMetrics(metrics_.get(), config_.Get(cfg::kJobName, "job"))
+            .Sub("container" + std::to_string(model_.container_id));
+    store->BindRetryMetrics(&retry_scope.counter("retries"),
+                            &retry_scope.counter("giveups"));
     SQS_RETURN_IF_ERROR(store->Restore());
     task.stores[store_name] = std::move(store);
   }
@@ -179,6 +227,12 @@ Status Container::Start() {
   checkpoints_ = std::make_unique<CheckpointManager>(broker_, cp_topic);
   SQS_RETURN_IF_ERROR(checkpoints_->Start());
 
+  SQS_ASSIGN_OR_RETURN(policy,
+                       ParseTaskErrorPolicy(config_.Get(cfg::kTaskErrorPolicy)));
+  error_policy_ = policy;
+  dlq_topic_ = config_.Get(cfg::kTaskDlqTopic,
+                           config_.Get(cfg::kJobName, "job") + ".dlq");
+
   // Container-scoped instruments: `<job>.container<ID>.*`.
   ScopedMetrics cscope =
       ScopedMetrics(metrics_.get(), config_.Get(cfg::kJobName, "job"))
@@ -189,6 +243,22 @@ Status Container::Start() {
   m_process_latency_ns_ = &cscope.histogram("process_latency_ns");
   checkpoints_->BindMetrics(&cscope.counter("checkpoint_writes"),
                             &cscope.counter("checkpoint_bytes"));
+
+  // One retry budget for every broker data path this container owns:
+  // produce, poll, changelog mirror/restore, checkpoint read/write. The
+  // shared `retries`/`giveups` counters make retry pressure visible per
+  // container (docs/FAULT_TOLERANCE.md).
+  retry_policy_ = RetryPolicy::FromConfig(config_);
+  Counter* m_retries = &cscope.counter("retries");
+  Counter* m_giveups = &cscope.counter("giveups");
+  producer_->SetRetryPolicy(retry_policy_);
+  producer_->BindRetryMetrics(m_retries, m_giveups);
+  for (Consumer* c : {consumer_.get(), bootstrap_consumer_.get()}) {
+    c->SetRetryPolicy(retry_policy_);
+    c->BindRetryMetrics(m_retries, m_giveups);
+  }
+  checkpoints_->SetRetryPolicy(retry_policy_);
+  checkpoints_->BindRetryMetrics(m_retries, m_giveups);
 
   int64_t report_interval = config_.GetInt(cfg::kMetricsReporterIntervalMs, 0);
   if (report_interval > 0) {
@@ -217,6 +287,10 @@ Status Container::Start() {
     instance->container = this;
     instance->trace_scope =
         config_.Get(cfg::kJobName, "job") + "." + tm.task_name;
+    instance->dropped =
+        &ScopedMetrics(metrics_.get(), config_.Get(cfg::kJobName, "job"))
+             .Sub(tm.task_name)
+             .counter("dropped");
     instance->task = factory();
     if (!instance->task) return Status::Internal("task factory returned null");
     SQS_RETURN_IF_ERROR(InitTask(*instance));
@@ -268,7 +342,14 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
     if (!parent.valid()) parent = Tracer::Instance().MaybeStartTrace();
     TraceSpan span(parent, "process", task.trace_scope, msg.origin.partition);
     int64_t t0 = MonotonicNanos();
-    SQS_RETURN_IF_ERROR(task.task->Process(msg, collector, task));
+    Status process_st = task.task->Process(msg, collector, task);
+    if (!process_st.ok()) {
+      // Transient broker trouble must crash-and-recover, never be dropped:
+      // the message itself is fine and replay will succeed. Only data
+      // errors are poison, so only they go through the error policy.
+      if (process_st.code() == ErrorCode::kUnavailable) return process_st;
+      SQS_RETURN_IF_ERROR(HandleProcessError(task, msg, process_st));
+    }
     if (m_process_latency_ns_ != nullptr) {
       m_process_latency_ns_->Record(MonotonicNanos() - t0);
     }
@@ -281,10 +362,67 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
     }
     if (shutdown_requested_) break;
   }
+  // Surface sticky changelog failures at batch granularity: the commit gate
+  // alone would let a task compute on a store that is dropping writes until
+  // the next commit boundary — which, with commits disabled, is shutdown.
+  for (const auto& task : tasks_) {
+    for (const auto& [name, store] : task->stores) {
+      Status health = store->health();
+      if (!health.ok()) {
+        return Status(health.code(),
+                      "store '" + name + "' unhealthy: " + health.message());
+      }
+    }
+  }
   return processed;
 }
 
+Status Container::HandleProcessError(TaskInstance& task, const IncomingMessage& msg,
+                                     const Status& error) {
+  if (error_policy_ == TaskErrorPolicy::kFail) return error;
+  if (error_policy_ == TaskErrorPolicy::kDeadLetter) {
+    if (!broker_->HasTopic(dlq_topic_)) {
+      TopicConfig tc;
+      SQS_ASSIGN_OR_RETURN(nparts, broker_->NumPartitions(msg.origin.topic));
+      tc.num_partitions = nparts;
+      Status st = broker_->CreateTopic(dlq_topic_, tc);
+      if (!st.ok() && st.code() != ErrorCode::kAlreadyExists) return st;
+    }
+    DeadLetterRecord rec;
+    rec.task_name = task.model.task_name;
+    rec.origin = msg.origin;
+    rec.offset = msg.offset;
+    rec.error = error.ToString();
+    rec.key = msg.message.key;
+    rec.value = msg.message.value;
+    // Same partition id as the input, so DLQ ordering mirrors the source.
+    // If even the DLQ write fails (after retries), fall back to failing the
+    // container: at-least-once forbids silently losing the message.
+    auto sent = producer_->SendTo({dlq_topic_, msg.origin.partition},
+                                  msg.message.key, EncodeDeadLetter(rec));
+    if (!sent.ok()) return sent.status();
+  }
+  if (task.dropped != nullptr) task.dropped->Inc();
+  const char* action = error_policy_ == TaskErrorPolicy::kDeadLetter
+                           ? "message dead-lettered"
+                           : "message skipped";
+  SQS_WARNC("container", action,
+            {"task", task.model.task_name}, {"origin", msg.origin.ToString()},
+            {"offset", std::to_string(msg.offset)}, {"error", error.ToString()});
+  return Status::Ok();
+}
+
 Status Container::CommitTask(TaskInstance& task) {
+  // A checkpoint must never get ahead of lost state changes: if a changelog
+  // write failed (store unhealthy), committing these offsets would make the
+  // divergence durable. Fail the task instead; restart replays cleanly.
+  for (const auto& [name, store] : task.stores) {
+    Status health = store->health();
+    if (!health.ok()) {
+      return Status(health.code(),
+                    "store '" + name + "' unhealthy at commit: " + health.message());
+    }
+  }
   // Let the task persist replay-horizon state before the offsets commit.
   SQS_RETURN_IF_ERROR(task.task->OnCommit());
   SQS_RETURN_IF_ERROR(

@@ -24,6 +24,7 @@
 #include "common/config.h"
 #include "common/metrics.h"
 #include "common/metrics_reporter.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "kv/changelog.h"
 #include "log/broker.h"
@@ -34,6 +35,27 @@
 #include "task/model.h"
 
 namespace sqs {
+
+// What ProcessBatch does with a message the task cannot process
+// (task.error.policy): fail the container, skip the message, or route it to
+// the dead-letter topic. See docs/FAULT_TOLERANCE.md.
+enum class TaskErrorPolicy { kFail, kSkip, kDeadLetter };
+
+Result<TaskErrorPolicy> ParseTaskErrorPolicy(const std::string& value);
+
+// A dead-lettered message: the original bytes plus enough provenance to
+// replay it by hand once the poison cause is fixed.
+struct DeadLetterRecord {
+  std::string task_name;
+  StreamPartition origin;
+  int64_t offset = 0;
+  std::string error;  // Status::ToString() of the Process failure
+  Bytes key;
+  Bytes value;
+};
+
+Bytes EncodeDeadLetter(const DeadLetterRecord& record);
+Result<DeadLetterRecord> DecodeDeadLetter(const Bytes& bytes);
 
 class Container {
  public:
@@ -71,6 +93,10 @@ class Container {
 
   Status InitTask(TaskInstance& task);
   Result<int64_t> ProcessBatch(const std::vector<IncomingMessage>& batch);
+  // Apply task.error.policy to a failed message. Ok = handled (skipped or
+  // dead-lettered), error = the container must stop with that status.
+  Status HandleProcessError(TaskInstance& task, const IncomingMessage& msg,
+                            const Status& error);
   Status CommitTask(TaskInstance& task);
   Status MaybeFireWindows();
   // Refresh the per-partition `lag.<topic>.<partition>` gauges from the
@@ -91,6 +117,9 @@ class Container {
   std::vector<std::unique_ptr<TaskInstance>> tasks_;
   std::map<StreamPartition, TaskInstance*> dispatch_;
 
+  TaskErrorPolicy error_policy_ = TaskErrorPolicy::kFail;
+  std::string dlq_topic_;
+  RetryPolicy retry_policy_;
   int64_t commit_every_ = 0;
   int64_t window_ms_ = 0;
   int64_t last_window_fire_ms_ = 0;

@@ -1,6 +1,7 @@
 #include "task/runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/logging.h"
@@ -23,7 +24,74 @@ Status JobRunner::Start() {
     SQS_RETURN_IF_ERROR(container->Start());
     containers_.push_back(std::move(container));
   }
+
+  restart_max_ = config_.GetInt(cfg::kContainerRestartMax, 0);
+  restart_backoff_ms_ = config_.GetInt(cfg::kContainerRestartBackoffMs, 100);
+  restart_backoff_max_ms_ =
+      config_.GetInt(cfg::kContainerRestartBackoffMaxMs, 10000);
+  if (restart_backoff_max_ms_ < restart_backoff_ms_) {
+    restart_backoff_max_ms_ = restart_backoff_ms_;
+  }
+  supervisor_.assign(containers_.size(), SupervisorState{});
+  for (auto& s : supervisor_) s.next_backoff_ms = restart_backoff_ms_;
+  m_restarts_ = &ScopedMetrics(metrics_.get(), model_.job_name)
+                     .Sub("supervisor")
+                     .counter("container_restarts");
+
   started_ = true;
+  return Status::Ok();
+}
+
+void JobRunner::RecordCrash(int32_t container_id, const Status& error) {
+  SQS_WARNC("supervisor", "container crashed",
+            {"job", model_.job_name}, {"id", std::to_string(container_id)},
+            {"error", error.ToString()});
+  std::lock_guard<std::mutex> lock(containers_mu_);
+  supervisor_[container_id].last_error = error.ToString();
+  // Crash semantics: drop without Stop(), exactly like KillContainer.
+  containers_[container_id].reset();
+}
+
+Status JobRunner::SuperviseRestart(int32_t container_id) {
+  int64_t backoff_ms;
+  int64_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(containers_mu_);
+    SupervisorState& s = supervisor_[container_id];
+    if (s.restarts >= restart_max_) {
+      return Status::Internal(
+          "container " + std::to_string(container_id) + " restart budget exhausted (" +
+          std::to_string(restart_max_) + " restarts); last error: " + s.last_error);
+    }
+    backoff_ms = s.next_backoff_ms;
+    s.next_backoff_ms = std::min(s.next_backoff_ms * 2, restart_backoff_max_ms_);
+    attempt = ++s.restarts;
+  }
+  // Real wall-clock backoff (not the injectable Clock): a crash loop must
+  // slow down even in manual-clock tests, which configure ~1ms here.
+  if (backoff_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+  if (m_restarts_ != nullptr) m_restarts_->Inc();
+  SQS_WARNC("supervisor", "restarting container",
+            {"job", model_.job_name}, {"id", std::to_string(container_id)},
+            {"attempt", std::to_string(attempt)},
+            {"backoff_ms", std::to_string(backoff_ms)});
+  auto container = std::make_unique<Container>(
+      broker_, config_, model_.containers[container_id], clock_, metrics_);
+  Status st = container->Start();
+  if (!st.ok()) {
+    // Attempt consumed; the slot stays dead and the next supervision pass
+    // tries again until the budget runs out.
+    SQS_WARNC("supervisor", "container restart failed",
+              {"job", model_.job_name}, {"id", std::to_string(container_id)},
+              {"error", st.ToString()});
+    std::lock_guard<std::mutex> lock(containers_mu_);
+    supervisor_[container_id].last_error = st.ToString();
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(containers_mu_);
+  containers_[container_id] = std::move(container);
   return Status::Ok();
 }
 
@@ -32,13 +100,27 @@ Result<int64_t> JobRunner::RunUntilQuiescent() {
   int64_t total = 0;
   while (true) {
     int64_t round = 0;
-    for (auto& container : containers_) {
-      if (!container) continue;  // killed, not restarted
-      SQS_ASSIGN_OR_RETURN(n, container->RunUntilCaughtUp());
-      round += n;
+    bool supervised_action = false;
+    for (int32_t id = 0; id < static_cast<int32_t>(containers_.size()); ++id) {
+      if (!containers_[id]) {
+        if (!Supervised()) continue;  // killed, not restarted, no supervisor
+        SQS_RETURN_IF_ERROR(SuperviseRestart(id));
+        supervised_action = true;
+        if (!containers_[id]) continue;  // restart failed; retry next pass
+      }
+      auto r = containers_[id]->RunUntilCaughtUp();
+      if (!r.ok()) {
+        if (!Supervised()) return r.status();
+        RecordCrash(id, r.status());
+        supervised_action = true;
+        continue;
+      }
+      round += r.value();
     }
     total += round;
-    if (round == 0) break;  // a full pass with no progress: quiescent
+    // Quiescent only when a full pass made no progress AND the supervisor
+    // had nothing to do — a restarted container may still owe replay work.
+    if (round == 0 && !supervised_action) break;
   }
   return total;
 }
@@ -47,20 +129,47 @@ Result<int64_t> JobRunner::RunThreadedUntilQuiescent() {
   if (!started_) return Status::StateError("job not started");
   std::atomic<int64_t> total{0};
   std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  Status first_error;
+  auto fail_with = [&](const Status& st) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (first_error.ok()) first_error = st;
+    failed.store(true);
+  };
   std::vector<std::thread> threads;
   threads.reserve(containers_.size());
-  for (auto& container : containers_) {
-    if (!container) continue;
-    threads.emplace_back([&, c = container.get()] {
+  for (int32_t id = 0; id < static_cast<int32_t>(containers_.size()); ++id) {
+    if (!containers_[id] && !Supervised()) continue;
+    threads.emplace_back([&, id] {
       // Each container loops until it sees no progress twice in a row,
-      // tolerating interleaved producers (upstream containers).
+      // tolerating interleaved producers (upstream containers). Each thread
+      // supervises its own slot; no two threads share one.
       int idle_rounds = 0;
       while (idle_rounds < 2 && !failed.load()) {
+        Container* c;
+        {
+          std::lock_guard<std::mutex> lock(containers_mu_);
+          c = containers_[id].get();
+        }
+        if (c == nullptr) {
+          Status st = SuperviseRestart(id);
+          if (!st.ok()) {
+            fail_with(st);
+            return;
+          }
+          idle_rounds = 0;
+          continue;
+        }
         auto r = c->RunUntilCaughtUp();
         if (!r.ok()) {
-          failed.store(true);
-          SQS_ERROR("container failed: " << r.status().ToString());
-          return;
+          if (!Supervised()) {
+            SQS_ERROR("container failed: " << r.status().ToString());
+            fail_with(r.status());
+            return;
+          }
+          RecordCrash(id, r.status());
+          idle_rounds = 0;
+          continue;
         }
         if (r.value() == 0) {
           ++idle_rounds;
@@ -73,7 +182,11 @@ Result<int64_t> JobRunner::RunThreadedUntilQuiescent() {
     });
   }
   for (auto& t : threads) t.join();
-  if (failed.load()) return Status::Internal("a container failed during threaded run");
+  if (failed.load()) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!first_error.ok()) return first_error;
+    return Status::Internal("a container failed during threaded run");
+  }
   return total.load();
 }
 
@@ -89,6 +202,7 @@ Status JobRunner::KillContainer(int32_t container_id) {
   if (container_id < 0 || container_id >= static_cast<int32_t>(containers_.size())) {
     return Status::InvalidArgument("no container " + std::to_string(container_id));
   }
+  std::lock_guard<std::mutex> lock(containers_mu_);
   if (!containers_[container_id]) {
     return Status::StateError("container already dead");
   }
@@ -101,22 +215,42 @@ Status JobRunner::RestartContainer(int32_t container_id) {
   if (container_id < 0 || container_id >= static_cast<int32_t>(containers_.size())) {
     return Status::InvalidArgument("no container " + std::to_string(container_id));
   }
-  if (containers_[container_id]) {
-    return Status::StateError("container still running; kill it first");
+  {
+    std::lock_guard<std::mutex> lock(containers_mu_);
+    if (containers_[container_id]) {
+      return Status::StateError("container still running; kill it first");
+    }
   }
   auto container = std::make_unique<Container>(
       broker_, config_, model_.containers[container_id], clock_, metrics_);
   SQS_RETURN_IF_ERROR(container->Start());
+  std::lock_guard<std::mutex> lock(containers_mu_);
   containers_[container_id] = std::move(container);
   return Status::Ok();
 }
 
 size_t JobRunner::NumRunningContainers() const {
+  std::lock_guard<std::mutex> lock(containers_mu_);
   size_t n = 0;
   for (const auto& c : containers_) {
     if (c) ++n;
   }
   return n;
+}
+
+int64_t JobRunner::TotalRestarts() const {
+  std::lock_guard<std::mutex> lock(containers_mu_);
+  int64_t total = 0;
+  for (const auto& s : supervisor_) total += s.restarts;
+  return total;
+}
+
+int64_t JobRunner::ContainerRestarts(int32_t container_id) const {
+  std::lock_guard<std::mutex> lock(containers_mu_);
+  if (container_id < 0 || container_id >= static_cast<int32_t>(supervisor_.size())) {
+    return 0;
+  }
+  return supervisor_[container_id].restarts;
 }
 
 int64_t JobRunner::TotalProcessed() const {

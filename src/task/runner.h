@@ -6,11 +6,16 @@
 //  - threaded execution (one thread per container) for liveness tests;
 //  - failure injection: KillContainer drops a container without clean
 //    shutdown; RestartContainer allocates a fresh one that restores state
-//    from changelogs and resumes from the last checkpoint (§2 Durability).
+//    from changelogs and resumes from the last checkpoint (§2 Durability);
+//  - supervision: with container.restart.max > 0, a dead container is
+//    automatically restarted with capped exponential backoff, re-running
+//    the full recovery path; the restart budget bounds crash loops
+//    (docs/FAULT_TOLERANCE.md).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +49,13 @@ class JobRunner {
   Status KillContainer(int32_t container_id);
   Status RestartContainer(int32_t container_id);
 
+  // Supervision state (container.restart.max > 0 enables the supervisor).
+  bool Supervised() const { return restart_max_ > 0; }
+  // Restart attempts made by the supervisor (manual RestartContainer calls
+  // are not counted), total and per slot. Feeds /jobs and /readyz.
+  int64_t TotalRestarts() const;
+  int64_t ContainerRestarts(int32_t container_id) const;
+
   const JobModel& job_model() const { return model_; }
   const std::string& job_name() const { return model_.job_name; }
   size_t NumContainers() const { return containers_.size(); }
@@ -74,6 +86,22 @@ class JobRunner {
   static Result<int64_t> RunPipelineUntilQuiescent(std::vector<JobRunner*> jobs);
 
  private:
+  // Per-slot supervision bookkeeping.
+  struct SupervisorState {
+    int64_t restarts = 0;
+    int64_t next_backoff_ms = 0;
+    std::string last_error;
+  };
+
+  // Restart a dead slot under the supervisor: sleep the slot's backoff,
+  // count the attempt, allocate + Start a fresh container (full recovery).
+  // Returns an error once the slot's restart budget is exhausted.
+  Status SuperviseRestart(int32_t container_id);
+  // Crash semantics for a container that returned an error: drop the slot
+  // (in-memory state lost) and record why. The next supervision pass
+  // restarts it.
+  void RecordCrash(int32_t container_id, const Status& error);
+
   BrokerPtr broker_;
   Config config_;
   std::shared_ptr<Clock> clock_;
@@ -81,6 +109,17 @@ class JobRunner {
   JobModel model_;
   std::vector<std::unique_ptr<Container>> containers_;
   bool started_ = false;
+
+  // Supervisor config (container.restart.*), read at Start().
+  int64_t restart_max_ = 0;  // 0 = supervision off
+  int64_t restart_backoff_ms_ = 0;
+  int64_t restart_backoff_max_ms_ = 0;
+  std::vector<SupervisorState> supervisor_;
+  Counter* m_restarts_ = nullptr;  // `<job>.supervisor.container_restarts`
+
+  // Guards containers_ slot swaps and supervisor_ so the monitor thread and
+  // threaded-mode supervision see consistent restart/running state.
+  mutable std::mutex containers_mu_;
 };
 
 }  // namespace sqs

@@ -1,0 +1,772 @@
+// Crash-recovery and fault-injection tests (docs/FAULT_TOLERANCE.md):
+//  - FaultInjectingBroker: seeded schedules, forced failures, blackouts;
+//  - Retrier: only Unavailable retried, counters move, budgets respected;
+//  - ChangelogBackedStore: append failure is a sticky health error (never an
+//    exception) that blocks the commit, and Restore() clears it;
+//  - CheckpointManager: restore is one pass over checkpoint history per
+//    container, not one per task;
+//  - task.error.policy: poison messages fail / skip / dead-letter;
+//  - container supervisor: killed or crashed containers restart through the
+//    full recovery path and the job's output still matches the oracle;
+//  - recovery_soak: seeded random fault storms over a windowed query
+//    (run with `ctest -R recovery_soak`).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "kv/changelog.h"
+#include "kv/store.h"
+#include "log/fault_broker.h"
+#include "task/checkpoint.h"
+#include "workload/generators.h"
+
+namespace sqs::core {
+namespace {
+
+constexpr int32_t kPartitions = 4;
+
+// The windowed-aggregation pair used throughout: streaming job vs. batch
+// oracle. Window outputs are idempotent by (window start, productId), so
+// at-least-once replays dedup to exactly the oracle rows.
+constexpr const char* kTumblingStream =
+    "SELECT STREAM productId, START(rowtime) AS ws, COUNT(*) AS c, SUM(units) AS su "
+    "FROM Orders GROUP BY TUMBLE(rowtime, INTERVAL '10' SECOND), productId";
+constexpr const char* kTumblingBatch =
+    "SELECT productId, START(rowtime) AS ws, COUNT(*) AS c, SUM(units) AS su "
+    "FROM Orders GROUP BY TUMBLE(rowtime, INTERVAL '10' SECOND), productId";
+
+Message Msg(const std::string& key, const std::string& value) {
+  Message m;
+  m.key = ToBytes(key);
+  m.value = ToBytes(value);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingBroker unit tests
+// ---------------------------------------------------------------------------
+
+TEST(FaultBrokerTest, SeededScheduleIsDeterministic) {
+  auto make = [](uint64_t seed) {
+    auto inner = std::make_shared<Broker>();
+    EXPECT_TRUE(inner->CreateTopic("t", {.num_partitions = 1}).ok());
+    FaultPolicy policy;
+    policy.seed = seed;
+    policy.append_fail_rate = 0.5;
+    return std::make_shared<FaultInjectingBroker>(inner, policy);
+  };
+  auto pattern = [](FaultInjectingBroker& b) {
+    std::string p;
+    for (int i = 0; i < 200; ++i) {
+      p += b.Append({"t", 0}, Msg("k", "v")).ok() ? '.' : 'X';
+    }
+    return p;
+  };
+  auto a = make(7);
+  auto b = make(7);
+  auto c = make(8);
+  std::string pa = pattern(*a);
+  EXPECT_EQ(pa, pattern(*b));     // same seed: identical failure schedule
+  EXPECT_NE(pa, pattern(*c));     // different seed: different schedule
+  EXPECT_NE(pa.find('.'), std::string::npos);
+  EXPECT_NE(pa.find('X'), std::string::npos);
+  EXPECT_GT(a->injected_append_failures(), 0);
+}
+
+TEST(FaultBrokerTest, ForcedFailuresBlackoutsAndMetadataPassThrough) {
+  auto inner = std::make_shared<Broker>();
+  ASSERT_TRUE(inner->CreateTopic("t", {.num_partitions = 2}).ok());
+  FaultInjectingBroker fb(inner, FaultPolicy{});  // no random faults
+
+  ASSERT_TRUE(fb.Append({"t", 0}, Msg("k", "v")).ok());
+
+  fb.FailNextAppends(2);
+  auto a1 = fb.Append({"t", 0}, Msg("k", "v"));
+  auto a2 = fb.Append({"t", 0}, Msg("k", "v"));
+  ASSERT_FALSE(a1.ok());
+  EXPECT_EQ(a1.status().code(), ErrorCode::kUnavailable);
+  EXPECT_FALSE(a2.ok());
+  EXPECT_TRUE(fb.Append({"t", 0}, Msg("k", "v")).ok());  // tokens spent
+
+  fb.FailNextFetches(1);
+  auto f1 = fb.Fetch({"t", 0}, 0, 10);
+  ASSERT_FALSE(f1.ok());
+  EXPECT_EQ(f1.status().code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(fb.Fetch({"t", 0}, 0, 10).ok());
+
+  // Blackout fails one partition's data path; metadata and the other
+  // partition keep working; Heal restores it.
+  fb.BlackoutPartition({"t", 1});
+  EXPECT_FALSE(fb.Append({"t", 1}, Msg("k", "v")).ok());
+  EXPECT_FALSE(fb.Fetch({"t", 1}, 0, 10).ok());
+  EXPECT_TRUE(fb.EndOffset({"t", 1}).ok());
+  EXPECT_TRUE(fb.Append({"t", 0}, Msg("k", "v")).ok());
+  fb.Heal({"t", 1});
+  EXPECT_TRUE(fb.Append({"t", 1}, Msg("k", "v")).ok());
+
+  EXPECT_EQ(fb.injected_append_failures(), 3);
+  EXPECT_EQ(fb.injected_fetch_failures(), 2);
+  EXPECT_GT(fb.AppendCount("t"), 0);
+  EXPECT_GT(fb.FetchCount("t"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Retrier unit tests
+// ---------------------------------------------------------------------------
+
+TEST(RetrierTest, RetriesOnlyUnavailableAndCountsOutcomes) {
+  MetricsRegistry registry;
+  Counter& retries = ScopedMetrics(&registry, "t").counter("retries");
+  Counter& giveups = ScopedMetrics(&registry, "t").counter("giveups");
+  Retrier retrier(RetryPolicy{.max_attempts = 5, .backoff_ms = 1, .backoff_max_ms = 2});
+  retrier.BindMetrics(&retries, &giveups);
+
+  // Transient failure: two Unavailable then success.
+  int calls = 0;
+  Status st = retrier.Run([&]() -> Status {
+    return ++calls <= 2 ? Status::Unavailable("transient") : Status::Ok();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries.Get(), 2);
+  EXPECT_EQ(giveups.Get(), 0);
+
+  // Non-retryable code: surfaced immediately, no retries.
+  calls = 0;
+  st = retrier.Run([&]() -> Status {
+    ++calls;
+    return Status::InvalidArgument("poison");
+  });
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries.Get(), 2);
+
+  // Budget exhaustion: max_attempts calls, then the error with a giveup.
+  retrier.SetPolicy(RetryPolicy{.max_attempts = 3, .backoff_ms = 1, .backoff_max_ms = 1});
+  calls = 0;
+  st = retrier.Run([&]() -> Status {
+    ++calls;
+    return Status::Unavailable("permanent");
+  });
+  EXPECT_EQ(st.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries.Get(), 4);
+  EXPECT_EQ(giveups.Get(), 1);
+}
+
+TEST(RetrierTest, ProducerSendSurvivesTransientAppendFailures) {
+  auto inner = std::make_shared<Broker>();
+  ASSERT_TRUE(inner->CreateTopic("t", {.num_partitions = 1}).ok());
+  auto fb = std::make_shared<FaultInjectingBroker>(inner, FaultPolicy{});
+  Producer producer(fb);
+  producer.SetRetryPolicy(RetryPolicy{.max_attempts = 4, .backoff_ms = 1, .backoff_max_ms = 2});
+  fb->FailNextAppends(2);
+  ASSERT_TRUE(producer.Send("t", ToBytes("k"), ToBytes("v")).ok());
+  EXPECT_EQ(inner->EndOffset({"t", 0}).value(), 1);
+  EXPECT_EQ(fb->injected_append_failures(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// ChangelogBackedStore: sticky error instead of an exception
+// ---------------------------------------------------------------------------
+
+TEST(ChangelogStickyErrorTest, AppendFailureIsStickyAndRestoreClearsIt) {
+  auto inner = std::make_shared<Broker>();
+  ASSERT_TRUE(inner->CreateTopic("cl", {.num_partitions = 1}).ok());
+  auto fb = std::make_shared<FaultInjectingBroker>(inner, FaultPolicy{});
+  ChangelogBackedStore store(std::make_shared<InMemoryStore>(), fb, {"cl", 0});
+
+  store.Put(ToBytes("a"), ToBytes("1"));
+  ASSERT_TRUE(store.health().ok());
+
+  // The failing Put must not throw, must not touch the backing store, and
+  // must leave a sticky Unavailable health error.
+  fb->FailNextAppends(1);
+  store.Put(ToBytes("b"), ToBytes("2"));
+  EXPECT_FALSE(store.health().ok());
+  EXPECT_EQ(store.health().code(), ErrorCode::kUnavailable);
+  EXPECT_FALSE(store.Get(ToBytes("b")).has_value());
+
+  // While unhealthy, further writes are refused (no divergence).
+  store.Put(ToBytes("c"), ToBytes("3"));
+  store.Delete(ToBytes("a"));
+  EXPECT_FALSE(store.Get(ToBytes("c")).has_value());
+  EXPECT_EQ(inner->EndOffset({"cl", 0}).value(), 1);  // only "a" was logged
+
+  // Restore replays the changelog and clears the sticky error.
+  ASSERT_TRUE(store.Restore().ok());
+  EXPECT_TRUE(store.health().ok());
+  EXPECT_TRUE(store.Get(ToBytes("a")).has_value());
+  store.Put(ToBytes("d"), ToBytes("4"));
+  EXPECT_TRUE(store.health().ok());
+  EXPECT_TRUE(store.Get(ToBytes("d")).has_value());
+}
+
+TEST(ChangelogStickyErrorTest, RetryPolicyAbsorbsTransientAppendFailures) {
+  auto inner = std::make_shared<Broker>();
+  ASSERT_TRUE(inner->CreateTopic("cl", {.num_partitions = 1}).ok());
+  auto fb = std::make_shared<FaultInjectingBroker>(inner, FaultPolicy{});
+  ChangelogBackedStore store(std::make_shared<InMemoryStore>(), fb, {"cl", 0});
+  store.SetRetryPolicy(RetryPolicy{.max_attempts = 4, .backoff_ms = 1, .backoff_max_ms = 2});
+  fb->FailNextAppends(2);
+  store.Put(ToBytes("a"), ToBytes("1"));
+  EXPECT_TRUE(store.health().ok());
+  EXPECT_TRUE(store.Get(ToBytes("a")).has_value());
+  EXPECT_EQ(inner->EndOffset({"cl", 0}).value(), 1);
+}
+
+// A store whose changelog append was lost must block the commit: the
+// checkpoint may never advance past state that was not durably logged. With
+// the supervisor on, the container crashes at the commit boundary, restarts,
+// restores from the changelog, and replays — final state is complete.
+TEST(ChangelogStickyErrorTest, UnhealthyStoreBlocksCommitAndSupervisorRecovers) {
+  class RecoveryStatefulTask : public StreamTask {
+   public:
+    Status Init(TaskContext& ctx) override {
+      store_ = ctx.GetStore("state");
+      if (!store_) return Status::StateError("store 'state' not configured");
+      return Status::Ok();
+    }
+    Status Process(const IncomingMessage& msg, MessageCollector&, TaskCoordinator&) override {
+      std::string key =
+          std::to_string(msg.origin.partition) + ":" + std::to_string(msg.offset);
+      store_->Put(ToBytes(key), msg.message.value);
+      return Status::Ok();
+    }
+
+   private:
+    KeyValueStorePtr store_;
+  };
+  TaskFactoryRegistry::Instance().Register(
+      "recovery-stateful", [] { return std::make_unique<RecoveryStatefulTask>(); });
+
+  auto inner = std::make_shared<Broker>();
+  ASSERT_TRUE(inner->CreateTopic("in", {.num_partitions = 2}).ok());
+  FaultPolicy policy;
+  policy.topics = {"state-cl-gate"};  // only the changelog misbehaves
+  auto fb = std::make_shared<FaultInjectingBroker>(inner, policy);
+
+  Producer p(fb);
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(p.Send("in", ToBytes("k" + std::to_string(i)),
+                       ToBytes("m" + std::to_string(i)))
+                    .ok());
+  }
+
+  Config c;
+  c.Set(cfg::kJobName, "gate-job");
+  c.Set(cfg::kTaskInputs, "in");
+  c.Set(cfg::kTaskFactory, "recovery-stateful");
+  c.Set("stores.state.changelog", "state-cl-gate");
+  c.SetInt(cfg::kContainerCount, 1);
+  c.SetInt(cfg::kCommitEveryMessages, 10);
+  c.SetInt(cfg::kContainerRestartMax, 3);
+  c.SetInt(cfg::kContainerRestartBackoffMs, 1);
+  JobRunner runner(fb, c);
+  ASSERT_TRUE(runner.Start().ok());
+
+  fb->FailNextAppends(1);  // one changelog write is lost mid-batch
+  auto ran = runner.RunUntilQuiescent();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  EXPECT_GE(runner.TotalRestarts(), 1);
+
+  // Every input message is in the recovered state exactly once.
+  size_t total = 0;
+  for (int part = 0; part < 2; ++part) {
+    ChangelogBackedStore verify(std::make_shared<InMemoryStore>(), inner,
+                                {"state-cl-gate", part});
+    ASSERT_TRUE(verify.Restore().ok());
+    int64_t in_end = inner->EndOffset({"in", part}).value();
+    EXPECT_EQ(verify.Size(), static_cast<size_t>(in_end));
+    for (int64_t o = 0; o < in_end; ++o) {
+      EXPECT_TRUE(verify
+                      .Get(ToBytes(std::to_string(part) + ":" + std::to_string(o)))
+                      .has_value());
+    }
+    total += verify.Size();
+  }
+  EXPECT_EQ(total, 80u);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager: one scan per container, not per task
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointScanTest, RestoreScansHistoryOncePerManagerNotPerTask) {
+  auto inner = std::make_shared<Broker>();
+  auto fb = std::make_shared<FaultInjectingBroker>(inner, FaultPolicy{});
+
+  CheckpointManager writer(fb, "__cp_scan");
+  ASSERT_TRUE(writer.Start().ok());
+  for (int round = 0; round < 6; ++round) {
+    for (int t = 0; t < 8; ++t) {
+      ASSERT_TRUE(writer
+                      .WriteCheckpoint("Partition " + std::to_string(t),
+                                       {{{"in", t}, round}})
+                      .ok());
+    }
+  }
+
+  // A fresh manager models a restarted container restoring all 8 tasks.
+  CheckpointManager reader(fb, "__cp_scan");
+  ASSERT_TRUE(reader.Start().ok());
+  int64_t before = fb->FetchCount("__cp_scan");
+  for (int t = 0; t < 8; ++t) {
+    auto cp = reader.ReadLastCheckpoint("Partition " + std::to_string(t));
+    ASSERT_TRUE(cp.ok());
+    EXPECT_EQ(cp.value().at({"in", t}), 5);  // latest round wins
+  }
+  // All 48 records fit one fetch batch: 8 task restores cost 1 fetch total.
+  EXPECT_EQ(fb->FetchCount("__cp_scan") - before, 1);
+
+  // Re-reads are cache hits; a manager's own write advances its frontier,
+  // so reading it back refetches nothing.
+  ASSERT_TRUE(reader.ReadLastCheckpoint("Partition 3").ok());
+  ASSERT_TRUE(reader.WriteCheckpoint("Partition 0", {{{"in", 0}, 99}}).ok());
+  auto cp = reader.ReadLastCheckpoint("Partition 0");
+  ASSERT_TRUE(cp.ok());
+  EXPECT_EQ(cp.value().at({"in", 0}), 99);
+  EXPECT_EQ(fb->FetchCount("__cp_scan") - before, 1);
+}
+
+TEST(CheckpointScanTest, WritesAndRestoreRetryTransientFailures) {
+  auto inner = std::make_shared<Broker>();
+  auto fb = std::make_shared<FaultInjectingBroker>(inner, FaultPolicy{});
+  CheckpointManager mgr(fb, "__cp_retry");
+  mgr.SetRetryPolicy(RetryPolicy{.max_attempts = 4, .backoff_ms = 1, .backoff_max_ms = 2});
+  ASSERT_TRUE(mgr.Start().ok());
+  fb->FailNextAppends(2);
+  ASSERT_TRUE(mgr.WriteCheckpoint("Partition 0", {{{"in", 0}, 7}}).ok());
+
+  CheckpointManager reader(fb, "__cp_retry");
+  reader.SetRetryPolicy(RetryPolicy{.max_attempts = 4, .backoff_ms = 1, .backoff_max_ms = 2});
+  ASSERT_TRUE(reader.Start().ok());
+  fb->FailNextFetches(2);
+  auto cp = reader.ReadLastCheckpoint("Partition 0");
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  EXPECT_EQ(cp.value().at({"in", 0}), 7);
+}
+
+// ---------------------------------------------------------------------------
+// SQL-level fixture: windowed job + fault broker + supervisor
+// ---------------------------------------------------------------------------
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void MakeEnv() {
+    env_ = SamzaSqlEnvironment::Make();
+    ASSERT_TRUE(workload::SetupPaperSources(*env_, kPartitions).ok());
+  }
+
+  void ProduceOrders(int64_t count) {
+    workload::OrdersGeneratorOptions options;
+    options.num_products = 20;
+    workload::OrdersGenerator gen(*env_, options);
+    ASSERT_TRUE(gen.Produce(count).ok());
+    last_rowtime_ = gen.last_rowtime();
+  }
+
+  // One far-future order per partition so event-time watermarks close every
+  // open window in every task (same trick as the e2e suite).
+  void ProduceWatermarkSentinels(int64_t future_ms) {
+    auto schema = env_->catalog->GetSource("Orders").value().schema;
+    AvroRowSerde serde(schema);
+    Producer producer(env_->broker, env_->clock);
+    for (int32_t p = 0; p < kPartitions; ++p) {
+      Row row{Value(last_rowtime_ + future_ms), Value(int32_t{9999}),
+              Value(int64_t{-1}), Value(int32_t{0}), Value("sentinel")};
+      ASSERT_TRUE(
+          producer.SendTo({"Orders", p}, Bytes{}, serde.SerializeToBytes(row)).ok());
+    }
+  }
+
+  // Ground truth for the tumbling query: the batch oracle, evaluated before
+  // any fault injection is armed, as a deduped set without sentinel groups.
+  std::set<std::string> OracleWindows() {
+    QueryExecutor oracle(env_);
+    auto result = oracle.Execute(kTumblingBatch);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return DedupNonSentinel(result.value().rows);
+  }
+
+  // Wrap the environment's broker in a fault injector. Every job submitted
+  // afterwards (and every recovery path) runs through it.
+  void WrapFaults(FaultPolicy policy) {
+    fault_ = std::make_shared<FaultInjectingBroker>(env_->broker, std::move(policy));
+    env_->broker = fault_;
+  }
+
+  static Config SupervisedDefaults() {
+    Config defaults;
+    defaults.SetInt(cfg::kContainerCount, 2);
+    defaults.SetInt(cfg::kCommitEveryMessages, 50);
+    defaults.SetInt(cfg::kContainerRestartMax, 5);
+    defaults.SetInt(cfg::kContainerRestartBackoffMs, 1);
+    defaults.SetInt(cfg::kContainerRestartBackoffMaxMs, 4);
+    defaults.SetInt(cfg::kRetryMaxAttempts, 3);
+    defaults.SetInt(cfg::kRetryBackoffMs, 1);
+    defaults.SetInt(cfg::kRetryBackoffMaxMs, 2);
+    return defaults;
+  }
+
+  static std::set<std::string> DedupNonSentinel(const std::vector<Row>& rows) {
+    std::set<std::string> out;
+    for (const Row& r : rows) {
+      if (r[0] == Value(int32_t{9999})) continue;  // sentinel group
+      out.insert(RowToString(r));
+    }
+    return out;
+  }
+
+  // Counter sum across containers, matched by metric-name suffix.
+  static int64_t SumCounters(JobRunner* job, const std::string& suffix) {
+    MetricsSnapshot snap = job->metrics_registry()->Snapshot();
+    int64_t total = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.size() >= suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        total += value;
+      }
+    }
+    return total;
+  }
+
+  EnvironmentPtr env_;
+  std::shared_ptr<FaultInjectingBroker> fault_;
+  std::unique_ptr<QueryExecutor> executor_;
+  int64_t last_rowtime_ = 0;
+};
+
+// Tentpole scenario 1: kill a container mid-window. The supervisor (not a
+// manual RestartContainer) brings it back through Restore + checkpoint
+// replay, and the deduped output equals the uninterrupted oracle.
+TEST_F(RecoveryTest, SupervisorRestartsKilledContainerAndOutputMatchesOracle) {
+  MakeEnv();
+  ProduceOrders(1600);
+  ProduceWatermarkSentinels(3'600'000);
+  std::set<std::string> expected = OracleWindows();
+
+  executor_ = std::make_unique<QueryExecutor>(env_, SupervisedDefaults());
+  auto submitted = executor_->Execute(kTumblingStream);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  JobRunner* job = executor_->job(submitted.value().job_index);
+  ASSERT_NE(job, nullptr);
+
+  // Kill after partial progress: open windows and uncheckpointed positions
+  // die with the container.
+  ASSERT_TRUE(job->container(0)->RunUntilCaughtUp(400).ok());
+  ASSERT_TRUE(job->KillContainer(0).ok());
+
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+
+  auto rows = executor_->ReadOutputRows(submitted.value().output_topic);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(DedupNonSentinel(rows.value()), expected);
+  EXPECT_GT(expected.size(), 10u);  // sanity: many windows closed
+
+  EXPECT_GE(job->TotalRestarts(), 1);
+  EXPECT_GE(job->ContainerRestarts(0), 1);
+  EXPECT_GE(SumCounters(job, ".supervisor.container_restarts"), 1);
+  // The restart count is visible to the monitor (/jobs, /readyz reason).
+  auto views = executor_->CollectJobViews();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_GE(views[0].restarts, 1);
+}
+
+// Tentpole scenario 2: crash after output flush but before the checkpoint
+// lands. Forced append failures are scoped to the checkpoint topic, so the
+// commit fails with outputs already flushed; replay produces duplicate
+// window emissions which dedup back to the oracle (at-least-once).
+TEST_F(RecoveryTest, CrashBetweenOutputFlushAndCheckpointDedupsToOracle) {
+  MakeEnv();
+  ProduceOrders(1600);
+  ProduceWatermarkSentinels(3'600'000);
+  std::set<std::string> expected = OracleWindows();
+
+  FaultPolicy policy;
+  policy.topics = {"__cp_recovery"};
+  WrapFaults(policy);
+
+  Config defaults = SupervisedDefaults();
+  defaults.Set(cfg::kCheckpointTopic, "__cp_recovery");
+  executor_ = std::make_unique<QueryExecutor>(env_, defaults);
+  auto submitted = executor_->Execute(kTumblingStream);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  JobRunner* job = executor_->job(submitted.value().job_index);
+
+  // retry.max.attempts=3, so 6 tokens sink two whole checkpoint writes
+  // (initial attempt + 2 retries each): two separate commit-time crashes.
+  fault_->FailNextAppends(6);
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  EXPECT_GE(job->TotalRestarts(), 1);
+  EXPECT_GE(SumCounters(job, ".giveups"), 1);
+
+  auto rows = executor_->ReadOutputRows(submitted.value().output_topic);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(DedupNonSentinel(rows.value()), expected);
+}
+
+// Tentpole scenario 3: transient fetch failures hit while the restarted
+// container is restoring (changelog replay + checkpoint read). The recovery
+// path itself retries and completes; a second kill later exercises
+// kill-restart-kill.
+TEST_F(RecoveryTest, RecoveryPathRetriesTransientFailuresDuringRestore) {
+  MakeEnv();
+  ProduceOrders(1200);
+  ProduceWatermarkSentinels(3'600'000);
+  std::set<std::string> expected = OracleWindows();
+
+  WrapFaults(FaultPolicy{});  // forced failures only
+  executor_ = std::make_unique<QueryExecutor>(env_, SupervisedDefaults());
+  auto submitted = executor_->Execute(kTumblingStream);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  JobRunner* job = executor_->job(submitted.value().job_index);
+
+  ASSERT_TRUE(job->container(0)->RunUntilCaughtUp(300).ok());
+  ASSERT_TRUE(job->KillContainer(0).ok());
+  // The next data fetches — the restarted container's restore reads — fail
+  // twice; retry.max.attempts=3 absorbs them.
+  fault_->FailNextFetches(2);
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  EXPECT_GE(job->TotalRestarts(), 1);
+
+  // Kill again after full quiescence, append more input, recover again.
+  ASSERT_TRUE(job->KillContainer(1).ok());
+  ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  EXPECT_GE(job->TotalRestarts(), 2);
+
+  auto rows = executor_->ReadOutputRows(submitted.value().output_topic);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(DedupNonSentinel(rows.value()), expected);
+}
+
+// A permanently blacked-out input partition makes the owning container
+// crash-loop; the restart budget bounds the loop and the job surfaces a
+// clean error instead of hanging.
+TEST_F(RecoveryTest, RestartBudgetExhaustionSurfacesCleanError) {
+  MakeEnv();
+  ProduceOrders(400);
+  WrapFaults(FaultPolicy{});
+
+  Config defaults = SupervisedDefaults();
+  defaults.SetInt(cfg::kContainerRestartMax, 2);
+  executor_ = std::make_unique<QueryExecutor>(env_, defaults);
+  auto submitted = executor_->Execute(kTumblingStream);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  JobRunner* job = executor_->job(submitted.value().job_index);
+
+  fault_->BlackoutPartition({"Orders", 0});
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_FALSE(ran.ok());
+  EXPECT_NE(ran.status().message().find("restart budget exhausted"),
+            std::string::npos)
+      << ran.status().ToString();
+  EXPECT_EQ(job->TotalRestarts(), 2);
+  auto views = executor_->CollectJobViews();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].restarts, 2);
+}
+
+// ---------------------------------------------------------------------------
+// task.error.policy: poison messages
+// ---------------------------------------------------------------------------
+
+class PoisonTest : public RecoveryTest {
+ protected:
+  // 400 valid orders plus one undeserializable record on partition 2.
+  void SeedPoison() {
+    MakeEnv();
+    ProduceOrders(400);
+    Producer raw(env_->broker);
+    poison_offset_ = env_->broker->EndOffset({"Orders", 2}).value();
+    ASSERT_TRUE(raw.SendTo({"Orders", 2}, Bytes{}, Bytes{0xff}).ok());
+  }
+
+  Config PolicyDefaults(const std::string& policy) {
+    Config defaults;
+    defaults.SetInt(cfg::kContainerCount, 2);
+    defaults.SetInt(cfg::kCommitEveryMessages, 50);
+    defaults.Set(cfg::kTaskErrorPolicy, policy);
+    return defaults;
+  }
+
+  static constexpr const char* kProjection =
+      "SELECT STREAM rowtime, productId, units FROM Orders";
+
+  int64_t poison_offset_ = 0;
+};
+
+TEST_F(PoisonTest, FailPolicySurfacesTheDeserializationError) {
+  SeedPoison();
+  executor_ = std::make_unique<QueryExecutor>(env_, PolicyDefaults("fail"));
+  auto submitted = executor_->Execute(kProjection);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_FALSE(ran.ok());
+  EXPECT_NE(ran.status().code(), ErrorCode::kUnavailable);
+}
+
+// Poison is deterministic: with policy=fail the supervisor replays straight
+// back into the same message, so the restart budget must terminate the loop.
+TEST_F(PoisonTest, FailPolicyUnderSupervisorExhaustsBudgetNotForever) {
+  SeedPoison();
+  Config defaults = PolicyDefaults("fail");
+  defaults.SetInt(cfg::kContainerRestartMax, 2);
+  defaults.SetInt(cfg::kContainerRestartBackoffMs, 1);
+  executor_ = std::make_unique<QueryExecutor>(env_, defaults);
+  auto submitted = executor_->Execute(kProjection);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_FALSE(ran.ok());
+  EXPECT_NE(ran.status().message().find("restart budget exhausted"),
+            std::string::npos)
+      << ran.status().ToString();
+  EXPECT_EQ(executor_->job(submitted.value().job_index)->TotalRestarts(), 2);
+}
+
+TEST_F(PoisonTest, SkipPolicyDropsPoisonAndProcessesEverythingElse) {
+  SeedPoison();
+  executor_ = std::make_unique<QueryExecutor>(env_, PolicyDefaults("skip"));
+  auto submitted = executor_->Execute(kProjection);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  auto rows = executor_->ReadOutputRows(submitted.value().output_topic);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows.value().size(), 400u);  // every valid row, poison dropped
+  EXPECT_EQ(SumCounters(executor_->job(submitted.value().job_index), ".dropped"), 1);
+}
+
+TEST_F(PoisonTest, DeadLetterPolicyRoutesPoisonWithProvenance) {
+  SeedPoison();
+  Config defaults = PolicyDefaults("dead-letter");
+  defaults.Set(cfg::kTaskDlqTopic, "orders.dlq");
+  executor_ = std::make_unique<QueryExecutor>(env_, defaults);
+  auto submitted = executor_->Execute(kProjection);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  auto rows = executor_->ReadOutputRows(submitted.value().output_topic);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows.value().size(), 400u);
+  EXPECT_EQ(SumCounters(executor_->job(submitted.value().job_index), ".dropped"), 1);
+
+  // The DLQ carries the original bytes plus provenance and the error text,
+  // on the same partition as the origin.
+  ASSERT_TRUE(env_->broker->HasTopic("orders.dlq"));
+  auto batch = env_->broker->Fetch({"orders.dlq", 2}, 0, 16);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value().size(), 1u);
+  auto record = DecodeDeadLetter(batch.value()[0].message.value);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_EQ(record.value().origin, (StreamPartition{"Orders", 2}));
+  EXPECT_EQ(record.value().offset, poison_offset_);
+  EXPECT_EQ(record.value().value, Bytes{0xff});
+  EXPECT_FALSE(record.value().error.empty());
+  EXPECT_FALSE(record.value().task_name.empty());
+}
+
+TEST_F(PoisonTest, UnknownPolicyIsRejectedAtStart) {
+  auto parsed = ParseTaskErrorPolicy("quarantine");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(ParseTaskErrorPolicy("").value(), TaskErrorPolicy::kFail);
+  EXPECT_EQ(ParseTaskErrorPolicy("skip").value(), TaskErrorPolicy::kSkip);
+  EXPECT_EQ(ParseTaskErrorPolicy("dead-letter").value(), TaskErrorPolicy::kDeadLetter);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded soak: random fault storm + adversarial kill, 8 seeds.
+// Run selectively with `ctest -R recovery_soak`.
+// ---------------------------------------------------------------------------
+
+class recovery_soak : public ::testing::TestWithParam<int> {};
+
+TEST_P(recovery_soak, WindowedQuerySurvivesSeededFaultStorm) {
+  const int seed = GetParam();
+  auto env = SamzaSqlEnvironment::Make();
+  ASSERT_TRUE(workload::SetupPaperSources(*env, kPartitions).ok());
+
+  workload::OrdersGeneratorOptions options;
+  options.num_products = 20;
+  workload::OrdersGenerator gen(*env, options);
+  ASSERT_TRUE(gen.Produce(600).ok());
+  {
+    auto schema = env->catalog->GetSource("Orders").value().schema;
+    AvroRowSerde serde(schema);
+    Producer producer(env->broker, env->clock);
+    for (int32_t p = 0; p < kPartitions; ++p) {
+      Row row{Value(gen.last_rowtime() + 3'600'000), Value(int32_t{9999}),
+              Value(int64_t{-1}), Value(int32_t{0}), Value("sentinel")};
+      ASSERT_TRUE(
+          producer.SendTo({"Orders", p}, Bytes{}, serde.SerializeToBytes(row)).ok());
+    }
+  }
+
+  // Oracle before faults are armed (the batch evaluator is not retried).
+  std::set<std::string> expected;
+  {
+    QueryExecutor oracle(env);
+    auto result = oracle.Execute(kTumblingBatch);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const Row& r : result.value().rows) {
+      if (r[0] == Value(int32_t{9999})) continue;
+      expected.insert(RowToString(r));
+    }
+  }
+
+  FaultPolicy policy;
+  policy.seed = 0x5eedull + static_cast<uint64_t>(seed);
+  policy.append_fail_rate = 0.03;
+  policy.fetch_fail_rate = 0.03;
+  policy.latency_nanos = 1000;
+  policy.latency_rate = 0.02;
+  policy.topics = {"Orders", "__cp_soak"};
+  auto fault = std::make_shared<FaultInjectingBroker>(env->broker, policy);
+  env->broker = fault;
+
+  Config defaults;
+  defaults.SetInt(cfg::kContainerCount, 2);
+  defaults.SetInt(cfg::kCommitEveryMessages, 50);
+  defaults.Set(cfg::kCheckpointTopic, "__cp_soak");
+  defaults.SetInt(cfg::kRetryMaxAttempts, 6);
+  defaults.SetInt(cfg::kRetryBackoffMs, 1);
+  defaults.SetInt(cfg::kRetryBackoffMaxMs, 4);
+  defaults.SetInt(cfg::kContainerRestartMax, 8);
+  defaults.SetInt(cfg::kContainerRestartBackoffMs, 1);
+  defaults.SetInt(cfg::kContainerRestartBackoffMaxMs, 4);
+  QueryExecutor executor(env, defaults);
+
+  auto submitted = executor.Execute(kTumblingStream);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  JobRunner* job = executor.job(submitted.value().job_index);
+
+  // Seed-dependent adversarial kill point (a crash here is fine too — the
+  // container is then already dead and the supervisor handles it).
+  (void)job->container(0)->RunUntilCaughtUp(60 + 40 * seed);
+  (void)job->KillContainer(0);
+
+  auto ran = executor.RunJobsUntilQuiescent();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  EXPECT_GE(job->TotalRestarts(), 1);
+
+  auto rows = executor.ReadOutputRows(submitted.value().output_topic);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  std::set<std::string> got;
+  for (const Row& r : rows.value()) {
+    if (r[0] == Value(int32_t{9999})) continue;
+    got.insert(RowToString(r));
+  }
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, recovery_soak, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sqs::core
