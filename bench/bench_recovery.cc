@@ -1,0 +1,111 @@
+// Recovery and delivery-mode benchmarks (docs/FAULT_TOLERANCE.md):
+//  - BM_Delivery_Throughput: the paper's tumbling-window aggregation with
+//    periodic commits under task.delivery=at-least-once vs exactly-once.
+//    The delta prices the exactly-once machinery end to end: per-task
+//    idempotent producers stamping (pid, epoch, seq), broker dedup-map
+//    lookups on every append, and per-store changelog high-watermark reads
+//    plus the larger transactional checkpoint record at every commit.
+//  - BM_Recovery_Latency: kill the container after the run and time the
+//    full recovery path — changelog restore (truncated at the checkpointed
+//    high-watermark in exactly-once mode), checkpoint scan, consumer seek —
+//    then replay the uncheckpointed suffix. In exactly-once mode the replay
+//    re-sends the same sequences and the broker's dups_dropped count shows
+//    the dedup absorbing it.
+// Numbers are recorded in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_common.h"
+#include "task/api.h"
+
+namespace sqs::bench {
+namespace {
+
+constexpr int64_t kMessages = 20'000;
+// Per task (one task per partition, ~625 messages each at 32 partitions):
+// 3 commit rounds per task, leaving a small uncheckpointed tail to replay.
+constexpr int64_t kCommitEvery = 200;
+
+const char* kWindowSql =
+    "SELECT STREAM productId, SUM(units) AS totalUnits FROM Orders "
+    "GROUP BY TUMBLE(rowtime, INTERVAL '10' SECOND), productId";
+
+const char* ModeName(int mode) { return mode == 0 ? "at-least-once" : "exactly-once"; }
+
+Config DeliveryConfig(int mode) {
+  Config config = BenchJobConfig(1);
+  config.SetInt(cfg::kCommitEveryMessages, kCommitEvery);
+  if (mode == 1) config.Set(cfg::kTaskDelivery, "exactly-once");
+  return config;
+}
+
+// state.range(0): 0 = at-least-once (default), 1 = exactly-once.
+void BM_Delivery_Throughput(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto env = MakeBenchEnv();
+    workload::OrdersGenerator gen(*env, {});
+    auto produced = gen.Produce(kMessages);
+    if (!produced.ok()) state.SkipWithError(produced.status().ToString().c_str());
+    ThroughputResult r = MeasureSqlQuery(env, kWindowSql, DeliveryConfig(mode));
+    state.counters["job_msgs_per_s"] = r.job_tput;
+    state.counters["dups_dropped"] = static_cast<double>(env->broker->dups_dropped());
+    ReportThroughput("Delivery", ModeName(mode), 1, r);
+  }
+}
+
+// state.range(0): 0 = at-least-once, 1 = exactly-once. One container owns
+// all 32 partitions, so restarting slot 0 recovers the whole job.
+void BM_Recovery_Latency(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto env = MakeBenchEnv();
+    workload::OrdersGenerator gen(*env, {});
+    auto produced = gen.Produce(kMessages);
+    if (!produced.ok()) state.SkipWithError(produced.status().ToString().c_str());
+
+    core::QueryExecutor executor(env, DeliveryConfig(mode));
+    auto submitted = executor.Execute(kWindowSql);
+    if (!submitted.ok()) state.SkipWithError(submitted.status().ToString().c_str());
+    JobRunner* job = executor.job(submitted.value().job_index);
+    auto ran = job->container(0)->RunUntilCaughtUp();
+    if (!ran.ok()) state.SkipWithError(ran.status().ToString().c_str());
+
+    Status st = job->KillContainer(0);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    const auto t0 = std::chrono::steady_clock::now();
+    st = job->RestartContainer(0);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    const double restore_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    auto replayed = job->container(0)->RunUntilCaughtUp();
+    if (!replayed.ok()) state.SkipWithError(replayed.status().ToString().c_str());
+    const int64_t dups = env->broker->dups_dropped();
+    st = job->Stop();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+
+    state.counters["restore_ms"] = restore_ms;
+    state.counters["replayed_msgs"] = static_cast<double>(replayed.value());
+    state.counters["dups_dropped"] = static_cast<double>(dups);
+
+    std::printf("Recovery mode=%-14s restore=%.2f ms  replayed=%lld msgs  "
+                "dups_dropped=%lld\n",
+                ModeName(mode), restore_ms,
+                static_cast<long long>(replayed.value()),
+                static_cast<long long>(dups));
+    std::fflush(stdout);
+  }
+}
+
+BENCHMARK(BM_Delivery_Throughput)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Recovery_Latency)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sqs::bench
+
+BENCHMARK_MAIN();

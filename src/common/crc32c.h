@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78): the checksum Kafka
+// stores per record batch. Used here for end-to-end payload integrity — the
+// producer stamps every log/changelog message, and fetch/restore paths
+// verify before handing bytes to a task (docs/FAULT_TOLERANCE.md).
+//
+// Software table implementation: portable, no ISA extensions required. The
+// extend form composes — Crc32cExtend(Crc32c(a, na), b, nb) equals
+// Crc32c over the concatenation a||b — which is how the message checksum
+// covers key and value without copying them into one buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sqs {
+
+// CRC of `data[0, n)` continuing from a previous CRC (0 = fresh start).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace sqs

@@ -67,6 +67,22 @@ FamilyKey SplitName(const std::string& name) {
     key.labels.emplace_back("partition", segments.back());
     return key;
   }
+  // Per-operation retry counters (`<scope>.retry.<op>.{retries,giveups}`,
+  // op = send|fetch|changelog|checkpoint) collapse into one retries_total /
+  // giveups_total family with the operation as a label, so alerting can
+  // aggregate or slice without enumerating operations.
+  if (segments.size() >= 4 && segments[segments.size() - 3] == "retry" &&
+      (segments.back() == "retries" || segments.back() == "giveups")) {
+    key.leaf = segments.back();
+    std::string scope;
+    for (size_t i = 0; i + 3 < segments.size(); ++i) {
+      if (i) scope += '.';
+      scope += segments[i];
+    }
+    key.labels.emplace_back("scope", scope);
+    key.labels.emplace_back("op", segments[segments.size() - 2]);
+    return key;
+  }
   key.leaf = segments.back();
   if (segments.size() > 1) {
     key.labels.emplace_back("scope",

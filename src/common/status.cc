@@ -16,6 +16,8 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnsupported: return "Unsupported";
     case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kFenced: return "Fenced";
+    case ErrorCode::kDataLoss: return "DataLoss";
   }
   return "Unknown";
 }

@@ -27,6 +27,12 @@ enum class ErrorCode {
   // The only code the retry layer (common/retry.h) considers retryable.
   kUnavailable,
   kInternal,
+  // An idempotent producer's epoch is stale: a newer incarnation registered
+  // under the same name and the broker rejects the zombie's appends.
+  // Deliberately not retryable — retrying cannot un-fence a producer.
+  kFenced,
+  // Payload bytes failed their integrity check (CRC32C mismatch).
+  kDataLoss,
 };
 
 // to_string for diagnostics.
@@ -74,6 +80,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(ErrorCode::kInternal, std::move(m));
+  }
+  static Status Fenced(std::string m) {
+    return Status(ErrorCode::kFenced, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(ErrorCode::kDataLoss, std::move(m));
   }
 
   bool ok() const { return code_ == ErrorCode::kOk; }

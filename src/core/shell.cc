@@ -10,8 +10,36 @@
 #include "common/logging.h"
 #include "common/metrics_reporter.h"
 #include "common/tracing.h"
+#include "task/container.h"
 
 namespace sqs::core {
+
+namespace {
+
+std::string DlqJsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 Shell::Shell(EnvironmentPtr env, Config job_defaults)
     : env_(env), executor_(std::make_unique<QueryExecutor>(env, std::move(job_defaults))) {}
@@ -203,6 +231,105 @@ void Shell::ExecuteBuffered(std::ostream& out) {
       }
       return;
     }
+    // SHOW DLQ [<job> | JSON]: dead-letter queues — record count per DLQ
+    // topic plus the provenance (task, origin offset, error, trace) of the
+    // most recently dead-lettered record.
+    if (w1 == "SHOW" && w2 == "DLQ") {
+      std::string job_filter;
+      if (!w3.empty() && w3 != "JSON") {
+        std::istringstream orig(statement);
+        std::string o1, o2;
+        orig >> o1 >> o2 >> job_filter;
+      }
+      // DLQ topics: each submitted job's configured (or default `<job>.dlq`)
+      // topic, plus any broker topic following the `.dlq` convention (e.g.
+      // from a job submitted in an earlier shell session).
+      std::map<std::string, std::string> dlq_topics;  // topic -> owning job
+      for (size_t i = 0; i < executor_->num_jobs(); ++i) {
+        JobRunner* job = executor_->job(static_cast<int>(i));
+        if (!job) continue;
+        const std::string& name = job->job_name();
+        if (!job_filter.empty() && name != job_filter) continue;
+        dlq_topics[job->config().Get(cfg::kTaskDlqTopic, name + ".dlq")] = name;
+      }
+      if (job_filter.empty()) {
+        const std::string suffix = ".dlq";
+        for (const std::string& topic : env_->broker->Topics()) {
+          if (topic.size() > suffix.size() &&
+              topic.compare(topic.size() - suffix.size(), suffix.size(),
+                            suffix) == 0) {
+            dlq_topics.emplace(topic, topic.substr(0, topic.size() - suffix.size()));
+          }
+        }
+      }
+      bool any = false;
+      for (const auto& [topic, job_name] : dlq_topics) {
+        if (!env_->broker->HasTopic(topic)) continue;
+        auto size = env_->broker->TopicSize(topic);
+        if (!size.ok()) continue;
+        any = true;
+        // Most recent record across partitions (by append timestamp).
+        bool have_last = false;
+        int64_t last_offset = 0;
+        int64_t last_ts = -1;
+        StreamPartition last_sp;
+        DeadLetterRecord last;
+        auto parts = env_->broker->NumPartitions(topic);
+        int32_t nparts = parts.ok() ? parts.value() : 0;
+        for (int32_t p = 0; p < nparts; ++p) {
+          StreamPartition sp{topic, p};
+          auto end = env_->broker->EndOffset(sp);
+          if (!end.ok() || end.value() == 0) continue;
+          auto fetched = env_->broker->Fetch(sp, end.value() - 1, 1);
+          if (!fetched.ok() || fetched.value().empty()) continue;
+          const IncomingMessage& m = fetched.value().front();
+          if (m.message.timestamp < last_ts) continue;
+          auto decoded = DecodeDeadLetter(m.message.value);
+          if (!decoded.ok()) continue;
+          have_last = true;
+          last_ts = m.message.timestamp;
+          last_sp = sp;
+          last_offset = m.offset;
+          last = std::move(decoded).value();
+        }
+        if (w3 == "JSON") {
+          out << "{\"topic\":\"" << DlqJsonEscape(topic) << "\",\"job\":\""
+              << DlqJsonEscape(job_name) << "\",\"records\":" << size.value();
+          if (have_last) {
+            char trace_hex[32];
+            std::snprintf(trace_hex, sizeof(trace_hex), "%016llx",
+                          static_cast<unsigned long long>(last.trace.trace_id));
+            out << ",\"last\":{\"task\":\"" << DlqJsonEscape(last.task_name)
+                << "\",\"origin\":\"" << DlqJsonEscape(last.origin.ToString())
+                << "\",\"offset\":" << last.offset << ",\"error\":\""
+                << DlqJsonEscape(last.error) << "\",\"trace_id\":\""
+                << trace_hex << "\",\"sampled\":"
+                << (last.trace.sampled ? "true" : "false") << "}";
+          }
+          out << "}\n";
+        } else {
+          out << topic << "  (job " << job_name << "): " << size.value()
+              << " record(s)\n";
+          if (have_last) {
+            out << "  last: task=" << last.task_name
+                << " origin=" << last.origin.ToString() << "@" << last.offset
+                << " dlq=" << last_sp.ToString() << "@" << last_offset;
+            if (last.trace.valid()) {
+              char trace_hex[32];
+              std::snprintf(trace_hex, sizeof(trace_hex), "%016llx",
+                            static_cast<unsigned long long>(last.trace.trace_id));
+              out << " trace=" << trace_hex;
+            }
+            out << "\n  error: " << last.error << "\n";
+          }
+        }
+      }
+      if (!any) {
+        out << "(no dead-letter topics"
+            << (job_filter.empty() ? "" : " for " + job_filter) << ")\n";
+      }
+      return;
+    }
   }
   auto result = executor_->Execute(statement);
   if (!result.ok()) {
@@ -250,6 +377,8 @@ void Shell::MetaCommand(const std::string& command, std::ostream& out) {
            "  SHOW HISTORY [<job>]; metrics history ring: rates + sparklines\n"
            "  SHOW HISTORY JSON;    the history ring as JSON\n"
            "  SHOW ALERTS [JSON];   threshold alert states (alert.rules)\n"
+           "  SHOW DLQ [<job>];     dead-letter queues: counts + last-error provenance\n"
+           "  SHOW DLQ JSON;        the same, one JSON object per DLQ topic\n"
            "  EXPLAIN ANALYZE <q>;  run a streaming query fully sampled and\n"
            "                        annotate its plan with span statistics\n"
            "(see docs/METRICS.md, docs/TRACING.md, docs/MONITORING.md)\n";

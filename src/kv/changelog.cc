@@ -1,5 +1,7 @@
 #include "kv/changelog.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace sqs {
@@ -9,6 +11,7 @@ Status ChangelogBackedStore::AppendWithRetry(const Bytes& key, const Bytes& valu
     Message m;
     m.key = key;
     m.value = value;
+    StampMessageCrc(m);
     auto r = broker_->Append(sp_, std::move(m));
     return r.ok() ? Status::Ok() : r.status();
   });
@@ -42,18 +45,30 @@ void ChangelogBackedStore::Delete(const Bytes& key) {
 
 void ChangelogBackedStore::Clear() { backing_->Clear(); }
 
-Status ChangelogBackedStore::Restore() {
+Status ChangelogBackedStore::Restore(int64_t up_to) {
   backing_->Clear();
   SQS_ASSIGN_OR_RETURN(begin, broker_->BeginOffset(sp_));
   SQS_ASSIGN_OR_RETURN(end, broker_->EndOffset(sp_));
+  if (up_to >= 0 && up_to < end) end = up_to;
   int64_t pos = begin;
   int64_t restored = 0;
   while (pos < end) {
     std::vector<IncomingMessage> batch;
+    int32_t limit = static_cast<int32_t>(std::min<int64_t>(1024, end - pos));
     SQS_RETURN_IF_ERROR(retrier_.Run([&]() -> Status {
-      auto r = broker_->Fetch(sp_, pos, 1024);
+      auto r = broker_->Fetch(sp_, pos, limit);
       if (!r.ok()) return r.status();
       batch = std::move(r).value();
+      // CRC check inside the retried fetch: the injector corrupts the
+      // fetched copies, not the log, so a refetch heals it — the same
+      // transient class as an Unavailable fetch.
+      for (const auto& m : batch) {
+        if (!MessageCrcValid(m.message)) {
+          return Status::Unavailable("changelog crc mismatch at " +
+                                     sp_.ToString() + "@" +
+                                     std::to_string(m.offset));
+        }
+      }
       return Status::Ok();
     }));
     if (batch.empty()) break;

@@ -50,7 +50,12 @@ class ChangelogBackedStore : public KeyValueStore {
   // backing store. An empty changelog value is a tombstone (delete).
   // Success resets the sticky health error: replayed state is exactly what
   // the changelog holds, so the store is consistent again.
-  Status Restore();
+  //
+  // `up_to` < 0 replays everything (the at-least-once default); otherwise
+  // replay stops at that offset (exclusive) — exactly-once restore truncates
+  // at the checkpointed high-watermark so state never gets ahead of the
+  // committed input position. Records are CRC-verified as they are fetched.
+  Status Restore(int64_t up_to = -1);
 
   const StreamPartition& changelog_partition() const { return sp_; }
 

@@ -58,8 +58,61 @@ Result<Broker::Partition*> Broker::GetPartition(const StreamPartition& sp) const
   return it->second->partitions[sp.partition].get();
 }
 
+Result<ProducerIdentity> Broker::RegisterProducer(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty producer name");
+  std::lock_guard<std::mutex> lock(producers_mu_);
+  ProducerIdentity& id = producers_by_name_[name];
+  if (id.pid == 0) id.pid = next_pid_++;
+  ++id.epoch;  // first registration: -1 -> 0
+  current_epoch_[id.pid] = id.epoch;
+  SQS_DEBUGC("broker", "producer registered", {"name", name},
+             {"pid", std::to_string(id.pid)},
+             {"epoch", std::to_string(id.epoch)});
+  return id;
+}
+
 Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
   SQS_ASSIGN_OR_RETURN(part, GetPartition(sp));
+  if (message.producer_id != 0) {
+    int32_t newest_epoch;
+    {
+      std::lock_guard<std::mutex> lock(producers_mu_);
+      auto it = current_epoch_.find(message.producer_id);
+      if (it == current_epoch_.end()) {
+        return Status::StateError("append from unregistered producer id " +
+                                  std::to_string(message.producer_id));
+      }
+      newest_epoch = it->second;
+    }
+    std::lock_guard<std::mutex> lock(part->mu);
+    if (message.producer_epoch < newest_epoch) {
+      fenced_appends_.fetch_add(1);
+      return Status::Fenced("producer " + std::to_string(message.producer_id) +
+                            " epoch " + std::to_string(message.producer_epoch) +
+                            " fenced by epoch " + std::to_string(newest_epoch) +
+                            " on " + sp.ToString());
+    }
+    ProducerSeqState& st = part->producers[message.producer_id];
+    if (st.last_seq >= 0) {
+      if (message.sequence <= st.last_seq) {
+        // Duplicate of an append already in the log (an idempotent retry or
+        // a post-restart replay): ack at the original offset.
+        dups_dropped_.fetch_add(1);
+        return st.last_offset;
+      }
+      if (message.sequence > st.last_seq + 1) {
+        return Status::StateError(
+            "sequence gap on " + sp.ToString() + ": got " +
+            std::to_string(message.sequence) + " after " +
+            std::to_string(st.last_seq));
+      }
+    }
+    int64_t offset = part->log_start + static_cast<int64_t>(part->entries.size());
+    st.last_seq = message.sequence;
+    st.last_offset = offset;
+    part->entries.push_back(std::move(message));
+    return offset;
+  }
   std::lock_guard<std::mutex> lock(part->mu);
   int64_t offset = part->log_start + static_cast<int64_t>(part->entries.size());
   part->entries.push_back(std::move(message));

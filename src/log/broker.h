@@ -4,6 +4,7 @@
 // offset (old elements become unavailable, like Kafka retention).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -25,6 +26,14 @@ struct TopicConfig {
   bool compacted = false;
 };
 
+// Identity handed out by RegisterProducer: a stable id per producer name
+// plus a monotonically increasing epoch. Re-registering the same name bumps
+// the epoch, fencing every earlier holder (Kafka's producer id/epoch model).
+struct ProducerIdentity {
+  uint64_t pid = 0;  // 0 = no idempotent identity
+  int32_t epoch = -1;
+};
+
 // Virtual so decorators (log/fault_broker.h) can interpose on any
 // operation; the in-process implementation below is the default.
 class Broker {
@@ -44,7 +53,22 @@ class Broker {
   virtual Result<int32_t> NumPartitions(const std::string& topic) const;
   virtual std::vector<std::string> Topics() const;
 
-  // Append; returns the assigned offset.
+  // Acquire (or re-acquire) an idempotent-producer identity. The first
+  // registration of a name gets a fresh pid at epoch 0; every later
+  // registration of the same name keeps the pid and bumps the epoch, so a
+  // restarted container fences its pre-crash zombie.
+  virtual Result<ProducerIdentity> RegisterProducer(const std::string& name);
+
+  // Idempotence bookkeeping, for tests and gauges: appends dropped as
+  // duplicates (sequence already seen) and appends rejected with kFenced.
+  virtual int64_t dups_dropped() const { return dups_dropped_.load(); }
+  virtual int64_t fenced_appends() const { return fenced_appends_.load(); }
+
+  // Append; returns the assigned offset. A message stamped with a
+  // (pid, epoch, seq) is checked against the partition's per-producer state:
+  // a stale epoch fails kFenced, an already-seen sequence is dropped and
+  // acked at its original offset (the idempotent-retry path), and a
+  // sequence gap is a kStateError (messages lost between producer and log).
   virtual Result<int64_t> Append(const StreamPartition& sp, Message message);
 
   // Fetch up to max_messages starting at `offset`. Returns fewer (possibly
@@ -70,10 +94,16 @@ class Broker {
   virtual Status DeleteTopic(const std::string& name);
 
  private:
+  // Last sequence accepted from one producer on one partition; dedup state.
+  struct ProducerSeqState {
+    int64_t last_seq = -1;
+    int64_t last_offset = -1;
+  };
   struct Partition {
     mutable std::mutex mu;
     int64_t log_start = 0;
     std::vector<Message> entries;  // entries[i] has offset log_start + i
+    std::map<uint64_t, ProducerSeqState> producers;  // by pid
   };
   struct Topic {
     TopicConfig config;
@@ -85,6 +115,13 @@ class Broker {
   mutable std::mutex mu_;  // guards the topic map, not partition contents
   std::map<std::string, std::unique_ptr<Topic>> topics_;
   int64_t fetch_latency_nanos_ = 0;
+
+  mutable std::mutex producers_mu_;  // guards the producer registry
+  std::map<std::string, ProducerIdentity> producers_by_name_;
+  std::map<uint64_t, int32_t> current_epoch_;  // pid -> newest epoch
+  uint64_t next_pid_ = 1;
+  std::atomic<int64_t> dups_dropped_{0};
+  std::atomic<int64_t> fenced_appends_{0};
 };
 
 using BrokerPtr = std::shared_ptr<Broker>;

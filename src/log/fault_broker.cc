@@ -33,6 +33,8 @@ FaultPolicy FaultPolicy::FromConfig(const Config& config) {
   p.latency_nanos = config.GetInt(cfg::kFaultLatencyNanos, 0);
   p.latency_rate = config.GetDouble(cfg::kFaultLatencyRate, 0.0);
   p.topics = config.GetList(cfg::kFaultTopics);
+  p.corrupt_rate = config.GetDouble(cfg::kFaultCorruptRate, 0.0);
+  p.corrupt_topics = config.GetList(cfg::kFaultCorruptTopics);
   return p;
 }
 
@@ -72,6 +74,29 @@ bool FaultInjectingBroker::TopicCovered(const std::string& topic) const {
     if (t == topic) return true;
   }
   return false;
+}
+
+bool FaultInjectingBroker::CorruptionCovers(const std::string& topic) const {
+  if (policy_.corrupt_topics.empty()) return TopicCovered(topic);
+  for (const auto& t : policy_.corrupt_topics) {
+    if (t == topic) return true;
+  }
+  return false;
+}
+
+void FaultInjectingBroker::CorruptMessage(Message& m) const {
+  // Flip one bit of the payload, never the size or the idempotence header —
+  // this models wire/disk corruption of the bytes the CRC actually covers.
+  Bytes& target = m.value.empty() ? m.key : m.value;
+  if (target.empty()) return;
+  uint64_t draw;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draw = SplitMix64(rng_);
+  }
+  size_t byte_index = static_cast<size_t>(draw >> 3) % target.size();
+  target[byte_index] ^= static_cast<uint8_t>(1u << (draw & 7));
+  corruptions_.fetch_add(1);
 }
 
 bool FaultInjectingBroker::Blackout(const StreamPartition& sp) const {
@@ -138,7 +163,21 @@ Result<std::vector<IncomingMessage>> FaultInjectingBroker::Fetch(
       return Status::Unavailable("injected fetch failure: " + sp.ToString());
     }
   }
-  return inner_->Fetch(sp, offset, max_messages);
+  auto fetched = inner_->Fetch(sp, offset, max_messages);
+  if (!fetched.ok()) return fetched;
+  // Corruption happens on the returned copies only — the log stays intact,
+  // so a refetch after a CRC failure observes clean bytes (transient
+  // corruption, the case the crash-and-replay policy is built for).
+  if (CorruptionCovers(sp.topic)) {
+    for (IncomingMessage& m : fetched.value()) {
+      if (forced_corruptions_.load() > 0 && forced_corruptions_.fetch_sub(1) > 0) {
+        CorruptMessage(m.message);
+      } else if (policy_.corrupt_rate > 0 && NextUniform() < policy_.corrupt_rate) {
+        CorruptMessage(m.message);
+      }
+    }
+  }
+  return fetched;
 }
 
 BrokerPtr MaybeWrapWithFaults(BrokerPtr broker, const Config& config) {

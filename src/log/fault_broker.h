@@ -43,6 +43,11 @@ inline constexpr const char* kFaultLatencyNanos = "fault.latency.nanos";
 inline constexpr const char* kFaultLatencyRate = "fault.latency.rate";
 // Restrict injection to these topics (comma list; empty = all topics).
 inline constexpr const char* kFaultTopics = "fault.topics";
+// Corruption: probability in [0,1] that a fetched message has one payload
+// bit flipped in transit (detected downstream by the CRC32C check), and an
+// optional topic restriction for corruption alone (empty = fault.topics).
+inline constexpr const char* kFaultCorruptRate = "fault.corrupt.rate";
+inline constexpr const char* kFaultCorruptTopics = "fault.corrupt.topics";
 }  // namespace cfg
 
 struct FaultPolicy {
@@ -52,10 +57,12 @@ struct FaultPolicy {
   int64_t latency_nanos = 0;
   double latency_rate = 0.0;
   std::vector<std::string> topics;  // empty = inject everywhere
+  double corrupt_rate = 0.0;
+  std::vector<std::string> corrupt_topics;  // empty = fall back to `topics`
 
   static FaultPolicy FromConfig(const Config& config);
   bool any_faults() const {
-    return append_fail_rate > 0 || fetch_fail_rate > 0 ||
+    return append_fail_rate > 0 || fetch_fail_rate > 0 || corrupt_rate > 0 ||
            (latency_nanos > 0 && latency_rate > 0);
   }
 };
@@ -68,6 +75,8 @@ class FaultInjectingBroker : public Broker {
   // Deterministically fail the next n data operations (regardless of rate).
   void FailNextAppends(int32_t n) { forced_append_failures_.store(n); }
   void FailNextFetches(int32_t n) { forced_fetch_failures_.store(n); }
+  // Deterministically corrupt (bit-flip) the next n fetched messages.
+  void CorruptNextMessages(int32_t n) { forced_corruptions_.store(n); }
   // Permanent failure of one partition's data path until healed.
   void BlackoutPartition(const StreamPartition& sp);
   void Heal(const StreamPartition& sp);
@@ -76,6 +85,7 @@ class FaultInjectingBroker : public Broker {
   // --- observability for tests ---
   int64_t injected_append_failures() const { return append_failures_.load(); }
   int64_t injected_fetch_failures() const { return fetch_failures_.load(); }
+  int64_t injected_corruptions() const { return corruptions_.load(); }
   // Data operations observed per topic (successful or failed). The
   // checkpoint-manager scan-once test counts fetches through these.
   int64_t AppendCount(const std::string& topic) const;
@@ -101,6 +111,14 @@ class FaultInjectingBroker : public Broker {
   }
   std::vector<std::string> Topics() const override { return inner_->Topics(); }
 
+  // Idempotence is broker state: delegate so producers registered through
+  // the decorator fence/dedup against the shared inner registry.
+  Result<ProducerIdentity> RegisterProducer(const std::string& name) override {
+    return inner_->RegisterProducer(name);
+  }
+  int64_t dups_dropped() const override { return inner_->dups_dropped(); }
+  int64_t fenced_appends() const override { return inner_->fenced_appends(); }
+
   Result<int64_t> Append(const StreamPartition& sp, Message message) override;
   Result<std::vector<IncomingMessage>> Fetch(const StreamPartition& sp,
                                              int64_t offset,
@@ -125,6 +143,9 @@ class FaultInjectingBroker : public Broker {
 
  private:
   bool TopicCovered(const std::string& topic) const;
+  bool CorruptionCovers(const std::string& topic) const;
+  // Flip one deterministic payload bit of `m` (value if present, else key).
+  void CorruptMessage(Message& m) const;
   bool Blackout(const StreamPartition& sp) const;
   // Draw in [0,1) from the seeded schedule (thread-safe).
   double NextUniform() const;
@@ -142,8 +163,10 @@ class FaultInjectingBroker : public Broker {
 
   std::atomic<int32_t> forced_append_failures_{0};
   mutable std::atomic<int32_t> forced_fetch_failures_{0};
+  mutable std::atomic<int32_t> forced_corruptions_{0};
   std::atomic<int64_t> append_failures_{0};
   mutable std::atomic<int64_t> fetch_failures_{0};
+  mutable std::atomic<int64_t> corruptions_{0};
 };
 
 // Wraps `broker` in a FaultInjectingBroker when `config` carries any active

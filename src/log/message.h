@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "common/bytes.h"
+#include "common/crc32c.h"
 #include "common/tracing.h"
 
 namespace sqs {
@@ -52,7 +53,34 @@ struct Message {
   Bytes value;
   int64_t timestamp = 0;
   TraceContext trace;
+
+  // Idempotent-producer metadata (Kafka's record-batch pid/epoch/sequence,
+  // docs/FAULT_TOLERANCE.md "Exactly-once"). producer_id 0 marks a plain
+  // non-idempotent append; the broker dedups/fences only stamped messages.
+  uint64_t producer_id = 0;
+  int32_t producer_epoch = -1;
+  int64_t sequence = -1;
+
+  // Header-stored CRC32C over key then value. `has_crc` distinguishes
+  // "checksummed" from pre-existing records appended by raw broker writes,
+  // which skip verification.
+  uint32_t crc = 0;
+  bool has_crc = false;
 };
+
+inline uint32_t MessageCrc(const Message& m) {
+  uint32_t c = Crc32cExtend(0, m.key.data(), m.key.size());
+  return Crc32cExtend(c, m.value.data(), m.value.size());
+}
+
+inline void StampMessageCrc(Message& m) {
+  m.crc = MessageCrc(m);
+  m.has_crc = true;
+}
+
+inline bool MessageCrcValid(const Message& m) {
+  return !m.has_crc || m.crc == MessageCrc(m);
+}
 
 // A fetched message together with its provenance.
 struct IncomingMessage {

@@ -20,11 +20,26 @@ Result<int64_t> Producer::Send(const std::string& topic, Bytes value) {
   return SendTo({topic, partition}, Bytes{}, std::move(value));
 }
 
+Status Producer::EnableIdempotence(const std::string& name) {
+  SQS_ASSIGN_OR_RETURN(id, broker_->RegisterProducer(name));
+  identity_ = id;
+  return Status::Ok();
+}
+
 Result<int64_t> Producer::SendTo(const StreamPartition& sp, Bytes key, Bytes value) {
   Message m;
   m.key = std::move(key);
   m.value = std::move(value);
   m.timestamp = clock_->NowMillis();
+  if (identity_.pid != 0) {
+    // The sequence is assigned once, before any retry: a retried append
+    // re-sends the same seq, so an ambiguous first attempt (failure injected
+    // after the broker applied it) dedups instead of duplicating.
+    m.producer_id = identity_.pid;
+    m.producer_epoch = identity_.epoch;
+    m.sequence = sequences_[sp]++;
+  }
+  StampMessageCrc(m);
   // Trace stamping: an append inside an active span (e.g. an InsertOperator
   // emitting through the collector) continues that trace; an append with no
   // ambient context is a trace root and takes the head-sampling decision.
@@ -40,9 +55,16 @@ Result<int64_t> Producer::SendTo(const StreamPartition& sp, Bytes key, Bytes val
 }
 
 Result<int64_t> Producer::AppendWithRetry(const StreamPartition& sp, Message m) {
-  if (!retrier_.policy().enabled()) return broker_->Append(sp, std::move(m));
+  if (!retrier_.policy().enabled()) {
+    auto r = broker_->Append(sp, std::move(m));
+    if (!r.ok() && r.status().code() == ErrorCode::kFenced && m_fenced_ != nullptr) {
+      m_fenced_->Inc();
+    }
+    return r;
+  }
   // Append takes the Message by value, so each attempt needs a fresh copy;
-  // the final attempt moves the original.
+  // the final attempt moves the original. The retrier only re-runs on
+  // kUnavailable, so a kFenced rejection surfaces immediately.
   int64_t offset = -1;
   Status st = retrier_.Run([&]() -> Status {
     auto r = broker_->Append(sp, m);
@@ -50,7 +72,10 @@ Result<int64_t> Producer::AppendWithRetry(const StreamPartition& sp, Message m) 
     offset = r.value();
     return Status::Ok();
   });
-  if (!st.ok()) return st;
+  if (!st.ok()) {
+    if (st.code() == ErrorCode::kFenced && m_fenced_ != nullptr) m_fenced_->Inc();
+    return st;
+  }
   return offset;
 }
 

@@ -2,6 +2,12 @@
 // hash(key) % num_partitions (deterministic, so co-partitioned streams and
 // changelogs line up — the paper's stream-to-relation join relies on this,
 // §4.4); unkeyed messages round-robin.
+//
+// With EnableIdempotence(name) the producer acquires a (pid, epoch) from
+// the broker and stamps every append with (pid, epoch, seq); the broker
+// dedups on seq per (pid, partition) and fences stale epochs, making both
+// retries and post-crash replays exactly-once (docs/FAULT_TOLERANCE.md).
+// Every send also stamps a CRC32C over key+value, idempotent or not.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +34,24 @@ class Producer {
     retrier_.BindMetrics(retries, giveups);
   }
 
+  // Acquire an idempotent identity from the broker under `name`. A producer
+  // for the same name registered later (a restarted container) fences this
+  // one: subsequent sends fail kFenced.
+  Status EnableIdempotence(const std::string& name);
+  bool idempotent() const { return identity_.pid != 0; }
+  const ProducerIdentity& identity() const { return identity_; }
+
+  // Sequence counters per output partition — written into the transactional
+  // checkpoint at commit, and restored here before the first send so
+  // replayed sends carry their original sequences and dedup at the broker.
+  void ResumeSequences(const std::map<StreamPartition, int64_t>& sequences) {
+    sequences_ = sequences;
+  }
+  const std::map<StreamPartition, int64_t>& sequences() const { return sequences_; }
+
+  // Optional counter incremented when a send is rejected with kFenced.
+  void BindFencingMetric(Counter* fenced) { m_fenced_ = fenced; }
+
   // Keyed send: partition chosen by key hash. Returns assigned offset.
   Result<int64_t> Send(const std::string& topic, Bytes key, Bytes value);
 
@@ -48,6 +72,9 @@ class Producer {
   std::shared_ptr<Clock> clock_;
   std::map<std::string, int32_t> round_robin_;
   Retrier retrier_;
+  ProducerIdentity identity_;
+  std::map<StreamPartition, int64_t> sequences_;  // next seq per partition
+  Counter* m_fenced_ = nullptr;
 };
 
 }  // namespace sqs

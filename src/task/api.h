@@ -151,6 +151,15 @@ inline constexpr const char* kTracingExportPath = "tracing.export.path";
 inline constexpr const char* kLogLevel = "log.level";
 inline constexpr const char* kLogFormat = "log.format";
 // --- fault tolerance (docs/FAULT_TOLERANCE.md) ---
+// Delivery contract: "at-least-once" (the default — crash replay may
+// duplicate output) or "exactly-once" (idempotent per-task producers +
+// transactional checkpoints; see docs/FAULT_TOLERANCE.md "Exactly-once").
+inline constexpr const char* kTaskDelivery = "task.delivery";
+// What to do with an input message whose CRC32C does not match its payload:
+// "fail" (crash the container so the replay refetches — transient
+// corruption heals, the default) or "dead-letter" (route to the DLQ with
+// provenance, then advance past it).
+inline constexpr const char* kTaskCorruptPolicy = "task.corrupt.policy";
 // What to do when task->Process fails on a message: "fail" (stop the
 // container — the default), "skip" (log, count as dropped, advance past
 // it), or "dead-letter" (route the original bytes + error string to the

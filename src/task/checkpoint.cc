@@ -17,41 +17,109 @@ Status CheckpointManager::Start() {
   return st;
 }
 
-Bytes CheckpointManager::EncodeCheckpoint(const Checkpoint& checkpoint) {
-  BytesWriter w(64);
-  w.WriteVarint(static_cast<int64_t>(checkpoint.size()));
-  for (const auto& [sp, offset] : checkpoint) {
+namespace {
+
+void WriteOffsetMap(BytesWriter& w, const std::map<StreamPartition, int64_t>& map) {
+  w.WriteVarint(static_cast<int64_t>(map.size()));
+  for (const auto& [sp, offset] : map) {
     w.WriteString(sp.topic);
     w.WriteVarint(sp.partition);
     w.WriteVarint(offset);
   }
-  return w.Take();
 }
 
-Result<Checkpoint> CheckpointManager::DecodeCheckpoint(const Bytes& bytes) {
-  BytesReader r(bytes);
+Result<std::map<StreamPartition, int64_t>> ReadOffsetMap(BytesReader& r) {
   SQS_ASSIGN_OR_RETURN(n, r.ReadVarint());
   if (n < 0) return Status::SerdeError("negative checkpoint size");
-  Checkpoint cp;
+  std::map<StreamPartition, int64_t> map;
   for (int64_t i = 0; i < n; ++i) {
     SQS_ASSIGN_OR_RETURN(topic, r.ReadString());
     SQS_ASSIGN_OR_RETURN(partition, r.ReadVarint());
     SQS_ASSIGN_OR_RETURN(offset, r.ReadVarint());
-    cp[{topic, static_cast<int32_t>(partition)}] = offset;
+    map[{topic, static_cast<int32_t>(partition)}] = offset;
   }
+  return map;
+}
+
+// v2 records lead with this marker where a legacy record has its
+// (non-negative) entry count, then a version varint.
+constexpr int64_t kVersionMarker = -1;
+constexpr int64_t kVersionTransactional = 2;
+
+}  // namespace
+
+Bytes CheckpointManager::EncodeCheckpoint(const Checkpoint& checkpoint) {
+  BytesWriter w(64);
+  WriteOffsetMap(w, checkpoint);
+  return w.Take();
+}
+
+Result<Checkpoint> CheckpointManager::DecodeCheckpoint(const Bytes& bytes) {
+  SQS_ASSIGN_OR_RETURN(cp, DecodeTaskCheckpoint(bytes));
+  return cp.input_offsets;
+}
+
+Bytes CheckpointManager::EncodeTaskCheckpoint(const TaskCheckpoint& cp) {
+  // Offsets-only checkpoints (the at-least-once default) keep the legacy
+  // encoding, byte-for-byte: old readers and new readers agree on them.
+  if (cp.changelog_offsets.empty() && cp.producer_sequences.empty()) {
+    return EncodeCheckpoint(cp.input_offsets);
+  }
+  BytesWriter w(128);
+  w.WriteVarint(kVersionMarker);
+  w.WriteVarint(kVersionTransactional);
+  WriteOffsetMap(w, cp.input_offsets);
+  WriteOffsetMap(w, cp.changelog_offsets);
+  WriteOffsetMap(w, cp.producer_sequences);
+  return w.Take();
+}
+
+Result<TaskCheckpoint> CheckpointManager::DecodeTaskCheckpoint(const Bytes& bytes) {
+  BytesReader r(bytes);
+  SQS_ASSIGN_OR_RETURN(first, r.ReadVarint());
+  TaskCheckpoint cp;
+  if (first != kVersionMarker) {
+    // Legacy record: `first` is the entry count of the offsets map.
+    if (first < 0) return Status::SerdeError("negative checkpoint size");
+    for (int64_t i = 0; i < first; ++i) {
+      SQS_ASSIGN_OR_RETURN(topic, r.ReadString());
+      SQS_ASSIGN_OR_RETURN(partition, r.ReadVarint());
+      SQS_ASSIGN_OR_RETURN(offset, r.ReadVarint());
+      cp.input_offsets[{topic, static_cast<int32_t>(partition)}] = offset;
+    }
+    return cp;
+  }
+  SQS_ASSIGN_OR_RETURN(version, r.ReadVarint());
+  if (version != kVersionTransactional) {
+    return Status::SerdeError("unknown checkpoint version " + std::to_string(version));
+  }
+  SQS_ASSIGN_OR_RETURN(inputs, ReadOffsetMap(r));
+  cp.input_offsets = std::move(inputs);
+  SQS_ASSIGN_OR_RETURN(changelogs, ReadOffsetMap(r));
+  cp.changelog_offsets = std::move(changelogs);
+  SQS_ASSIGN_OR_RETURN(sequences, ReadOffsetMap(r));
+  cp.producer_sequences = std::move(sequences);
   return cp;
 }
 
 Status CheckpointManager::WriteCheckpoint(const std::string& task_name,
                                           const Checkpoint& checkpoint) {
+  TaskCheckpoint cp;
+  cp.input_offsets = checkpoint;
+  return WriteTaskCheckpoint(task_name, cp);
+}
+
+Status CheckpointManager::WriteTaskCheckpoint(const std::string& task_name,
+                                              const TaskCheckpoint& cp) {
   Bytes key = ToBytes(task_name);
-  Bytes value = EncodeCheckpoint(checkpoint);
+  Bytes value = EncodeTaskCheckpoint(cp);
   const int64_t written = static_cast<int64_t>(key.size() + value.size());
   int64_t offset = -1;
   SQS_RETURN_IF_ERROR(retrier_.Run([&]() -> Status {
     Message m;
     m.key = key;
     m.value = value;
+    StampMessageCrc(m);
     auto r = broker_->Append({topic_, 0}, std::move(m));
     if (!r.ok()) return r.status();
     offset = r.value();
@@ -66,7 +134,7 @@ Status CheckpointManager::WriteCheckpoint(const std::string& task_name,
     // only advances if the write landed exactly at the cached frontier —
     // with concurrent writers the refresh path fills any gap.
     std::lock_guard<std::mutex> lock(mu_);
-    cache_[task_name] = checkpoint;
+    cache_[task_name] = cp;
     if (cache_end_ == offset) cache_end_ = offset + 1;
   }
   return Status::Ok();
@@ -86,11 +154,21 @@ Status CheckpointManager::RefreshCacheLocked() const {
       auto r = broker_->Fetch(sp, pos, 1024);
       if (!r.ok()) return r.status();
       batch = std::move(r).value();
+      // Verify inside the retried fetch: transient corruption (the fault
+      // injector flips bits on the returned copies, not the log) heals on
+      // the refetch, exactly like a transient fetch failure.
+      for (const auto& m : batch) {
+        if (!MessageCrcValid(m.message)) {
+          return Status::Unavailable("checkpoint crc mismatch at " +
+                                     sp.ToString() + "@" +
+                                     std::to_string(m.offset));
+        }
+      }
       return Status::Ok();
     }));
     if (batch.empty()) break;
     for (const auto& m : batch) {
-      SQS_ASSIGN_OR_RETURN(cp, DecodeCheckpoint(m.message.value));
+      SQS_ASSIGN_OR_RETURN(cp, DecodeTaskCheckpoint(m.message.value));
       cache_[FromBytes(m.message.key)] = std::move(cp);
     }
     pos += static_cast<int64_t>(batch.size());
@@ -102,10 +180,16 @@ Status CheckpointManager::RefreshCacheLocked() const {
 
 Result<Checkpoint> CheckpointManager::ReadLastCheckpoint(
     const std::string& task_name) const {
+  SQS_ASSIGN_OR_RETURN(cp, ReadLastTaskCheckpoint(task_name));
+  return cp.input_offsets;
+}
+
+Result<TaskCheckpoint> CheckpointManager::ReadLastTaskCheckpoint(
+    const std::string& task_name) const {
   std::lock_guard<std::mutex> lock(mu_);
   SQS_RETURN_IF_ERROR(RefreshCacheLocked());
   auto it = cache_.find(task_name);
-  if (it == cache_.end()) return Checkpoint{};
+  if (it == cache_.end()) return TaskCheckpoint{};
   return it->second;
 }
 

@@ -19,6 +19,24 @@ namespace sqs {
 // processed message), matching Consumer positions.
 using Checkpoint = std::map<StreamPartition, int64_t>;
 
+// The transactional checkpoint (docs/FAULT_TOLERANCE.md "Exactly-once"):
+// one atomic record carrying everything a task needs to resume without
+// reprocessing effects — input positions, the changelog high-watermark per
+// store partition (state as of this commit), and the idempotent producer's
+// next sequence per output partition (so replayed sends dedup at the
+// broker). At-least-once tasks leave the last two maps empty, which encodes
+// as the legacy offsets-only record.
+struct TaskCheckpoint {
+  Checkpoint input_offsets;
+  std::map<StreamPartition, int64_t> changelog_offsets;
+  std::map<StreamPartition, int64_t> producer_sequences;
+
+  bool empty() const {
+    return input_offsets.empty() && changelog_offsets.empty() &&
+           producer_sequences.empty();
+  }
+};
+
 class CheckpointManager {
  public:
   CheckpointManager(BrokerPtr broker, std::string checkpoint_topic);
@@ -27,6 +45,9 @@ class CheckpointManager {
   Status Start();
 
   Status WriteCheckpoint(const std::string& task_name, const Checkpoint& checkpoint);
+  // One append = one atomic commit point; either every map is visible to a
+  // restarted container or none is.
+  Status WriteTaskCheckpoint(const std::string& task_name, const TaskCheckpoint& cp);
 
   // Latest checkpoint for the task, or empty if none was ever written.
   //
@@ -36,9 +57,14 @@ class CheckpointManager {
   // WriteCheckpoint updates the cache in place. A container restoring N
   // tasks therefore pays one pass over checkpoint history, not N.
   Result<Checkpoint> ReadLastCheckpoint(const std::string& task_name) const;
+  Result<TaskCheckpoint> ReadLastTaskCheckpoint(const std::string& task_name) const;
 
   static Bytes EncodeCheckpoint(const Checkpoint& checkpoint);
   static Result<Checkpoint> DecodeCheckpoint(const Bytes& bytes);
+  // v2 wire format when state/sequence maps are present (marker varint -1 +
+  // version), legacy offsets-only otherwise — old records decode unchanged.
+  static Bytes EncodeTaskCheckpoint(const TaskCheckpoint& cp);
+  static Result<TaskCheckpoint> DecodeTaskCheckpoint(const Bytes& bytes);
 
   // Transient (Unavailable) append/fetch failures on the checkpoint topic
   // are retried under this policy; default is no retry.
@@ -65,7 +91,7 @@ class CheckpointManager {
   Counter* bytes_ = nullptr;
 
   mutable std::mutex mu_;  // guards cache_ and cache_end_
-  mutable std::map<std::string, Checkpoint> cache_;
+  mutable std::map<std::string, TaskCheckpoint> cache_;
   mutable int64_t cache_end_ = -1;  // next topic offset to fold; -1 = never scanned
 };
 

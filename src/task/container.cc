@@ -40,6 +40,20 @@ Result<TaskErrorPolicy> ParseTaskErrorPolicy(const std::string& value) {
                                  value);
 }
 
+Result<DeliveryMode> ParseDeliveryMode(const std::string& value) {
+  if (value.empty() || value == "at-least-once") return DeliveryMode::kAtLeastOnce;
+  if (value == "exactly-once") return DeliveryMode::kExactlyOnce;
+  return Status::InvalidArgument(
+      "task.delivery must be at-least-once|exactly-once, got: " + value);
+}
+
+Result<TaskCorruptPolicy> ParseTaskCorruptPolicy(const std::string& value) {
+  if (value.empty() || value == "fail") return TaskCorruptPolicy::kFail;
+  if (value == "dead-letter") return TaskCorruptPolicy::kDeadLetter;
+  return Status::InvalidArgument(
+      "task.corrupt.policy must be fail|dead-letter, got: " + value);
+}
+
 Bytes EncodeDeadLetter(const DeadLetterRecord& record) {
   BytesWriter w(64);
   w.WriteString(record.task_name);
@@ -49,6 +63,11 @@ Bytes EncodeDeadLetter(const DeadLetterRecord& record) {
   w.WriteString(record.error);
   w.WriteBytes(record.key);
   w.WriteBytes(record.value);
+  // Trace context appended last so records written before it existed still
+  // decode (the reader checks AtEnd()).
+  w.WriteFixed64(record.trace.trace_id);
+  w.WriteFixed64(record.trace.span_id);
+  w.WriteBool(record.trace.sampled);
   return w.Take();
 }
 
@@ -69,6 +88,14 @@ Result<DeadLetterRecord> DecodeDeadLetter(const Bytes& bytes) {
   rec.key = std::move(key);
   SQS_ASSIGN_OR_RETURN(value, r.ReadBytes());
   rec.value = std::move(value);
+  if (!r.AtEnd()) {
+    SQS_ASSIGN_OR_RETURN(trace_id, r.ReadFixed64());
+    rec.trace.trace_id = trace_id;
+    SQS_ASSIGN_OR_RETURN(span_id, r.ReadFixed64());
+    rec.trace.span_id = span_id;
+    SQS_ASSIGN_OR_RETURN(sampled, r.ReadBool());
+    rec.trace.sampled = sampled;
+  }
   return rec;
 }
 
@@ -82,6 +109,11 @@ struct Container::TaskInstance : public TaskContext, public TaskCoordinator {
   int64_t since_commit = 0;
   bool commit_requested = false;
   Container* container = nullptr;
+  // Exactly-once: the task's own idempotent producer, registered as
+  // `<job>.<task>` so a restart bumps this task's epoch and fences its
+  // pre-crash zombie; sequences resume from the transactional checkpoint.
+  // Null in at-least-once mode (sends go through the container producer).
+  std::unique_ptr<Producer> producer;
   // Precomputed `<job>.<task>` span scope (avoids per-message allocation).
   std::string trace_scope;
   // `<job>.<task>.dropped`: messages discarded by skip/dead-letter policy.
@@ -115,6 +147,25 @@ Container::Container(BrokerPtr broker, Config config, ContainerModel model,
 Container::~Container() = default;
 
 Status Container::InitTask(TaskInstance& task) {
+  // The full transactional checkpoint is read up front: input positions
+  // seed the consumers, changelog high-watermarks bound store restore, and
+  // producer sequences resume the idempotent producer — all from the same
+  // atomic record, so the three views cannot disagree.
+  SQS_ASSIGN_OR_RETURN(checkpoint,
+                       checkpoints_->ReadLastTaskCheckpoint(task.model.task_name));
+
+  if (delivery_ == DeliveryMode::kExactlyOnce) {
+    task.producer = std::make_unique<Producer>(broker_, clock_);
+    task.producer->SetRetryPolicy(retry_policy_);
+    task.producer->BindRetryMetrics(m_send_retries_, m_send_giveups_);
+    task.producer->BindFencingMetric(m_fenced_);
+    // Registering under the task name bumps the epoch past any pre-crash
+    // incarnation of this task: its in-flight appends are fenced from here.
+    SQS_RETURN_IF_ERROR(task.producer->EnableIdempotence(
+        config_.Get(cfg::kJobName, "job") + "." + task.model.task_name));
+    task.producer->ResumeSequences(checkpoint.producer_sequences);
+  }
+
   // Managed stores: stores.<name>.changelog=<topic>. The changelog topic is
   // created on demand with the same partition count as the job's inputs, and
   // this task uses the partition matching its partition id.
@@ -153,21 +204,27 @@ Status Container::InitTask(TaskInstance& task) {
     store->BindMetrics(&store_scope.counter("changelog_writes"),
                        &store_scope.counter("changelog_bytes"));
     store->SetRetryPolicy(retry_policy_);
-    ScopedMetrics retry_scope =
-        ScopedMetrics(metrics_.get(), config_.Get(cfg::kJobName, "job"))
-            .Sub("container" + std::to_string(model_.container_id));
-    store->BindRetryMetrics(&retry_scope.counter("retries"),
-                            &retry_scope.counter("giveups"));
-    SQS_RETURN_IF_ERROR(store->Restore());
+    store->BindRetryMetrics(m_changelog_retries_, m_changelog_giveups_);
+    // Exactly-once truncates the replay at the checkpointed high-watermark:
+    // changelog records appended after the last commit belong to input the
+    // restart will reprocess, so replaying them would double-apply state.
+    // At-least-once keeps the full replay (state may run ahead of offsets,
+    // which replay then reconciles — the duplicate-output case).
+    int64_t restore_to = -1;
+    if (delivery_ == DeliveryMode::kExactlyOnce) {
+      auto hwm = checkpoint.changelog_offsets.find(
+          StreamPartition{changelog_topic, task.model.partition_id});
+      restore_to = hwm == checkpoint.changelog_offsets.end() ? 0 : hwm->second;
+    }
+    SQS_RETURN_IF_ERROR(store->Restore(restore_to));
     task.stores[store_name] = std::move(store);
   }
 
   // Consumer positions: last checkpoint, else log start.
-  SQS_ASSIGN_OR_RETURN(checkpoint, checkpoints_->ReadLastCheckpoint(task.model.task_name));
   for (const StreamPartition& sp : task.model.input_partitions) {
     int64_t offset;
-    auto it = checkpoint.find(sp);
-    if (it != checkpoint.end()) {
+    auto it = checkpoint.input_offsets.find(sp);
+    if (it != checkpoint.input_offsets.end()) {
       offset = it->second;
     } else {
       SQS_ASSIGN_OR_RETURN(begin, broker_->BeginOffset(sp));
@@ -230,6 +287,11 @@ Status Container::Start() {
   SQS_ASSIGN_OR_RETURN(policy,
                        ParseTaskErrorPolicy(config_.Get(cfg::kTaskErrorPolicy)));
   error_policy_ = policy;
+  SQS_ASSIGN_OR_RETURN(delivery, ParseDeliveryMode(config_.Get(cfg::kTaskDelivery)));
+  delivery_ = delivery;
+  SQS_ASSIGN_OR_RETURN(corrupt_policy,
+                       ParseTaskCorruptPolicy(config_.Get(cfg::kTaskCorruptPolicy)));
+  corrupt_policy_ = corrupt_policy;
   dlq_topic_ = config_.Get(cfg::kTaskDlqTopic,
                            config_.Get(cfg::kJobName, "job") + ".dlq");
 
@@ -245,20 +307,37 @@ Status Container::Start() {
                             &cscope.counter("checkpoint_bytes"));
 
   // One retry budget for every broker data path this container owns:
-  // produce, poll, changelog mirror/restore, checkpoint read/write. The
-  // shared `retries`/`giveups` counters make retry pressure visible per
-  // container (docs/FAULT_TOLERANCE.md).
+  // produce, poll, changelog mirror/restore, checkpoint read/write. Retry
+  // pressure is counted per operation under
+  // `<job>.container<ID>.retry.<op>.{retries,giveups}` — /metrics renders
+  // these as one samzasql_retries_total/samzasql_giveups_total family with
+  // an `op` label (docs/FAULT_TOLERANCE.md).
   retry_policy_ = RetryPolicy::FromConfig(config_);
-  Counter* m_retries = &cscope.counter("retries");
-  Counter* m_giveups = &cscope.counter("giveups");
+  ScopedMetrics rscope = cscope.Sub("retry");
+  ScopedMetrics send_scope = rscope.Sub("send");
+  m_send_retries_ = &send_scope.counter("retries");
+  m_send_giveups_ = &send_scope.counter("giveups");
+  ScopedMetrics fetch_scope = rscope.Sub("fetch");
+  m_fetch_retries_ = &fetch_scope.counter("retries");
+  m_fetch_giveups_ = &fetch_scope.counter("giveups");
+  ScopedMetrics changelog_scope = rscope.Sub("changelog");
+  m_changelog_retries_ = &changelog_scope.counter("retries");
+  m_changelog_giveups_ = &changelog_scope.counter("giveups");
+  ScopedMetrics checkpoint_scope = rscope.Sub("checkpoint");
+  m_checkpoint_retries_ = &checkpoint_scope.counter("retries");
+  m_checkpoint_giveups_ = &checkpoint_scope.counter("giveups");
+  m_fenced_ = &cscope.counter("producer_fenced");
+  m_corrupt_ = &cscope.counter("corrupt_records");
+  m_dups_dropped_ = &cscope.gauge("broker_dups_dropped");
   producer_->SetRetryPolicy(retry_policy_);
-  producer_->BindRetryMetrics(m_retries, m_giveups);
+  producer_->BindRetryMetrics(m_send_retries_, m_send_giveups_);
+  producer_->BindFencingMetric(m_fenced_);
   for (Consumer* c : {consumer_.get(), bootstrap_consumer_.get()}) {
     c->SetRetryPolicy(retry_policy_);
-    c->BindRetryMetrics(m_retries, m_giveups);
+    c->BindRetryMetrics(m_fetch_retries_, m_fetch_giveups_);
   }
   checkpoints_->SetRetryPolicy(retry_policy_);
-  checkpoints_->BindRetryMetrics(m_retries, m_giveups);
+  checkpoints_->BindRetryMetrics(m_checkpoint_retries_, m_checkpoint_giveups_);
 
   int64_t report_interval = config_.GetInt(cfg::kMetricsReporterIntervalMs, 0);
   if (report_interval > 0) {
@@ -323,11 +402,17 @@ Status Container::UpdateLagGauges() {
       if (it != lag_gauges_.end()) it->second->Set(lag);
     }
   }
+  // Broker-wide duplicate-drop total (idempotent dedup activity); sampled
+  // here so it moves with the same cadence as the lag gauges.
+  if (m_dups_dropped_ != nullptr) m_dups_dropped_->Set(broker_->dups_dropped());
   return Status::Ok();
 }
 
+Producer& Container::TaskProducer(TaskInstance& task) {
+  return task.producer ? *task.producer : *producer_;
+}
+
 Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batch) {
-  ProducerCollector collector(*producer_);
   int64_t processed = 0;
   for (const IncomingMessage& msg : batch) {
     auto it = dispatch_.find(msg.origin);
@@ -335,23 +420,43 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
       return Status::Internal("no task for partition " + msg.origin.ToString());
     }
     TaskInstance& task = *it->second;
-    // Per-message span. A message stamped by a producer continues its trace;
-    // an untraced message (pre-existing log data) is a head-sampling point,
-    // so ingest-rooted traces work on topics written before tracing was on.
-    TraceContext parent = msg.message.trace;
-    if (!parent.valid()) parent = Tracer::Instance().MaybeStartTrace();
-    TraceSpan span(parent, "process", task.trace_scope, msg.origin.partition);
-    int64_t t0 = MonotonicNanos();
-    Status process_st = task.task->Process(msg, collector, task);
-    if (!process_st.ok()) {
-      // Transient broker trouble must crash-and-recover, never be dropped:
-      // the message itself is fine and replay will succeed. Only data
-      // errors are poison, so only they go through the error policy.
-      if (process_st.code() == ErrorCode::kUnavailable) return process_st;
-      SQS_RETURN_IF_ERROR(HandleProcessError(task, msg, process_st));
-    }
-    if (m_process_latency_ns_ != nullptr) {
-      m_process_latency_ns_->Record(MonotonicNanos() - t0);
+    // End-to-end integrity gate: a stamped message whose payload no longer
+    // matches its CRC32C never reaches Process. Under the fail policy the
+    // container crashes and the replay refetches (transient corruption
+    // heals); under dead-letter the record is preserved with provenance.
+    if (!MessageCrcValid(msg.message)) {
+      if (m_corrupt_ != nullptr) m_corrupt_->Inc();
+      Status bad = Status::DataLoss("crc mismatch on " + msg.origin.ToString() +
+                                    "@" + std::to_string(msg.offset));
+      if (corrupt_policy_ == TaskCorruptPolicy::kFail) return bad;
+      SQS_RETURN_IF_ERROR(
+          ApplyErrorPolicy(TaskErrorPolicy::kDeadLetter, task, msg, bad));
+    } else {
+      ProducerCollector collector(TaskProducer(task));
+      // Per-message span. A message stamped by a producer continues its
+      // trace; an untraced message (pre-existing log data) is a
+      // head-sampling point, so ingest-rooted traces work on topics written
+      // before tracing was on.
+      TraceContext parent = msg.message.trace;
+      if (!parent.valid()) parent = Tracer::Instance().MaybeStartTrace();
+      TraceSpan span(parent, "process", task.trace_scope, msg.origin.partition);
+      int64_t t0 = MonotonicNanos();
+      Status process_st = task.task->Process(msg, collector, task);
+      if (!process_st.ok()) {
+        // Transient broker trouble must crash-and-recover, never be dropped:
+        // the message itself is fine and replay will succeed. The same goes
+        // for a fenced send — a newer incarnation of this task owns the
+        // output now, and this container must die without checkpointing.
+        // Only data errors are poison, so only they go through the policy.
+        if (process_st.code() == ErrorCode::kUnavailable ||
+            process_st.code() == ErrorCode::kFenced) {
+          return process_st;
+        }
+        SQS_RETURN_IF_ERROR(HandleProcessError(task, msg, process_st));
+      }
+      if (m_process_latency_ns_ != nullptr) {
+        m_process_latency_ns_->Record(MonotonicNanos() - t0);
+      }
     }
     task.processed_positions[msg.origin] = msg.offset + 1;
     task.since_commit++;
@@ -379,8 +484,13 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
 
 Status Container::HandleProcessError(TaskInstance& task, const IncomingMessage& msg,
                                      const Status& error) {
-  if (error_policy_ == TaskErrorPolicy::kFail) return error;
-  if (error_policy_ == TaskErrorPolicy::kDeadLetter) {
+  return ApplyErrorPolicy(error_policy_, task, msg, error);
+}
+
+Status Container::ApplyErrorPolicy(TaskErrorPolicy policy, TaskInstance& task,
+                                   const IncomingMessage& msg, const Status& error) {
+  if (policy == TaskErrorPolicy::kFail) return error;
+  if (policy == TaskErrorPolicy::kDeadLetter) {
     if (!broker_->HasTopic(dlq_topic_)) {
       TopicConfig tc;
       SQS_ASSIGN_OR_RETURN(nparts, broker_->NumPartitions(msg.origin.topic));
@@ -395,15 +505,20 @@ Status Container::HandleProcessError(TaskInstance& task, const IncomingMessage& 
     rec.error = error.ToString();
     rec.key = msg.message.key;
     rec.value = msg.message.value;
+    // Keep the message's trace context so the dead-lettered tuple stays
+    // correlated with the trace that carried it here.
+    rec.trace = msg.message.trace;
     // Same partition id as the input, so DLQ ordering mirrors the source.
     // If even the DLQ write fails (after retries), fall back to failing the
-    // container: at-least-once forbids silently losing the message.
-    auto sent = producer_->SendTo({dlq_topic_, msg.origin.partition},
-                                  msg.message.key, EncodeDeadLetter(rec));
+    // container: at-least-once forbids silently losing the message. In
+    // exactly-once mode the DLQ write goes through the task's idempotent
+    // producer, so a replayed dead-letter dedups like any other send.
+    auto sent = TaskProducer(task).SendTo({dlq_topic_, msg.origin.partition},
+                                          msg.message.key, EncodeDeadLetter(rec));
     if (!sent.ok()) return sent.status();
   }
   if (task.dropped != nullptr) task.dropped->Inc();
-  const char* action = error_policy_ == TaskErrorPolicy::kDeadLetter
+  const char* action = policy == TaskErrorPolicy::kDeadLetter
                            ? "message dead-lettered"
                            : "message skipped";
   SQS_WARNC("container", action,
@@ -425,8 +540,29 @@ Status Container::CommitTask(TaskInstance& task) {
   }
   // Let the task persist replay-horizon state before the offsets commit.
   SQS_RETURN_IF_ERROR(task.task->OnCommit());
-  SQS_RETURN_IF_ERROR(
-      checkpoints_->WriteCheckpoint(task.model.task_name, task.processed_positions));
+  if (delivery_ == DeliveryMode::kExactlyOnce) {
+    // Transactional commit: one checkpoint record atomically publishes the
+    // input positions, the changelog high-watermark per store (only this
+    // task writes its changelog partition, so EndOffset after OnCommit is
+    // exactly this task's state frontier), and the producer's sequence per
+    // output partition. A restart restores state to the watermark, re-seeks
+    // the inputs, and resumes the sequences — replayed sends dedup at the
+    // broker instead of re-emitting.
+    TaskCheckpoint cp;
+    cp.input_offsets = task.processed_positions;
+    for (const auto& [name, store] : task.stores) {
+      (void)name;
+      const StreamPartition& sp = store->changelog_partition();
+      SQS_ASSIGN_OR_RETURN(end, broker_->EndOffset(sp));
+      cp.changelog_offsets[sp] = end;
+    }
+    if (task.producer) cp.producer_sequences = task.producer->sequences();
+    SQS_RETURN_IF_ERROR(
+        checkpoints_->WriteTaskCheckpoint(task.model.task_name, cp));
+  } else {
+    SQS_RETURN_IF_ERROR(checkpoints_->WriteCheckpoint(task.model.task_name,
+                                                      task.processed_positions));
+  }
   task.since_commit = 0;
   task.commit_requested = false;
   if (m_commits_ != nullptr) m_commits_->Inc();
@@ -438,8 +574,8 @@ Status Container::MaybeFireWindows() {
   int64_t now = clock_->NowMillis();
   if (now - last_window_fire_ms_ < window_ms_) return Status::Ok();
   last_window_fire_ms_ = now;
-  ProducerCollector collector(*producer_);
   for (auto& task : tasks_) {
+    ProducerCollector collector(TaskProducer(*task));
     SQS_RETURN_IF_ERROR(task->task->Window(collector, *task));
   }
   return Status::Ok();

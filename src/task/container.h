@@ -43,8 +43,25 @@ enum class TaskErrorPolicy { kFail, kSkip, kDeadLetter };
 
 Result<TaskErrorPolicy> ParseTaskErrorPolicy(const std::string& value);
 
+// Delivery contract (task.delivery): at-least-once replays may duplicate
+// output; exactly-once stamps every send with an idempotent (pid, epoch,
+// seq) and commits {input offsets, changelog high-watermarks, producer
+// sequences} as one transactional checkpoint record.
+enum class DeliveryMode { kAtLeastOnce, kExactlyOnce };
+
+Result<DeliveryMode> ParseDeliveryMode(const std::string& value);
+
+// What to do with an input message whose CRC check fails
+// (task.corrupt.policy): crash so the replay refetches clean bytes, or
+// dead-letter it with provenance.
+enum class TaskCorruptPolicy { kFail, kDeadLetter };
+
+Result<TaskCorruptPolicy> ParseTaskCorruptPolicy(const std::string& value);
+
 // A dead-lettered message: the original bytes plus enough provenance to
-// replay it by hand once the poison cause is fixed.
+// replay it by hand once the poison cause is fixed. `trace` carries the
+// message's trace context so a dead-lettered tuple stays correlated with
+// the trace that produced it.
 struct DeadLetterRecord {
   std::string task_name;
   StreamPartition origin;
@@ -52,6 +69,7 @@ struct DeadLetterRecord {
   std::string error;  // Status::ToString() of the Process failure
   Bytes key;
   Bytes value;
+  TraceContext trace;
 };
 
 Bytes EncodeDeadLetter(const DeadLetterRecord& record);
@@ -97,6 +115,13 @@ class Container {
   // dead-lettered), error = the container must stop with that status.
   Status HandleProcessError(TaskInstance& task, const IncomingMessage& msg,
                             const Status& error);
+  // Policy-parameterized core of HandleProcessError; the corrupt-input path
+  // reuses it with its own (fail|dead-letter) policy.
+  Status ApplyErrorPolicy(TaskErrorPolicy policy, TaskInstance& task,
+                          const IncomingMessage& msg, const Status& error);
+  // The producer a task's sends go through: its own idempotent producer in
+  // exactly-once mode, the shared container producer otherwise.
+  Producer& TaskProducer(TaskInstance& task);
   Status CommitTask(TaskInstance& task);
   Status MaybeFireWindows();
   // Refresh the per-partition `lag.<topic>.<partition>` gauges from the
@@ -118,6 +143,8 @@ class Container {
   std::map<StreamPartition, TaskInstance*> dispatch_;
 
   TaskErrorPolicy error_policy_ = TaskErrorPolicy::kFail;
+  DeliveryMode delivery_ = DeliveryMode::kAtLeastOnce;
+  TaskCorruptPolicy corrupt_policy_ = TaskCorruptPolicy::kFail;
   std::string dlq_topic_;
   RetryPolicy retry_policy_;
   int64_t commit_every_ = 0;
@@ -134,6 +161,20 @@ class Container {
   Timer* m_busy_ns_ = nullptr;
   Histogram* m_process_latency_ns_ = nullptr;
   std::map<StreamPartition, Gauge*> lag_gauges_;
+  // Per-operation retry pressure (`<scope>.retry.<op>.{retries,giveups}`,
+  // op = send|fetch|changelog|checkpoint) — labeled in /metrics.
+  Counter* m_send_retries_ = nullptr;
+  Counter* m_send_giveups_ = nullptr;
+  Counter* m_fetch_retries_ = nullptr;
+  Counter* m_fetch_giveups_ = nullptr;
+  Counter* m_changelog_retries_ = nullptr;
+  Counter* m_changelog_giveups_ = nullptr;
+  Counter* m_checkpoint_retries_ = nullptr;
+  Counter* m_checkpoint_giveups_ = nullptr;
+  // Exactly-once + integrity instruments.
+  Counter* m_fenced_ = nullptr;          // producer_fenced
+  Counter* m_corrupt_ = nullptr;         // corrupt_records
+  Gauge* m_dups_dropped_ = nullptr;      // broker_dups_dropped (broker-wide)
 
   // Periodic JSON-lines reporter (metrics.reporter.interval.ms > 0); owns
   // its file when metrics.reporter.path is set, rotating per

@@ -58,6 +58,7 @@ class JobRunner {
 
   const JobModel& job_model() const { return model_; }
   const std::string& job_name() const { return model_.job_name; }
+  const Config& config() const { return config_; }
   size_t NumContainers() const { return containers_.size(); }
   // Allocated containers currently alive (a killed slot stays nullptr until
   // RestartContainer); feeds the monitor's /readyz containers check.

@@ -194,6 +194,35 @@ TEST(PrometheusTest, LagGaugesBecomeConsumerLagFamily) {
   EXPECT_EQ(partitions, (std::set<std::string>{"0", "1"}));
 }
 
+TEST(PrometheusTest, RetryCountersBecomeOpLabeledFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("q0.container0.retry.send.retries").Inc(3);
+  registry.GetCounter("q0.container0.retry.fetch.retries").Inc(2);
+  registry.GetCounter("q0.container0.retry.changelog.retries").Inc(5);
+  registry.GetCounter("q0.container0.retry.checkpoint.giveups").Inc(1);
+  PromExposition exp = ParseExposition(RenderPrometheus(registry.Snapshot()));
+
+  // One retries_total / giveups_total family each, with the operation as a
+  // label — not four differently named families.
+  EXPECT_EQ(exp.types.at("samzasql_retries_total"), "counter");
+  EXPECT_EQ(exp.types.at("samzasql_giveups_total"), "counter");
+  std::map<std::string, double> retries_by_op;
+  for (const PromSample& s : exp.samples) {
+    if (s.name == "samzasql_retries_total") {
+      EXPECT_EQ(s.labels.at("scope"), "q0.container0");
+      retries_by_op[s.labels.at("op")] = s.value;
+    }
+    if (s.name == "samzasql_giveups_total") {
+      EXPECT_EQ(s.labels.at("scope"), "q0.container0");
+      EXPECT_EQ(s.labels.at("op"), "checkpoint");
+      EXPECT_EQ(s.value, 1);
+    }
+  }
+  EXPECT_EQ(retries_by_op.at("send"), 3);
+  EXPECT_EQ(retries_by_op.at("fetch"), 2);
+  EXPECT_EQ(retries_by_op.at("changelog"), 5);
+}
+
 TEST(PrometheusTest, HistogramBucketsMonotoneAndConsistentWithSnapshot) {
   MetricsRegistry registry;
   Histogram& h = registry.GetHistogram("q0.t0.op1-project.latency_ns");

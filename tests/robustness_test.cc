@@ -218,5 +218,83 @@ TEST(AtLeastOnceTest, CrashBetweenOutputFlushAndCheckpointReplaysDuplicates) {
   EXPECT_EQ(deduped.size(), 100u);
 }
 
+// The exactly-once twin of the test above: same job, same crash between the
+// output flush and the checkpoint write, but task.delivery=exactly-once. The
+// replayed batch re-sends the same (pid, epoch, seq) stamps, the broker
+// drops them as duplicates, and the raw output — no dedup applied — is
+// byte-equal to a crash-free run: exactly one tag per input message.
+TEST(ExactlyOnceTest, CrashBetweenOutputFlushAndCheckpointDedupsAtBroker) {
+  TaskFactoryRegistry::Instance().Register(
+      "eo-echo", [] { return std::make_unique<AloEchoTask>(); });
+
+  auto inner = std::make_shared<Broker>();
+  ASSERT_TRUE(inner->CreateTopic("in", {.num_partitions = 2}).ok());
+  ASSERT_TRUE(inner->CreateTopic("out", {.num_partitions = 2}).ok());
+  FaultPolicy policy;
+  policy.topics = {"__cp_eo"};  // only checkpoint writes can fail
+  auto fault = std::make_shared<FaultInjectingBroker>(inner, policy);
+
+  Producer p(fault);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(p.Send("in", ToBytes("k" + std::to_string(i)),
+                       ToBytes("m" + std::to_string(i)))
+                    .ok());
+  }
+
+  Config c;
+  c.Set(cfg::kJobName, "eo-job");
+  c.Set(cfg::kTaskInputs, "in");
+  c.Set(cfg::kTaskFactory, "eo-echo");
+  c.Set(cfg::kCheckpointTopic, "__cp_eo");
+  c.Set(cfg::kTaskDelivery, "exactly-once");
+  c.SetInt(cfg::kContainerCount, 1);
+  c.SetInt(cfg::kCommitEveryMessages, 10);
+  JobRunner runner(fault, c);
+  ASSERT_TRUE(runner.Start().ok());
+
+  // The first transactional commit fails, crashing the container with its
+  // outputs already flushed — the same crash point as the at-least-once run.
+  fault->FailNextAppends(1);
+  auto crashed = runner.RunUntilQuiescent();
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.status().code(), ErrorCode::kUnavailable);
+
+  auto read_out = [&] {
+    std::vector<std::string> out;
+    for (int32_t part = 0; part < 2; ++part) {
+      int64_t end = inner->EndOffset({"out", part}).value();
+      if (end == 0) continue;
+      auto batch = inner->Fetch({"out", part}, 0, static_cast<int32_t>(end)).value();
+      for (const auto& m : batch) out.push_back(FromBytes(m.message.value));
+    }
+    return out;
+  };
+  size_t flushed_before_crash = read_out().size();
+  EXPECT_GE(flushed_before_crash, 10u);
+
+  ASSERT_TRUE(runner.KillContainer(0).ok());
+  ASSERT_TRUE(runner.RestartContainer(0).ok());
+  auto finished = runner.RunUntilQuiescent();
+  ASSERT_TRUE(finished.ok()) << finished.status().ToString();
+
+  std::vector<std::string> out = read_out();
+  // No checkpoint landed, so the whole input replays — and every replayed
+  // send dedups at the broker. Raw output: exactly 100, zero duplicates.
+  EXPECT_EQ(out.size(), 100u);
+  std::set<std::string> deduped(out.begin(), out.end());
+  EXPECT_EQ(deduped.size(), 100u);
+  EXPECT_GE(inner->dups_dropped(), static_cast<int64_t>(flushed_before_crash));
+
+  // Every output record left the idempotent producer with a valid CRC stamp.
+  for (int32_t part = 0; part < 2; ++part) {
+    auto batch = inner->Fetch({"out", part}, 0, 1000).value();
+    for (const auto& m : batch) {
+      EXPECT_TRUE(m.message.has_crc);
+      EXPECT_TRUE(MessageCrcValid(m.message));
+      EXPECT_NE(m.message.producer_id, 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sqs

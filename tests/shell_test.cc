@@ -230,6 +230,41 @@ TEST_F(TracedShellTest, ShowTraceSummarizesAndExportsSpans) {
   EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
 }
 
+TEST_F(ShellTest, ShowDlqSummarizesDeadLetteredRecords) {
+  // A shell whose jobs dead-letter poison instead of crashing.
+  Config defaults;
+  defaults.SetInt(cfg::kContainerCount, 1);
+  defaults.Set(cfg::kTaskErrorPolicy, "dead-letter");
+  shell_ = std::make_unique<Shell>(env_, defaults);
+
+  std::string out = Feed("SHOW DLQ;");
+  EXPECT_NE(out.find("no dead-letter topics"), std::string::npos) << out;
+
+  // One undeserializable record amidst the valid orders.
+  Producer raw(env_->broker);
+  ASSERT_TRUE(raw.SendTo({"Orders", 1}, Bytes{}, Bytes{0xff}).ok());
+  Feed("SELECT STREAM orderId FROM Orders WHERE units > 95;");
+  Feed("!run");
+
+  out = Feed("SHOW DLQ;");
+  EXPECT_NE(out.find("samzasql-query-0.dlq"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 record(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("origin=Orders[1]"), std::string::npos) << out;
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+
+  std::string json = Feed("SHOW DLQ JSON;");
+  EXPECT_NE(json.find("\"topic\":\"samzasql-query-0.dlq\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"records\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"task\":"), std::string::npos);
+  EXPECT_NE(json.find("\"error\":"), std::string::npos);
+
+  // A job filter that matches nothing reports that, not other jobs' queues.
+  out = Feed("SHOW DLQ nosuchjob;");
+  EXPECT_NE(out.find("no dead-letter topics for nosuchjob"), std::string::npos)
+      << out;
+}
+
 TEST_F(ShellTest, UnknownMetaCommand) {
   EXPECT_NE(Feed("!frobnicate").find("unknown command"), std::string::npos);
 }
