@@ -1,9 +1,11 @@
 // Figure 4 cost anatomy, measured instead of argued: run the Figure 5a
 // filter/project query with distributed tracing enabled and split the
-// container's busy time into serde (scan decode + insert encode) and
-// relational operator work from the recorded spans. Also measures the
-// tracing tax itself (rate 0 vs 1% vs fully sampled) and writes a Chrome
-// trace (chrome://tracing / Perfetto) export of the sampled run.
+// container's busy time into serde and relational operator work from the
+// recorded spans. On the fused mainline (sql.fusion=on, the default) serde
+// is the fused stage's decode/encode child spans; with sql.fusion=off it is
+// the interpreted scan/insert operator self time. Also measures the tracing
+// tax itself (rate 0 vs 1% vs fully sampled) and writes a Chrome trace
+// (chrome://tracing / Perfetto) export of the sampled run.
 #include <benchmark/benchmark.h>
 
 #include <fstream>
@@ -15,8 +17,10 @@ namespace sqs::bench {
 namespace {
 
 constexpr int64_t kMessages = 20'000;
-// Fully sampled: ~6 spans per tuple (produce, process, scan, filter,
-// project, insert) — size the ring so nothing is evicted mid-run.
+// Fully sampled, interpreted mode: ~6 spans per tuple (produce, process,
+// scan, filter, project, insert) — size the ring so nothing is evicted
+// mid-run. Fused mode telescopes to batch granularity (~4 spans per run of
+// up to task.batch.max.messages tuples) and needs far less.
 constexpr size_t kSpanCapacity = 1 << 18;
 constexpr const char* kExportPath = "bench_trace_profile.json";
 
@@ -45,6 +49,12 @@ void BM_TraceProfile_Filter(benchmark::State& state) {
         continue;
       }
       operator_ns += st.self_ns;
+      // Fused mainline: serde is the stage's decode/encode child spans.
+      if (name == "decode" || name == "encode") {
+        serde_ns += st.self_ns;
+        continue;
+      }
+      // Interpreted fallback (sql.fusion=off): scan/insert operator spans.
       size_t dash = name.rfind('-');
       if (dash != std::string::npos) {
         std::string op = name.substr(dash + 1);

@@ -16,6 +16,9 @@
 //
 //   $ SAMZASQL_MONITOR_PORT=8048 ./samzasql_shell
 //   $ SAMZASQL_ALERT_RULES="consumer_lag>10000 for 5s" ./samzasql_shell
+//
+// SAMZASQL_FUSION=off disables fused batch execution (sql.fusion) to
+// compare against the fully interpreted operator DAG — see docs/EXECUTION.md.
 #include <cstdlib>
 #include <iostream>
 
@@ -52,6 +55,9 @@ int main() {
   }
   if (const char* rules = std::getenv("SAMZASQL_ALERT_RULES")) {
     defaults.Set(cfg::kAlertRules, rules);
+  }
+  if (const char* fusion = std::getenv("SAMZASQL_FUSION")) {
+    defaults.Set(core::sqlcfg::kFusion, fusion);
   }
   core::Shell shell(env, defaults);
   if (shell.executor().monitor().http_running()) {

@@ -84,6 +84,24 @@ class BytesReader {
     return data_[pos_++];
   }
 
+  // Advance past `n` bytes without decoding them (lazy-field skipping).
+  Status Skip(size_t n) {
+    if (n > remaining()) return Status::SerdeError("skip past end of buffer");
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  // Advance past one zigzag varint without decoding its value.
+  Status SkipVarint() {
+    int seen = 0;
+    while (true) {
+      if (pos_ >= size_) return Status::SerdeError("truncated varint");
+      uint8_t b = data_[pos_++];
+      if (!(b & 0x80)) return Status::Ok();
+      if (++seen > 9) return Status::SerdeError("varint too long");
+    }
+  }
+
   Result<int64_t> ReadVarint() {
     uint64_t z = 0;
     int shift = 0;

@@ -44,6 +44,10 @@ inline constexpr const char* kOutputKeyIndex = "samzasql.output.key.index";
 inline constexpr const char* kStateSerde = "samzasql.state.serde";
 inline constexpr const char* kGraceMs = "samzasql.window.grace.ms";
 inline constexpr const char* kFuseConversions = "samzasql.fuse.conversions";
+// Fused execution of terminal filter/project chains: "on" (default) or
+// "off" ("false"/"0" also accepted) — the escape hatch back to the fully
+// interpreted operator DAG. See docs/EXECUTION.md.
+inline constexpr const char* kFusion = "sql.fusion";
 }  // namespace sqlcfg
 
 }  // namespace sqs::core

@@ -85,6 +85,26 @@ std::string RenderAnalyzedPlan(const sql::LogicalNode& plan,
     if (dash == std::string::npos || dash == 2) continue;
     by_id[std::atoi(name.substr(2, dash - 2).c_str())] = {name, st};
   }
+  // A fused stage reports one span named "fused<opA..opB>" (or "fused<opA>")
+  // covering plan lines A..B plus the stream-insert it subsumes. Annotate
+  // every covered line with the stage's stats so no row "vanishes".
+  bool has_fused = false;
+  std::pair<std::string, SpanStats> fused_stat;
+  for (const auto& [name, st] : stats) {
+    if (name.compare(0, 8, "fused<op") != 0) continue;
+    size_t close = name.find('>');
+    if (close == std::string::npos) continue;
+    std::string inner = name.substr(6, close - 6);  // "opA..opB" or "opA"
+    int a = std::atoi(inner.c_str() + 2);
+    int b = a;
+    size_t dots = inner.find("..");
+    if (dots != std::string::npos) b = std::atoi(inner.substr(dots + 4).c_str());
+    for (int k = a; k <= b; ++k) {
+      if (by_id.find(k) == by_id.end()) by_id[k] = {name, st};
+    }
+    has_fused = true;
+    fused_stat = {name, st};
+  }
 
   std::set<uint64_t> traces;
   int64_t span_count = 0;
@@ -110,6 +130,9 @@ std::string RenderAnalyzedPlan(const sql::LogicalNode& plan,
       std::string op = name.substr(dash + 1);
       if (op == "scan" || op == "insert") serde_self_ns += st.self_ns;
     }
+    // Fused stages expose their serde boundary as explicit child spans:
+    // "decode" (deserialize + evaluate) and "encode" (serialize + send).
+    if (name == "decode" || name == "encode") serde_self_ns += st.self_ns;
   }
 
   std::vector<std::string> lines = SplitLines(plan.ToString());
@@ -131,12 +154,15 @@ std::string RenderAnalyzedPlan(const sql::LogicalNode& plan,
     }
     os << "\n";
   }
-  // The stream-insert root, registered after the plan traversal.
+  // The stream-insert root, registered after the plan traversal. A fused
+  // stage serializes and sends directly, so it owns this line too.
   {
     os << insert_line << std::string(width - insert_line.size(), ' ');
     auto it = by_id.find(static_cast<int>(lines.size()));
     if (it != by_id.end()) {
       os << Annotate(it->second.first, it->second.second, traced_busy_ns);
+    } else if (has_fused) {
+      os << Annotate(fused_stat.first, fused_stat.second, traced_busy_ns);
     } else {
       os << "[no sampled spans]";
     }
@@ -145,7 +171,8 @@ std::string RenderAnalyzedPlan(const sql::LogicalNode& plan,
   os << "process: count=" << process.count << " incl=" << FmtUs(process.inclusive_ns)
      << " self=" << FmtUs(process.self_ns)
      << " (dispatch + commit outside operators)\n";
-  os << "serde share: " << FmtUs(serde_self_ns) << " scan+insert self = "
+  os << "serde share: " << FmtUs(serde_self_ns)
+     << (has_fused ? " decode+encode self = " : " scan+insert self = ")
      << FmtPct(serde_self_ns, traced_busy_ns) << " of traced busy time\n";
   os << "operator_self_ns=" << operator_self_ns
      << " total_self_ns=" << total_self_ns

@@ -64,6 +64,9 @@ Status SamzaSqlTask::Init(TaskContext& context) {
   router_config.fuse_conversions = config.GetBool(sqlcfg::kFuseConversions, false);
   router_config.out_key_index =
       static_cast<int>(config.GetInt(sqlcfg::kOutputKeyIndex, -1));
+  // sql.fusion is on unless explicitly disabled (accepts off/false/0).
+  const std::string fusion = config.Get(sqlcfg::kFusion, "on");
+  router_config.fusion = !(fusion == "off" || fusion == "false" || fusion == "0");
 
   SQS_ASSIGN_OR_RETURN(router, ops::MessageRouter::Build(*plan, router_config));
   router_ = std::move(router);
@@ -79,6 +82,15 @@ Status SamzaSqlTask::Process(const IncomingMessage& message,
   op_context.task = context_;
   op_context.collector = &collector;
   return router_->Route(message, op_context);
+}
+
+Status SamzaSqlTask::ProcessBatch(const IncomingMessage* msgs, size_t count,
+                                  MessageCollector& collector, TaskCoordinator&,
+                                  size_t* consumed) {
+  ops::OperatorContext op_context;
+  op_context.task = context_;
+  op_context.collector = &collector;
+  return router_->RouteBatch(msgs, count, op_context, consumed);
 }
 
 Status SamzaSqlTask::Window(MessageCollector& collector, TaskCoordinator&) {

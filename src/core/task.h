@@ -22,6 +22,12 @@ class SamzaSqlTask : public StreamTask {
   Status Init(TaskContext& context) override;
   Status Process(const IncomingMessage& message, MessageCollector& collector,
                  TaskCoordinator& coordinator) override;
+  // Batch entry point: routes contiguous same-topic runs through one
+  // SourceOperator::ProcessMessages call (fused stages amortize the whole
+  // run; interpreted plans fall back to the per-message loop).
+  Status ProcessBatch(const IncomingMessage* msgs, size_t count,
+                      MessageCollector& collector, TaskCoordinator& coordinator,
+                      size_t* consumed) override;
   Status Window(MessageCollector& collector, TaskCoordinator& coordinator) override;
   Status OnCommit() override;
 

@@ -14,7 +14,7 @@ namespace sqs::ops {
 // paper's CPU profiling identified as the main SQL overhead. Hand-written
 // native tasks skip this copy (they work on the decoded record directly);
 // fuse_conversions = the paper's §7 item 5 future-work optimization.
-class ScanOperator : public Operator {
+class ScanOperator : public Operator, public SourceOperator {
  public:
   ScanOperator(RowSerdePtr serde, SchemaPtr schema, int rowtime_index,
                bool fuse_conversions = false)
@@ -29,7 +29,8 @@ class ScanOperator : public Operator {
   // Scan is fed raw bytes by the router, not TupleEvents. Instrumented the
   // same way as Process: the latency sample covers deserialize + validate +
   // RecordToArray + the entire downstream pipeline.
-  Status ProcessMessage(const IncomingMessage& message, OperatorContext& ctx);
+  Status ProcessMessage(const IncomingMessage& message,
+                        OperatorContext& ctx) override;
 
  protected:
   Status DoProcess(const TupleEvent& event, OperatorContext& ctx) override {

@@ -1,0 +1,161 @@
+#include "ops/fused.h"
+
+namespace sqs::ops {
+
+bool FusedStageCanPassthrough(const sql::FusedStageSpec& spec,
+                              const RowSerde& input_serde,
+                              const RowSerde& output_serde) {
+  if (!spec.projections.empty()) return false;
+  const auto* in = dynamic_cast<const AvroRowSerde*>(&input_serde);
+  const auto* out = dynamic_cast<const AvroRowSerde*>(&output_serde);
+  if (in == nullptr || out == nullptr) return false;
+  const Schema& a = *in->schema();
+  const Schema& b = *out->schema();
+  if (a.num_fields() != b.num_fields()) return false;
+  for (size_t i = 0; i < a.num_fields(); ++i) {
+    // Positional encoding: field names are not on the wire, so only the
+    // kind/element/nullability layout must match.
+    if (!(a.field(i).type == b.field(i).type) ||
+        a.field(i).nullable != b.field(i).nullable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status FusedStageOperator::Init(OperatorContext&) {
+  // Keyed output needs the key column's decoded value, so it stays on the
+  // re-serialize path (key sends are rare for filter/project pipelines).
+  passthrough_ = key_index_ < 0 &&
+                 FusedStageCanPassthrough(spec_, *input_serde_, *output_serde_);
+  std::vector<int> extra;
+  if (key_index_ >= 0) extra.push_back(key_index_);
+  SQS_ASSIGN_OR_RETURN(kernel,
+                       sql::FusedStageKernel::Compile(spec_, input_serde_,
+                                                      passthrough_, extra));
+  kernel_ = std::move(kernel);
+  // The plan node is only valid during build/init (the task frees its plan
+  // after Init); everything the stage needs is copied into spec_/kernel_.
+  spec_.scan = nullptr;
+  return Status::Ok();
+}
+
+Status FusedStageOperator::Evaluate(const IncomingMessage& msg, PendingSend& out) {
+  SQS_ASSIGN_OR_RETURN(result, kernel_.Apply(msg.message.value));
+  out.pass = result.pass;
+  if (!result.pass || passthrough_) return Status::Ok();
+  if (key_index_ >= 0) {
+    out.key = EncodeOrderedKey(result.row[static_cast<size_t>(key_index_)]);
+  }
+  out.row = std::move(result.row);
+  return Status::Ok();
+}
+
+Status FusedStageOperator::SendOne(const IncomingMessage& msg, PendingSend& pending,
+                                   OperatorContext& ctx) {
+  if (passthrough_) {
+    ++emitted_;
+    return ctx.collector->SendToPartition(topic_, msg.origin.partition, Bytes{},
+                                          Bytes(msg.message.value));
+  }
+  BytesWriter writer(64);
+  SQS_RETURN_IF_ERROR(output_serde_->Serialize(pending.row, writer));
+  ++emitted_;
+  if (key_index_ >= 0) {
+    return ctx.collector->Send(topic_, std::move(pending.key), writer.Take());
+  }
+  return ctx.collector->SendToPartition(topic_, msg.origin.partition, Bytes{},
+                                        writer.Take());
+}
+
+Status FusedStageOperator::ProcessMessage(const IncomingMessage& message,
+                                          OperatorContext& ctx) {
+  EnsureMetrics(ctx);
+  TraceContext parent = CurrentTraceContext();
+  if (!parent.valid()) parent = message.message.trace;
+  TraceSpan span(parent, TraceName(), TraceScopeName(), message.origin.partition);
+  int64_t t0 = MonotonicNanos();
+  PendingSend pending;
+  Status st;
+  {
+    TraceSpan decode(CurrentTraceContext(), "decode", TraceScopeName(),
+                     message.origin.partition);
+    st = Evaluate(message, pending);
+  }
+  if (st.ok()) {
+    if (pending.pass) {
+      TraceSpan encode(CurrentTraceContext(), "encode", TraceScopeName(),
+                       message.origin.partition);
+      st = SendOne(message, pending, ctx);
+    } else {
+      CountDropped();
+    }
+  }
+  RecordTuple(MonotonicNanos() - t0, message.message.timestamp);
+  return st;
+}
+
+Status FusedStageOperator::ProcessMessages(const IncomingMessage* msgs, size_t count,
+                                           OperatorContext& ctx, size_t* consumed) {
+  if (count == 0) {
+    if (consumed) *consumed = 0;
+    return Status::Ok();
+  }
+  EnsureMetrics(ctx);
+  TraceContext parent = CurrentTraceContext();  // the batch's "process" span
+  if (!parent.valid()) parent = msgs[0].message.trace;
+  TraceSpan span(parent, TraceName(), TraceScopeName(), msgs[0].origin.partition);
+  int64_t t0 = MonotonicNanos();
+
+  // Phase 1: run the kernel over the whole run. On a kernel error the
+  // already-evaluated prefix still gets sent below, then the error is
+  // surfaced with `consumed` at the failing message.
+  std::vector<PendingSend> pendings(count);
+  size_t evaluated = count;
+  Status result;
+  {
+    TraceSpan decode(CurrentTraceContext(), "decode", TraceScopeName(),
+                     msgs[0].origin.partition);
+    for (size_t i = 0; i < count; ++i) {
+      Status st = Evaluate(msgs[i], pendings[i]);
+      if (!st.ok()) {
+        result = st;
+        evaluated = i;
+        break;
+      }
+    }
+  }
+
+  // Phase 2: send survivors in input order (per-message producer sequencing,
+  // so exactly-once replay is indistinguishable from the per-message path).
+  size_t done = evaluated;
+  bool send_failed = false;
+  {
+    TraceSpan encode(CurrentTraceContext(), "encode", TraceScopeName(),
+                     msgs[0].origin.partition);
+    for (size_t i = 0; i < evaluated; ++i) {
+      if (!pendings[i].pass) {
+        CountDropped();
+        continue;
+      }
+      Status st = SendOne(msgs[i], pendings[i], ctx);
+      if (!st.ok()) {
+        result = st;
+        done = i;
+        send_failed = true;
+        break;
+      }
+    }
+  }
+  (void)send_failed;
+
+  int64_t max_ts = 0;
+  for (size_t i = 0; i < done; ++i) {
+    if (msgs[i].message.timestamp > max_ts) max_ts = msgs[i].message.timestamp;
+  }
+  RecordBatch(MonotonicNanos() - t0, static_cast<int64_t>(done), max_ts);
+  if (consumed) *consumed = done;
+  return result;
+}
+
+}  // namespace sqs::ops

@@ -1,0 +1,98 @@
+// Fused pipeline stage (paper §7 item 5, mainlined): one operator that
+// executes a whole Scan <- Filter*/Project* chain plus the stream-insert,
+// compiled from a FusedStageSpec. Per record it decodes only the plan's
+// referenced columns (lazily, via FusedStageKernel), evaluates predicates on
+// the raw decoded scalars with early exit, projects, and re-serializes only
+// the surviving columns — for byte-compatible Avro input/output with the
+// identity projection it forwards the ORIGINAL value bytes untouched, the
+// same zero-copy a hand-written native task does.
+//
+// The stage is message-fed (a SourceOperator) and terminal (it owns the
+// send), so a fused plan has no per-operator dispatch at all. Interpreted
+// operators (joins, windows, aggregates) keep the classic DAG; the router
+// hosts both behind the SourceOperator interface. See docs/EXECUTION.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+#include "sql/batch_eval.h"
+#include "sql/optimizer.h"
+
+namespace sqs::ops {
+
+class FusedStageOperator : public Operator, public SourceOperator {
+ public:
+  // `input_serde` decodes the scanned topic; `output_serde` encodes the
+  // stage output. `out_key_index` >= 0 hash-partitions output by that
+  // column of the output row; otherwise sends preserve the input partition.
+  FusedStageOperator(sql::FusedStageSpec spec, RowSerdePtr input_serde,
+                     std::string output_topic, RowSerdePtr output_serde,
+                     int out_key_index = -1)
+      : spec_(std::move(spec)),
+        input_serde_(std::move(input_serde)),
+        topic_(std::move(output_topic)),
+        output_serde_(std::move(output_serde)),
+        key_index_(out_key_index) {}
+
+  std::string name() const override { return "fused"; }
+
+  // Decides passthrough eligibility and compiles the kernel.
+  Status Init(OperatorContext& ctx) override;
+
+  // Solo path: one message, one stage span (used for traced messages so
+  // span chains stay per-message).
+  Status ProcessMessage(const IncomingMessage& message,
+                        OperatorContext& ctx) override;
+
+  // Batch path: one stage span for the whole run, with child "decode" and
+  // "encode" spans so EXPLAIN ANALYZE's serde share stays meaningful.
+  // Evaluates the kernel over every message first, then sends the survivors
+  // in input order (exactly-once sequencing matches per-message replay).
+  Status ProcessMessages(const IncomingMessage* msgs, size_t count,
+                         OperatorContext& ctx, size_t* consumed) override;
+
+  bool passthrough() const { return passthrough_; }
+  const std::string& label() const { return spec_.label; }
+  int64_t emitted() const { return emitted_; }
+
+ protected:
+  // TupleEvent entry is not used; the stage is fed raw messages.
+  Status DoProcess(const TupleEvent&, OperatorContext&) override {
+    return Status::Internal("fused stage is message-fed");
+  }
+
+ private:
+  struct PendingSend {
+    bool pass = false;
+    Row row;          // output row (non-passthrough)
+    Bytes key;        // encoded key (key_index_ >= 0)
+  };
+
+  // Kernel apply + key extraction for one message; fills `out`.
+  Status Evaluate(const IncomingMessage& msg, PendingSend& out);
+  // Serialize (or forward) + send one surviving record.
+  Status SendOne(const IncomingMessage& msg, PendingSend& pending,
+                 OperatorContext& ctx);
+
+  sql::FusedStageSpec spec_;
+  RowSerdePtr input_serde_;
+  std::string topic_;
+  RowSerdePtr output_serde_;
+  int key_index_;
+
+  sql::FusedStageKernel kernel_;
+  bool passthrough_ = false;
+  int64_t emitted_ = 0;
+};
+
+// True when the stage may forward original value bytes for surviving
+// records: identity projection, Avro on both sides, and field-compatible
+// schemas (same kinds/nullability position by position — names don't matter,
+// the encoding is positional).
+bool FusedStageCanPassthrough(const sql::FusedStageSpec& spec,
+                              const RowSerde& input_serde,
+                              const RowSerde& output_serde);
+
+}  // namespace sqs::ops

@@ -17,19 +17,29 @@ void Operator::EnsureMetrics(OperatorContext& ctx) {
   clock_ = ctx.task->clock();
 }
 
+void Operator::UpdateWatermark(int64_t rowtime) {
+  if (rowtime == 0) return;
+  if (rowtime > max_rowtime_seen_) {
+    max_rowtime_seen_ = rowtime;
+    watermark_->Set(rowtime);
+  }
+  // Lag of the tuple being processed right now behind wall (or simulated)
+  // clock time — the operator's view of event-time progress.
+  if (clock_) watermark_lag_->Set(clock_->NowMillis() - rowtime);
+}
+
 void Operator::RecordTuple(int64_t latency_nanos, int64_t rowtime) {
   if (processed_ == nullptr) return;
   processed_->Inc();
   latency_->Record(latency_nanos);
-  if (rowtime != 0) {
-    if (rowtime > max_rowtime_seen_) {
-      max_rowtime_seen_ = rowtime;
-      watermark_->Set(rowtime);
-    }
-    // Lag of the tuple being processed right now behind wall (or simulated)
-    // clock time — the operator's view of event-time progress.
-    if (clock_) watermark_lag_->Set(clock_->NowMillis() - rowtime);
-  }
+  UpdateWatermark(rowtime);
+}
+
+void Operator::RecordBatch(int64_t latency_nanos, int64_t n, int64_t rowtime) {
+  if (processed_ == nullptr || n <= 0) return;
+  processed_->Inc(n);
+  latency_->Record(latency_nanos);
+  UpdateWatermark(rowtime);
 }
 
 Status Operator::Process(const TupleEvent& event, OperatorContext& ctx) {

@@ -42,6 +42,34 @@ struct OperatorContext {
   MessageCollector* collector = nullptr;       // bound per Process call
 };
 
+// A raw-message entry point into the operator DAG. Interpreted scans and
+// fused stages both implement it, so the router dispatches input messages
+// to either through one interface (see docs/EXECUTION.md).
+class SourceOperator {
+ public:
+  virtual ~SourceOperator() = default;
+
+  // Feed one raw input message.
+  virtual Status ProcessMessage(const IncomingMessage& message,
+                                OperatorContext& ctx) = 0;
+
+  // Feed a contiguous run of messages. On success `consumed` (if non-null)
+  // is `count`; on error it is the index of the failing message, and every
+  // message before it has been fully processed (its sends issued) — the
+  // container's error policy resumes after that message. The default is the
+  // per-message loop; fused stages override it to amortize per-message
+  // overheads.
+  virtual Status ProcessMessages(const IncomingMessage* msgs, size_t count,
+                                 OperatorContext& ctx, size_t* consumed) {
+    for (size_t i = 0; i < count; ++i) {
+      if (consumed) *consumed = i;
+      SQS_RETURN_IF_ERROR(ProcessMessage(msgs[i], ctx));
+    }
+    if (consumed) *consumed = count;
+    return Status::Ok();
+  }
+};
+
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -103,6 +131,11 @@ class Operator {
   // gauge updates (rowtime 0 means "no event time" and is skipped).
   void RecordTuple(int64_t latency_nanos, int64_t rowtime);
 
+  // Batch-mode accounting (see docs/METRICS.md "Batch semantics"): counts
+  // `n` processed tuples but records ONE latency sample covering the whole
+  // run; `rowtime` is the run's max event time.
+  void RecordBatch(int64_t latency_nanos, int64_t n, int64_t rowtime);
+
   // Count a tuple this operator intentionally did not forward (filter miss,
   // late arrival past the grace period).
   void CountDropped(int64_t n = 1) {
@@ -126,6 +159,8 @@ class Operator {
   // scope = `<job>.<task>` (bound with the metrics).
   std::string trace_name_;
   std::string trace_scope_;
+
+  void UpdateWatermark(int64_t rowtime);
 
   // Scoped instruments, bound on first Process with a task context.
   Counter* processed_ = nullptr;

@@ -225,6 +225,34 @@ Result<OperatorPtr> Builder::BuildNode(const sql::LogicalNode& node) {
 Result<std::unique_ptr<MessageRouter>> MessageRouter::Build(
     const sql::LogicalNode& plan, const RouterConfig& config) {
   auto router = std::make_unique<MessageRouter>();
+
+  // Fusion: when the whole plan is one terminal Scan <- Filter*/Project*
+  // chain, replace the interpreted DAG (scan -> ... -> insert) with a
+  // single fused stage that owns the serde boundary on both sides.
+  if (config.fusion) {
+    std::vector<sql::FusedStageSpec> specs = sql::PlanFusedStages(plan);
+    if (specs.size() == 1 && specs[0].first_op == 0 && specs[0].reaches_root) {
+      sql::FusedStageSpec spec = std::move(specs[0]);
+      const sql::SourceDef& source = spec.scan->source;
+      SQS_ASSIGN_OR_RETURN(input_serde,
+                           SerdeForFormat(source.format, source.schema));
+      const std::string label = spec.label;
+      auto fused = std::make_shared<FusedStageOperator>(
+          std::move(spec), input_serde, config.output_topic,
+          config.output_serde, config.out_key_index);
+      fused->set_metric_id(label);
+      router->operators_.push_back(fused);
+      router->fused_stage_ = fused;
+      SourceBinding binding;
+      binding.topic = source.topic;
+      binding.bootstrap = !source.is_stream();
+      binding.source = fused;
+      router->by_topic_[binding.topic].push_back(fused.get());
+      router->sources_.push_back(std::move(binding));
+      return router;
+    }
+  }
+
   Builder builder(&config, router.get(), nullptr);
   SQS_ASSIGN_OR_RETURN(root, builder.BuildNode(plan));
 
@@ -237,12 +265,12 @@ Result<std::unique_ptr<MessageRouter>> MessageRouter::Build(
 
   router->operators_ = std::move(builder.operators_);
   for (size_t i = 0; i < builder.scan_ops_.size(); ++i) {
-    ScanBinding binding;
+    SourceBinding binding;
     binding.topic = builder.scan_topics_[i].first;
     binding.bootstrap = builder.scan_topics_[i].second;
-    binding.scan = builder.scan_ops_[i];
-    router->by_topic_[binding.topic].push_back(binding.scan.get());
-    router->scans_.push_back(std::move(binding));
+    binding.source = builder.scan_ops_[i];
+    router->by_topic_[binding.topic].push_back(binding.source.get());
+    router->sources_.push_back(std::move(binding));
   }
   return router;
 }
@@ -267,9 +295,49 @@ Status MessageRouter::Route(const IncomingMessage& message, OperatorContext& ctx
   if (it == by_topic_.end()) {
     return Status::Internal("no scan for topic " + message.origin.topic);
   }
-  for (ScanOperator* scan : it->second) {
-    SQS_RETURN_IF_ERROR(scan->ProcessMessage(message, ctx));
+  for (SourceOperator* source : it->second) {
+    SQS_RETURN_IF_ERROR(source->ProcessMessage(message, ctx));
   }
+  return Status::Ok();
+}
+
+Status MessageRouter::RouteBatch(const IncomingMessage* msgs, size_t count,
+                                 OperatorContext& ctx, size_t* consumed) {
+  size_t done = 0;
+  while (done < count) {
+    const std::string& topic = msgs[done].origin.topic;
+    size_t end = done + 1;
+    while (end < count && msgs[end].origin.topic == topic) ++end;
+    auto it = by_topic_.find(topic);
+    if (it == by_topic_.end()) {
+      if (consumed) *consumed = done;
+      return Status::Internal("no scan for topic " + topic);
+    }
+    if (it->second.size() == 1) {
+      size_t run_consumed = 0;
+      Status st = it->second[0]->ProcessMessages(msgs + done, end - done, ctx,
+                                                 &run_consumed);
+      done += run_consumed;
+      if (!st.ok()) {
+        if (consumed) *consumed = done;
+        return st;
+      }
+    } else {
+      // A topic feeding several sources (self-join): keep the per-message
+      // fan-out order every source sees on the per-message path.
+      for (size_t i = done; i < end; ++i) {
+        for (SourceOperator* source : it->second) {
+          Status st = source->ProcessMessage(msgs[i], ctx);
+          if (!st.ok()) {
+            if (consumed) *consumed = i;
+            return st;
+          }
+        }
+      }
+      done = end;
+    }
+  }
+  if (consumed) *consumed = count;
   return Status::Ok();
 }
 
@@ -289,7 +357,7 @@ Status MessageRouter::OnCommit(OperatorContext& ctx) {
 
 std::vector<std::string> MessageRouter::InputTopics() const {
   std::vector<std::string> out;
-  for (const auto& s : scans_) {
+  for (const auto& s : sources_) {
     if (std::find(out.begin(), out.end(), s.topic) == out.end()) out.push_back(s.topic);
   }
   return out;
@@ -297,7 +365,7 @@ std::vector<std::string> MessageRouter::InputTopics() const {
 
 std::vector<std::string> MessageRouter::BootstrapTopics() const {
   std::vector<std::string> out;
-  for (const auto& s : scans_) {
+  for (const auto& s : sources_) {
     if (s.bootstrap &&
         std::find(out.begin(), out.end(), s.topic) == out.end()) {
       out.push_back(s.topic);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ops/basic.h"
+#include "ops/fused.h"
 #include "ops/join.h"
 #include "ops/operator.h"
 #include "ops/window.h"
@@ -32,6 +33,10 @@ struct RouterConfig {
   // Hash-partition output by this column instead of preserving the input
   // partition (-1 = preserve).
   int out_key_index = -1;
+  // Compile terminal Scan <- Filter*/Project* chains into one fused stage
+  // (sql.fusion, default on; see docs/EXECUTION.md). Join/window/aggregate
+  // plans always use the interpreted operator DAG.
+  bool fusion = true;
 };
 
 class MessageRouter {
@@ -46,8 +51,19 @@ class MessageRouter {
 
   Status Init(OperatorContext& ctx);
 
-  // Dispatch one raw input message to the scan(s) reading its topic.
+  // Dispatch one raw input message to the source(s) reading its topic.
   Status Route(const IncomingMessage& message, OperatorContext& ctx);
+
+  // Dispatch a contiguous run of messages, grouping same-topic runs into
+  // one SourceOperator::ProcessMessages call (the fused batch path). On
+  // error `consumed` is the index of the failing message; everything before
+  // it has been fully processed. Topics read by several sources (self-
+  // joins) fall back to per-message dispatch to preserve interleaving.
+  Status RouteBatch(const IncomingMessage* msgs, size_t count,
+                    OperatorContext& ctx, size_t* consumed);
+
+  // The fused terminal stage, or nullptr when the plan runs interpreted.
+  const FusedStageOperator* fused_stage() const { return fused_stage_.get(); }
 
   // Fire window timers (early-results emission).
   Status OnTimer(OperatorContext& ctx);
@@ -63,15 +79,16 @@ class MessageRouter {
   size_t num_operators() const { return operators_.size(); }
 
  private:
-  struct ScanBinding {
+  struct SourceBinding {
     std::string topic;
     bool bootstrap = false;
-    std::shared_ptr<ScanOperator> scan;
+    std::shared_ptr<SourceOperator> source;
   };
 
   std::vector<OperatorPtr> operators_;  // all, in build order
-  std::vector<ScanBinding> scans_;
-  std::map<std::string, std::vector<ScanOperator*>> by_topic_;
+  std::vector<SourceBinding> sources_;
+  std::map<std::string, std::vector<SourceOperator*>> by_topic_;
+  std::shared_ptr<FusedStageOperator> fused_stage_;
 };
 
 // Serde for a source according to its declared format.

@@ -322,4 +322,39 @@ Result<Row> JsonRowSerde::Deserialize(BytesReader& in) const {
   return row;
 }
 
+Result<Row> JsonRowSerde::DeserializeProjected(BytesReader& in,
+                                               const std::vector<bool>& wanted) const {
+  std::string text;
+  text.reserve(in.remaining());
+  while (!in.AtEnd()) {
+    auto b = in.ReadByte();
+    text += static_cast<char>(b.value());
+  }
+  SQS_ASSIGN_OR_RETURN(v, ParseJson(text));
+  if (v.kind() != TypeKind::kMap) return Status::SerdeError("JSON row must be an object");
+  const ValueMap& obj = v.as_map();
+  const size_t n = schema_->num_fields();
+  Row row(n, Value::Null());
+  for (size_t i = 0; i < n; ++i) {
+    if (i >= wanted.size() || !wanted[i]) continue;
+    const Field& f = schema_->field(i);
+    auto it = obj.find(f.name);
+    if (it == obj.end()) {
+      if (!f.nullable) {
+        return Status::SerdeError("missing non-nullable field " + f.name);
+      }
+      continue;
+    }
+    const Value& raw = it->second;
+    if (f.type.kind == TypeKind::kInt32 && raw.kind() == TypeKind::kInt64) {
+      row[i] = Value(static_cast<int32_t>(raw.as_int64()));
+    } else if (f.type.kind == TypeKind::kDouble && raw.kind() == TypeKind::kInt64) {
+      row[i] = Value(static_cast<double>(raw.as_int64()));
+    } else {
+      row[i] = raw;
+    }
+  }
+  return row;
+}
+
 }  // namespace sqs

@@ -28,6 +28,10 @@ class JsonRowSerde : public RowSerde {
 
   Status Serialize(const Row& row, BytesWriter& out) const override;
   Result<Row> Deserialize(BytesReader& in) const override;
+  // JSON must still parse the whole document, but only wanted fields are
+  // looked up, narrowed, and copied into the row.
+  Result<Row> DeserializeProjected(BytesReader& in,
+                                   const std::vector<bool>& wanted) const override;
 
  private:
   SchemaPtr schema_;

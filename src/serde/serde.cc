@@ -106,7 +106,56 @@ Result<Value> DeserializeTyped(const FieldType& type, BytesReader& in) {
   }
 }
 
+// Skip one encoded value of `type` without building a Value.
+Status SkipTyped(const FieldType& type, BytesReader& in) {
+  switch (type.kind) {
+    case TypeKind::kBool:
+      return in.Skip(1);
+    case TypeKind::kInt32:
+    case TypeKind::kInt64:
+      return in.SkipVarint();
+    case TypeKind::kDouble:
+      return in.Skip(8);
+    case TypeKind::kString: {
+      SQS_ASSIGN_OR_RETURN(len, in.ReadVarint());
+      if (len < 0) return Status::SerdeError("negative string length");
+      return in.Skip(static_cast<size_t>(len));
+    }
+    case TypeKind::kArray: {
+      SQS_ASSIGN_OR_RETURN(n, in.ReadVarint());
+      if (n < 0) return Status::SerdeError("negative array length");
+      FieldType elem;
+      elem.kind = type.element;
+      for (int64_t i = 0; i < n; ++i) SQS_RETURN_IF_ERROR(SkipTyped(elem, in));
+      return Status::Ok();
+    }
+    case TypeKind::kMap: {
+      SQS_ASSIGN_OR_RETURN(n, in.ReadVarint());
+      if (n < 0) return Status::SerdeError("negative map length");
+      FieldType elem;
+      elem.kind = type.element;
+      for (int64_t i = 0; i < n; ++i) {
+        SQS_ASSIGN_OR_RETURN(klen, in.ReadVarint());
+        if (klen < 0) return Status::SerdeError("negative key length");
+        SQS_RETURN_IF_ERROR(in.Skip(static_cast<size_t>(klen)));
+        SQS_RETURN_IF_ERROR(SkipTyped(elem, in));
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::SerdeError(std::string("cannot skip kind ") + TypeKindName(type.kind));
+  }
+}
+
 }  // namespace
+
+Result<Value> DeserializeTypedValue(const FieldType& type, BytesReader& in) {
+  return DeserializeTyped(type, in);
+}
+
+Status SkipTypedValue(const FieldType& type, BytesReader& in) {
+  return SkipTyped(type, in);
+}
 
 Status AvroRowSerde::Serialize(const Row& row, BytesWriter& out) const {
   if (row.size() != schema_->num_fields()) {
@@ -140,6 +189,36 @@ Result<Row> AvroRowSerde::Deserialize(BytesReader& in) const {
     SQS_ASSIGN_OR_RETURN(v, DeserializeTyped(f.type, in));
     row.push_back(std::move(v));
   }
+  return row;
+}
+
+Result<Row> AvroRowSerde::DeserializeProjected(BytesReader& in,
+                                               const std::vector<bool>& wanted) const {
+  const size_t n = schema_->num_fields();
+  size_t last_wanted = 0;
+  bool any = false;
+  for (size_t i = 0; i < n && i < wanted.size(); ++i) {
+    if (wanted[i]) {
+      last_wanted = i;
+      any = true;
+    }
+  }
+  Row row(n, Value::Null());
+  if (!any) return row;
+  for (size_t i = 0; i <= last_wanted; ++i) {
+    const Field& f = schema_->field(i);
+    if (f.nullable) {
+      SQS_ASSIGN_OR_RETURN(tag, in.ReadByte());
+      if (tag == 0) continue;  // slot already Null
+    }
+    if (wanted[i]) {
+      SQS_ASSIGN_OR_RETURN(v, DeserializeTyped(f.type, in));
+      row[i] = std::move(v);
+    } else {
+      SQS_RETURN_IF_ERROR(SkipTyped(f.type, in));
+    }
+  }
+  // Fields past last_wanted are never read: trailing bytes stay untouched.
   return row;
 }
 

@@ -28,6 +28,17 @@ class RowSerde {
   virtual Status Serialize(const Row& row, BytesWriter& out) const = 0;
   virtual Result<Row> Deserialize(BytesReader& in) const = 0;
 
+  // Decode only the fields whose index is set in `wanted`; every other slot
+  // in the returned row is Null. Positions past the highest wanted index may
+  // be left unread (lazy decode — malformed trailing bytes are tolerated).
+  // The default is the full decode; encodings that can skip fields without
+  // materializing them override this.
+  virtual Result<Row> DeserializeProjected(BytesReader& in,
+                                           const std::vector<bool>& wanted) const {
+    (void)wanted;
+    return Deserialize(in);
+  }
+
   Bytes SerializeToBytes(const Row& row) const {
     BytesWriter w(64);
     Status st = Serialize(row, w);
@@ -53,6 +64,10 @@ class AvroRowSerde : public RowSerde {
 
   Status Serialize(const Row& row, BytesWriter& out) const override;
   Result<Row> Deserialize(BytesReader& in) const override;
+  // Positional encoding skips unwanted fields without materializing values
+  // and stops reading after the last wanted field.
+  Result<Row> DeserializeProjected(BytesReader& in,
+                                   const std::vector<bool>& wanted) const override;
 
  private:
   SchemaPtr schema_;
@@ -74,6 +89,12 @@ class ReflectiveRowSerde : public RowSerde {
  private:
   SchemaPtr schema_;
 };
+
+// Decode / skip one positionally-encoded (Avro-style) value of `type`.
+// Exposed for the fused-stage kernel, which interleaves decoding wanted
+// fields with skipping unwanted ones.
+Result<Value> DeserializeTypedValue(const FieldType& type, BytesReader& in);
+Status SkipTypedValue(const FieldType& type, BytesReader& in);
 
 // Serialize a single Value with a type tag (used by collection encodings,
 // the reflective serde, and KV-store key encoding).

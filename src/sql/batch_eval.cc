@@ -237,4 +237,301 @@ Result<std::vector<Row>> EvaluatePlan(const LogicalNode& plan,
   return Status::Internal("unhandled plan node");
 }
 
+// ---------------------------------------------------------------------------
+// FusedStageKernel
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Mirrors Value::Compare's numeric branch for NaN behavior.
+inline int CompareDoubleRaw(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+inline bool CmpResult(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq: return c == 0;
+    case BinaryOp::kNeq: return c != 0;
+    case BinaryOp::kLt: return c < 0;
+    case BinaryOp::kLe: return c <= 0;
+    case BinaryOp::kGt: return c > 0;
+    case BinaryOp::kGe: return c >= 0;
+    default: return false;
+  }
+}
+
+inline bool IsComparison(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNeq || op == BinaryOp::kLt ||
+         op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+inline BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // Eq/Neq are symmetric
+  }
+}
+
+inline bool IsIntKind(TypeKind k) {
+  return k == TypeKind::kInt32 || k == TypeKind::kInt64;
+}
+
+}  // namespace
+
+bool FusedStageKernel::ClassifyRawPred(const Expr& conjunct, const Schema& schema,
+                                       RawPred* out) {
+  if (conjunct.kind != ExprKind::kBinary || !IsComparison(conjunct.binary_op) ||
+      conjunct.children.size() != 2) {
+    return false;
+  }
+  const Expr* col = conjunct.children[0].get();
+  const Expr* lit = conjunct.children[1].get();
+  BinaryOp op = conjunct.binary_op;
+  if (col->kind == ExprKind::kLiteral && lit->kind == ExprKind::kColumnRef) {
+    std::swap(col, lit);
+    op = FlipComparison(op);
+  }
+  if (col->kind != ExprKind::kColumnRef || lit->kind != ExprKind::kLiteral) {
+    return false;
+  }
+  if (col->resolved_index < 0 ||
+      static_cast<size_t>(col->resolved_index) >= schema.num_fields()) {
+    return false;
+  }
+  const Value& v = lit->literal;
+  if (v.is_null()) return false;  // NULL comparisons stay on the compiled path
+  const TypeKind col_kind = schema.field(col->resolved_index).type.kind;
+  RawPred pred;
+  pred.column = col->resolved_index;
+  pred.op = op;
+  if (IsIntKind(col_kind) && IsIntKind(v.kind())) {
+    pred.mode = RawPred::Mode::kInt;
+    pred.i = v.ToInt64();
+  } else if ((col_kind == TypeKind::kDouble && v.is_numeric()) ||
+             (IsIntKind(col_kind) && v.kind() == TypeKind::kDouble)) {
+    pred.mode = RawPred::Mode::kDouble;
+    pred.d = v.ToDouble();
+  } else if (col_kind == TypeKind::kString && v.kind() == TypeKind::kString) {
+    pred.mode = RawPred::Mode::kString;
+    pred.s = v.as_string();
+  } else if (col_kind == TypeKind::kBool && v.kind() == TypeKind::kBool) {
+    pred.mode = RawPred::Mode::kBool;
+    pred.b = v.as_bool();
+  } else {
+    return false;  // mixed-kind comparison: defer to EvalBinaryOp semantics
+  }
+  *out = std::move(pred);
+  return true;
+}
+
+Result<FusedStageKernel> FusedStageKernel::Compile(const FusedStageSpec& spec,
+                                                   RowSerdePtr input_serde,
+                                                   bool passthrough,
+                                                   const std::vector<int>& extra_columns) {
+  FusedStageKernel k;
+  k.input_serde_ = std::move(input_serde);
+  k.scan_schema_ = spec.scan_schema;
+  k.rowtime_index_ = spec.scan_rowtime_index;
+  k.passthrough_ = passthrough;
+  k.avro_ = dynamic_cast<const AvroRowSerde*>(k.input_serde_.get()) != nullptr;
+  if (passthrough && !spec.projections.empty()) {
+    return Status::Internal("passthrough requires the identity projection");
+  }
+
+  const size_t n = k.scan_schema_->num_fields();
+  k.wanted_ = passthrough ? spec.predicate_columns : spec.referenced;
+  k.wanted_.resize(n, false);
+  if (passthrough && k.rowtime_index_ >= 0) k.wanted_[k.rowtime_index_] = true;
+  for (int c : extra_columns) {
+    if (c >= 0 && static_cast<size_t>(c) < n) k.wanted_[c] = true;
+  }
+
+  for (const ExprPtr& p : spec.predicates) {
+    RawPred raw;
+    if (k.avro_ && ClassifyRawPred(*p, *k.scan_schema_, &raw)) {
+      k.raw_preds_.push_back(std::move(raw));
+    } else {
+      SQS_ASSIGN_OR_RETURN(compiled, CompiledExpr::Compile(*p));
+      k.residual_preds_.push_back(std::move(compiled));
+    }
+  }
+  if (!passthrough) {
+    for (const ExprPtr& e : spec.projections) {
+      Projection proj;
+      if (e->kind == ExprKind::kColumnRef && e->resolved_index >= 0) {
+        proj.column = e->resolved_index;
+      } else {
+        SQS_ASSIGN_OR_RETURN(compiled, CompiledExpr::Compile(*e));
+        proj.expr = std::move(compiled);
+      }
+      k.projections_.push_back(std::move(proj));
+    }
+  }
+
+  if (k.avro_) {
+    // Field-walk plan: stop after the last field that must be decoded.
+    std::vector<std::vector<int>> preds_by_field(n);
+    for (size_t i = 0; i < k.raw_preds_.size(); ++i) {
+      preds_by_field[k.raw_preds_[i].column].push_back(static_cast<int>(i));
+    }
+    size_t last_needed = 0;
+    bool any = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (k.wanted_[i] || !preds_by_field[i].empty()) {
+        last_needed = i;
+        any = true;
+      }
+    }
+    if (any) {
+      k.steps_.reserve(last_needed + 1);
+      for (size_t i = 0; i <= last_needed; ++i) {
+        FieldStep step;
+        const Field& f = k.scan_schema_->field(i);
+        step.nullable = f.nullable;
+        step.type = f.type;
+        step.materialize = k.wanted_[i];
+        step.raw_preds = std::move(preds_by_field[i]);
+        k.steps_.push_back(std::move(step));
+      }
+    }
+  }
+  return k;
+}
+
+bool FusedStageKernel::EvalPredsInt(const FieldStep& step, int64_t v) const {
+  for (int idx : step.raw_preds) {
+    const RawPred& p = raw_preds_[idx];
+    int c = p.mode == RawPred::Mode::kDouble
+                ? CompareDoubleRaw(static_cast<double>(v), p.d)
+                : (v < p.i ? -1 : (v > p.i ? 1 : 0));
+    if (!CmpResult(p.op, c)) return false;
+  }
+  return true;
+}
+
+bool FusedStageKernel::EvalPredsDouble(const FieldStep& step, double v) const {
+  for (int idx : step.raw_preds) {
+    const RawPred& p = raw_preds_[idx];
+    if (!CmpResult(p.op, CompareDoubleRaw(v, p.d))) return false;
+  }
+  return true;
+}
+
+bool FusedStageKernel::EvalPredsString(const FieldStep& step,
+                                       const std::string& v) const {
+  for (int idx : step.raw_preds) {
+    const RawPred& p = raw_preds_[idx];
+    int c = v.compare(p.s);
+    if (!CmpResult(p.op, c < 0 ? -1 : (c > 0 ? 1 : 0))) return false;
+  }
+  return true;
+}
+
+bool FusedStageKernel::EvalPredsBool(const FieldStep& step, bool v) const {
+  for (int idx : step.raw_preds) {
+    const RawPred& p = raw_preds_[idx];
+    if (!CmpResult(p.op, static_cast<int>(v) - static_cast<int>(p.b))) return false;
+  }
+  return true;
+}
+
+void FusedStageKernel::BuildOutput(Row& scratch, Output& out) const {
+  out.pass = true;
+  if (rowtime_index_ >= 0) out.rowtime = scratch[rowtime_index_];
+  if (passthrough_) return;
+  if (projections_.empty()) {
+    out.row = std::move(scratch);
+    return;
+  }
+  out.row.reserve(projections_.size());
+  for (const Projection& proj : projections_) {
+    out.row.push_back(proj.column >= 0 ? scratch[proj.column]
+                                       : proj.expr.Eval(scratch));
+  }
+}
+
+Result<FusedStageKernel::Output> FusedStageKernel::ApplyAvro(const Bytes& raw) const {
+  BytesReader in(raw);
+  Output out;
+  Row scratch(scan_schema_->num_fields(), Value::Null());
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const FieldStep& step = steps_[i];
+    if (step.nullable) {
+      SQS_ASSIGN_OR_RETURN(tag, in.ReadByte());
+      if (tag == 0) {
+        // NULL: every comparison predicate on this column is false.
+        if (!step.raw_preds.empty()) return out;
+        continue;
+      }
+    }
+    if (!step.materialize && step.raw_preds.empty()) {
+      SQS_RETURN_IF_ERROR(SkipTypedValue(step.type, in));
+      continue;
+    }
+    switch (step.type.kind) {
+      case TypeKind::kInt32: {
+        SQS_ASSIGN_OR_RETURN(v, in.ReadVarint());
+        if (!EvalPredsInt(step, v)) return out;
+        if (step.materialize) scratch[i] = Value(static_cast<int32_t>(v));
+        break;
+      }
+      case TypeKind::kInt64: {
+        SQS_ASSIGN_OR_RETURN(v, in.ReadVarint());
+        if (!EvalPredsInt(step, v)) return out;
+        if (step.materialize) scratch[i] = Value(v);
+        break;
+      }
+      case TypeKind::kDouble: {
+        SQS_ASSIGN_OR_RETURN(v, in.ReadDouble());
+        if (!EvalPredsDouble(step, v)) return out;
+        if (step.materialize) scratch[i] = Value(v);
+        break;
+      }
+      case TypeKind::kString: {
+        SQS_ASSIGN_OR_RETURN(v, in.ReadString());
+        if (!EvalPredsString(step, v)) return out;
+        if (step.materialize) scratch[i] = Value(std::move(v));
+        break;
+      }
+      case TypeKind::kBool: {
+        SQS_ASSIGN_OR_RETURN(v, in.ReadBool());
+        if (!EvalPredsBool(step, v)) return out;
+        if (step.materialize) scratch[i] = Value(v);
+        break;
+      }
+      default: {
+        SQS_ASSIGN_OR_RETURN(v, DeserializeTypedValue(step.type, in));
+        scratch[i] = std::move(v);
+        break;
+      }
+    }
+  }
+  // Fields past the last needed one are never read (lazy decode).
+  for (const CompiledExpr& pred : residual_preds_) {
+    if (!Truthy(pred.Eval(scratch))) return out;
+  }
+  BuildOutput(scratch, out);
+  return out;
+}
+
+Result<FusedStageKernel::Output> FusedStageKernel::ApplyGeneric(const Bytes& raw) const {
+  BytesReader in(raw);
+  Output out;
+  SQS_ASSIGN_OR_RETURN(scratch, input_serde_->DeserializeProjected(in, wanted_));
+  for (const CompiledExpr& pred : residual_preds_) {
+    if (!Truthy(pred.Eval(scratch))) return out;
+  }
+  BuildOutput(scratch, out);
+  return out;
+}
+
+Result<FusedStageKernel::Output> FusedStageKernel::Apply(const Bytes& raw) const {
+  return avro_ ? ApplyAvro(raw) : ApplyGeneric(raw);
+}
+
 }  // namespace sqs::sql

@@ -1,19 +1,26 @@
-// Reference (batch) evaluator: runs a logical plan over bounded row sets
-// with textbook SQL semantics. Two roles:
-//  1. executes non-STREAM queries, which per the paper (§3.3) treat a
-//     stream "as a table consisting of the history of the stream up to the
-//     point of execution";
-//  2. serves as the semantic oracle in tests — the paper's stated goal is
-//     "producing the same results on a stream as if the same data were in
-//     a table", so streaming operator outputs are checked against this.
+// Batch evaluation:
+//  1. EvaluatePlan — reference evaluator over bounded row sets with
+//     textbook SQL semantics. Executes non-STREAM queries, which per the
+//     paper (§3.3) treat a stream "as a table consisting of the history of
+//     the stream up to the point of execution", and serves as the semantic
+//     oracle in tests.
+//  2. FusedStageKernel — the compiled per-record core of a fused stage
+//     (see optimizer.h FusedStageSpec and docs/EXECUTION.md): lazy decode
+//     of the referenced-column set, raw-value predicate evaluation with
+//     early exit, then projection. One kernel instance is compiled per
+//     fused stage at task init and applied to every record of a batch.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
+#include "serde/serde.h"
+#include "sql/expr.h"
 #include "sql/logical.h"
+#include "sql/optimizer.h"
 
 namespace sqs::sql {
 
@@ -26,5 +33,85 @@ using TableProvider = std::function<Result<std::vector<Row>>(const SourceDef& so
 // input order with appended aggregate columns.
 Result<std::vector<Row>> EvaluatePlan(const LogicalNode& plan,
                                       const TableProvider& provider);
+
+// ---------------------------------------------------------------------------
+// Fused-stage kernel
+// ---------------------------------------------------------------------------
+
+class FusedStageKernel {
+ public:
+  struct Output {
+    bool pass = false;  // record survived every predicate
+    Row row;            // output row (valid when pass; unused in passthrough)
+    Value rowtime;      // decoded scan rowtime column (Null when absent)
+  };
+
+  // Compile the spec against the input serde. `passthrough` means the
+  // caller forwards the ORIGINAL value bytes for surviving records (legal
+  // only for the identity projection with a byte-compatible output serde),
+  // so only predicate columns, the rowtime, and `extra_columns` (e.g. the
+  // output key column) are decoded.
+  static Result<FusedStageKernel> Compile(const FusedStageSpec& spec,
+                                          RowSerdePtr input_serde,
+                                          bool passthrough,
+                                          const std::vector<int>& extra_columns = {});
+
+  // Decode lazily, filter, project one record value.
+  Result<Output> Apply(const Bytes& raw) const;
+
+  bool passthrough() const { return passthrough_; }
+  const std::vector<bool>& wanted() const { return wanted_; }
+  // Number of predicates evaluated inline on raw decoded scalars (the rest
+  // run as compiled residuals on the scratch row). Exposed for tests.
+  size_t num_raw_predicates() const { return raw_preds_.size(); }
+
+ private:
+  // One predicate conjunct of shape `column <cmp> literal`, evaluated
+  // directly on the decoded scalar during the Avro field walk. Semantics
+  // mirror EvalBinaryOp/Value::Compare exactly (NULL compares false).
+  struct RawPred {
+    int column = 0;
+    BinaryOp op = BinaryOp::kEq;
+    enum class Mode { kInt, kDouble, kString, kBool } mode = Mode::kInt;
+    int64_t i = 0;
+    double d = 0;
+    std::string s;
+    bool b = false;
+  };
+
+  // Per-field plan for the Avro walk, up to the last needed field.
+  struct FieldStep {
+    bool nullable = false;
+    FieldType type;
+    bool materialize = false;        // keep the decoded value in the row
+    std::vector<int> raw_preds;      // indices into raw_preds_
+  };
+
+  struct Projection {
+    int column = -1;  // plain column ref fast path
+    CompiledExpr expr;
+  };
+
+  static bool ClassifyRawPred(const Expr& conjunct, const Schema& schema,
+                              RawPred* out);
+  bool EvalPredsInt(const FieldStep& step, int64_t v) const;
+  bool EvalPredsDouble(const FieldStep& step, double v) const;
+  bool EvalPredsString(const FieldStep& step, const std::string& v) const;
+  bool EvalPredsBool(const FieldStep& step, bool v) const;
+  void BuildOutput(Row& scratch, Output& out) const;
+  Result<Output> ApplyAvro(const Bytes& raw) const;
+  Result<Output> ApplyGeneric(const Bytes& raw) const;
+
+  RowSerdePtr input_serde_;
+  SchemaPtr scan_schema_;
+  int rowtime_index_ = -1;
+  bool passthrough_ = false;
+  bool avro_ = false;
+  std::vector<bool> wanted_;          // columns to materialize
+  std::vector<FieldStep> steps_;      // Avro walk plan (size = last needed + 1)
+  std::vector<RawPred> raw_preds_;
+  std::vector<CompiledExpr> residual_preds_;
+  std::vector<Projection> projections_;  // empty = identity
+};
 
 }  // namespace sqs::sql

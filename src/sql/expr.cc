@@ -743,6 +743,30 @@ bool ExprEquals(const Expr& a, const Expr& b) {
   return a.ToString() == b.ToString();
 }
 
+ExprPtr SubstituteColumns(const Expr& expr,
+                          const std::vector<const Expr*>& bindings) {
+  if (expr.kind == ExprKind::kColumnRef) {
+    if (expr.resolved_index >= 0 &&
+        static_cast<size_t>(expr.resolved_index) < bindings.size() &&
+        bindings[expr.resolved_index] != nullptr) {
+      return bindings[expr.resolved_index]->Clone();
+    }
+    return expr.Clone();
+  }
+  ExprPtr out = expr.Clone();
+  for (size_t i = 0; i < out->children.size(); ++i) {
+    out->children[i] = SubstituteColumns(*expr.children[i], bindings);
+  }
+  return out;
+}
+
+void CollectColumnIndices(const Expr& expr, std::vector<int>& indices) {
+  if (expr.kind == ExprKind::kColumnRef && expr.resolved_index >= 0) {
+    indices.push_back(expr.resolved_index);
+  }
+  for (const auto& child : expr.children) CollectColumnIndices(*child, indices);
+}
+
 bool ContainsAggregate(const Expr& expr) {
   if (expr.kind == ExprKind::kAggCall || expr.kind == ExprKind::kWindowCall) return true;
   // A FuncCall with an aggregate name is an unresolved aggregate.

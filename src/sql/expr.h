@@ -45,6 +45,15 @@ bool ExprEquals(const Expr& a, const Expr& b);
 // True if the (sub)expression contains any kAggCall / kWindowCall.
 bool ContainsAggregate(const Expr& expr);
 
+// Rewrite `expr` so every resolved column ref i is replaced by a clone of
+// bindings[i] (composition of projections onto an earlier schema). Refs with
+// no binding are cloned unchanged.
+ExprPtr SubstituteColumns(const Expr& expr,
+                          const std::vector<const Expr*>& bindings);
+
+// Append the resolved input-row index of every column ref in `expr`.
+void CollectColumnIndices(const Expr& expr, std::vector<int>& indices);
+
 // ---------------------------------------------------------------------------
 // Compiled expressions: a flat postfix program evaluated on a value stack.
 // One-time compilation per operator instance at task init (like the paper's

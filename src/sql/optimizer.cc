@@ -273,4 +273,143 @@ LogicalNodePtr Optimize(LogicalNodePtr root, OptimizerStats* stats) {
   return Optimizer(stats).Run(std::move(root));
 }
 
+// ---------------------------------------------------------------------------
+// Fused-stage extraction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A column ref over the scan schema, for seeding the identity bindings.
+ExprPtr ScanColumnRef(const Schema& schema, int index) {
+  ExprPtr ref = MakeColumnRef("", schema.field(index).name);
+  ref->resolved_index = index;
+  ref->resolved_type = schema.field(index).type;
+  return ref;
+}
+
+std::vector<const Expr*> BindingPtrs(const std::vector<ExprPtr>& exprs) {
+  std::vector<const Expr*> ptrs;
+  ptrs.reserve(exprs.size());
+  for (const auto& e : exprs) ptrs.push_back(e.get());
+  return ptrs;
+}
+
+bool IsIdentityOverScan(const std::vector<ExprPtr>& exprs, size_t scan_fields) {
+  if (exprs.size() != scan_fields) return false;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (exprs[i]->kind != ExprKind::kColumnRef ||
+        exprs[i]->resolved_index != static_cast<int>(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MarkColumns(const Expr& expr, std::vector<bool>& bits) {
+  std::vector<int> indices;
+  CollectColumnIndices(expr, indices);
+  for (int i : indices) {
+    if (i >= 0 && static_cast<size_t>(i) < bits.size()) bits[i] = true;
+  }
+}
+
+FusedStageSpec BuildFusedSpec(int first_op,
+                              const std::vector<const LogicalNode*>& chain,
+                              const LogicalNode& scan) {
+  FusedStageSpec spec;
+  spec.first_op = first_op;
+  spec.last_op = first_op + static_cast<int>(chain.size());
+  spec.reaches_root = true;
+  spec.scan = &scan;
+  spec.scan_schema = scan.schema;
+  spec.scan_rowtime_index = scan.rowtime_index;
+  const LogicalNode& top = chain.empty() ? scan : *chain.front();
+  spec.output_schema = top.schema;
+  spec.out_rowtime_index = top.rowtime_index;
+
+  const size_t n = scan.schema->num_fields();
+  // Current intermediate schema expressed over the scan schema; starts as
+  // the identity and composes upward through the chain.
+  std::vector<ExprPtr> current;
+  current.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    current.push_back(ScanColumnRef(*scan.schema, static_cast<int>(i)));
+  }
+  bool projected = false;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const LogicalNode& node = **it;
+    if (node.kind == LogicalKind::kFilter) {
+      ExprPtr rebased = SubstituteColumns(*node.predicate, BindingPtrs(current));
+      for (ExprPtr& conjunct : SplitConjuncts(*rebased)) {
+        FoldConstants(*conjunct);
+        spec.predicates.push_back(std::move(conjunct));
+      }
+    } else {  // kProject
+      std::vector<ExprPtr> next;
+      next.reserve(node.exprs.size());
+      for (const ExprPtr& e : node.exprs) {
+        ExprPtr rebased = SubstituteColumns(*e, BindingPtrs(current));
+        FoldConstants(*rebased);
+        next.push_back(std::move(rebased));
+      }
+      current = std::move(next);
+      projected = true;
+    }
+  }
+
+  spec.referenced.assign(n, false);
+  spec.predicate_columns.assign(n, false);
+  for (const ExprPtr& p : spec.predicates) {
+    MarkColumns(*p, spec.referenced);
+    MarkColumns(*p, spec.predicate_columns);
+  }
+  if (projected && !IsIdentityOverScan(current, n)) {
+    for (const ExprPtr& e : current) MarkColumns(*e, spec.referenced);
+    spec.projections = std::move(current);
+  } else {
+    // Identity projection: every scan column reaches the output.
+    spec.referenced.assign(n, true);
+  }
+  if (spec.scan_rowtime_index >= 0) spec.referenced[spec.scan_rowtime_index] = true;
+
+  spec.label = "fused<op" + std::to_string(spec.first_op);
+  if (spec.last_op != spec.first_op) {
+    spec.label += "..op" + std::to_string(spec.last_op);
+  }
+  spec.label += ">";
+  return spec;
+}
+
+// Mirrors ops::Builder's preorder id assignment (parent before children,
+// join inputs left then right) so spec ids match "op<k>-" metric ids.
+void WalkForFusion(const LogicalNode& node, bool at_root, int& next_id,
+                   std::vector<FusedStageSpec>& specs) {
+  const int id = next_id++;
+  if (at_root) {
+    std::vector<const LogicalNode*> chain;
+    const LogicalNode* cur = &node;
+    while (cur->kind == LogicalKind::kFilter || cur->kind == LogicalKind::kProject) {
+      chain.push_back(cur);
+      cur = cur->inputs[0].get();
+    }
+    if (cur->kind == LogicalKind::kScan) {
+      specs.push_back(BuildFusedSpec(id, chain, *cur));
+      next_id = id + static_cast<int>(chain.size()) + 1;  // consume the scan id
+      return;
+    }
+  }
+  for (const auto& input : node.inputs) {
+    WalkForFusion(*input, false, next_id, specs);
+  }
+}
+
+}  // namespace
+
+std::vector<FusedStageSpec> PlanFusedStages(const LogicalNode& root) {
+  std::vector<FusedStageSpec> specs;
+  int next_id = 0;
+  WalkForFusion(root, true, next_id, specs);
+  return specs;
+}
+
 }  // namespace sqs::sql

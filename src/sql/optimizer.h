@@ -10,6 +10,9 @@
 //  - RemoveTrivialProject:  drop identity projections
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "sql/logical.h"
 
 namespace sqs::sql {
@@ -34,5 +37,55 @@ LogicalNodePtr Optimize(LogicalNodePtr root, OptimizerStats* stats = nullptr);
 // Fold literal-only subtrees of a resolved expression in place.
 // Returns true if anything changed.
 bool FoldConstants(Expr& expr);
+
+// ---------------------------------------------------------------------------
+// Fused-stage extraction (physical planning, paper §7 item 5).
+//
+// A maximal Scan <- Filter*/Project* chain that produces the query output is
+// compiled into ONE fused stage: predicates and projections are rebased onto
+// the scan schema so a single kernel can decode each input record lazily
+// (only referenced columns), filter, project, and re-serialize — no
+// per-operator dispatch, no intermediate rows. Chains feeding joins /
+// aggregates / sliding windows stay on the interpreted operator path.
+// ---------------------------------------------------------------------------
+
+struct FusedStageSpec {
+  // Preorder operator ids the stage covers, matching the operator Builder's
+  // numbering: first_op = top chain node, last_op = the scan. The stage also
+  // subsumes the insert operator ("op<last_op+1>") when reaches_root.
+  int first_op = 0;
+  int last_op = 0;
+  bool reaches_root = false;
+
+  const LogicalNode* scan = nullptr;  // borrowed from the plan
+  SchemaPtr scan_schema;
+  int scan_rowtime_index = -1;
+
+  // Stage output = top chain node's output.
+  SchemaPtr output_schema;
+  int out_rowtime_index = -1;
+
+  // All filter conjuncts in the chain, rebased onto the scan schema and
+  // constant-folded. Evaluated in order; any false/null drops the record.
+  std::vector<ExprPtr> predicates;
+  // Output expressions over the scan schema, one per output field. Empty
+  // means the identity projection (output row == scan row).
+  std::vector<ExprPtr> projections;
+
+  // Scan columns needed to produce the output row (projection inputs; every
+  // column for the identity projection) — predicate columns included.
+  std::vector<bool> referenced;
+  // Scan columns referenced by predicates only (a passthrough stage can
+  // restrict decoding to these plus the rowtime).
+  std::vector<bool> predicate_columns;
+
+  std::string label;  // "fused<opA..opB>"; single-op chains: "fused<opA>"
+};
+
+// Extract fused stages from an optimized plan. Walks the plan with the same
+// preorder id assignment the operator Builder uses, so stage ids line up
+// with "op<k>-" metric ids. With the current policy (terminal chains only)
+// the result has at most one entry.
+std::vector<FusedStageSpec> PlanFusedStages(const LogicalNode& root);
 
 }  // namespace sqs::sql

@@ -68,6 +68,25 @@ class StreamTask {
   virtual Status Process(const IncomingMessage& message, MessageCollector& collector,
                          TaskCoordinator& coordinator) = 0;
 
+  // Process a contiguous run of messages in order. Implementations may
+  // amortize per-message overheads (the fused SQL pipeline evaluates the
+  // whole run through one kernel — see docs/EXECUTION.md). On success
+  // `consumed` (if non-null) is `count`; on error it is the index of the
+  // failing message, with every earlier message fully processed (its sends
+  // issued), so the container's error policy can resume after it. Output
+  // sends must be issued in input order — exactly-once replay depends on
+  // batch runs producing the same producer sequence as per-message replay.
+  virtual Status ProcessBatch(const IncomingMessage* msgs, size_t count,
+                              MessageCollector& collector,
+                              TaskCoordinator& coordinator, size_t* consumed) {
+    for (size_t i = 0; i < count; ++i) {
+      if (consumed) *consumed = i;
+      SQS_RETURN_IF_ERROR(Process(msgs[i], collector, coordinator));
+    }
+    if (consumed) *consumed = count;
+    return Status::Ok();
+  }
+
   // Called on the window timer if task.window.ms is configured (Samza's
   // WindowableTask). Hopping/tumbling emission happens here.
   virtual Status Window(MessageCollector& /*collector*/,
@@ -112,6 +131,10 @@ inline constexpr const char* kCheckpointTopic = "task.checkpoint.topic";
 inline constexpr const char* kCommitEveryMessages = "task.commit.max.messages";
 inline constexpr const char* kWindowMs = "task.window.ms";
 inline constexpr const char* kMaxPollMessages = "task.poll.max.messages";
+// Upper bound on the contiguous same-task run handed to one
+// StreamTask::ProcessBatch call (1 = per-message processing). Runs are also
+// cut at traced messages, CRC failures, and the commit cadence.
+inline constexpr const char* kBatchMaxMessages = "task.batch.max.messages";
 inline constexpr const char* kMaxFetchPerPartition = "task.fetch.max.per.partition";
 inline constexpr const char* kPollLatencyNanos = "task.poll.latency.nanos";
 // Simulated per-access latency of task-local stores (RocksDB model).

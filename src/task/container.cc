@@ -353,6 +353,8 @@ Status Container::Start() {
   }
 
   commit_every_ = config_.GetInt(cfg::kCommitEveryMessages, 0);
+  batch_max_ = config_.GetInt(cfg::kBatchMaxMessages, 256);
+  if (batch_max_ < 1) batch_max_ = 1;
   window_ms_ = config_.GetInt(cfg::kWindowMs, 0);
   last_window_fire_ms_ = clock_->NowMillis();
 
@@ -412,55 +414,138 @@ Producer& Container::TaskProducer(TaskInstance& task) {
   return task.producer ? *task.producer : *producer_;
 }
 
+Status Container::ProcessOne(TaskInstance& task, const IncomingMessage& msg) {
+  ProducerCollector collector(TaskProducer(task));
+  // Per-message span. A message stamped by a producer continues its
+  // trace; an untraced message (pre-existing log data) is a
+  // head-sampling point, so ingest-rooted traces work on topics written
+  // before tracing was on.
+  TraceContext parent = msg.message.trace;
+  if (!parent.valid()) parent = Tracer::Instance().MaybeStartTrace();
+  TraceSpan span(parent, "process", task.trace_scope, msg.origin.partition);
+  int64_t t0 = MonotonicNanos();
+  Status process_st = task.task->Process(msg, collector, task);
+  if (!process_st.ok()) {
+    // Transient broker trouble must crash-and-recover, never be dropped:
+    // the message itself is fine and replay will succeed. The same goes
+    // for a fenced send — a newer incarnation of this task owns the
+    // output now, and this container must die without checkpointing.
+    // Only data errors are poison, so only they go through the policy.
+    if (process_st.code() == ErrorCode::kUnavailable ||
+        process_st.code() == ErrorCode::kFenced) {
+      return process_st;
+    }
+    SQS_RETURN_IF_ERROR(HandleProcessError(task, msg, process_st));
+  }
+  if (m_process_latency_ns_ != nullptr) {
+    m_process_latency_ns_->Record(MonotonicNanos() - t0);
+  }
+  return Status::Ok();
+}
+
 Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batch) {
   int64_t processed = 0;
-  for (const IncomingMessage& msg : batch) {
-    auto it = dispatch_.find(msg.origin);
+  size_t b = 0;
+  while (b < batch.size()) {
+    const IncomingMessage& first = batch[b];
+    auto it = dispatch_.find(first.origin);
     if (it == dispatch_.end()) {
-      return Status::Internal("no task for partition " + msg.origin.ToString());
+      return Status::Internal("no task for partition " + first.origin.ToString());
     }
     TaskInstance& task = *it->second;
+
     // End-to-end integrity gate: a stamped message whose payload no longer
     // matches its CRC32C never reaches Process. Under the fail policy the
     // container crashes and the replay refetches (transient corruption
     // heals); under dead-letter the record is preserved with provenance.
-    if (!MessageCrcValid(msg.message)) {
+    if (!MessageCrcValid(first.message)) {
       if (m_corrupt_ != nullptr) m_corrupt_->Inc();
-      Status bad = Status::DataLoss("crc mismatch on " + msg.origin.ToString() +
-                                    "@" + std::to_string(msg.offset));
+      Status bad = Status::DataLoss("crc mismatch on " + first.origin.ToString() +
+                                    "@" + std::to_string(first.offset));
       if (corrupt_policy_ == TaskCorruptPolicy::kFail) return bad;
       SQS_RETURN_IF_ERROR(
-          ApplyErrorPolicy(TaskErrorPolicy::kDeadLetter, task, msg, bad));
+          ApplyErrorPolicy(TaskErrorPolicy::kDeadLetter, task, first, bad));
+    } else if (first.message.trace.valid()) {
+      // Producer-traced messages keep the legacy per-message span chain
+      // (produce -> process -> operator spans) at message granularity.
+      SQS_RETURN_IF_ERROR(ProcessOne(task, first));
     } else {
+      // Batch path: slice off the longest contiguous run of CRC-valid,
+      // untraced messages owned by this task, capped by
+      // task.batch.max.messages and by the commit cadence (so
+      // task.commit.max.messages boundaries land exactly where the
+      // per-message loop would put them).
+      size_t limit = static_cast<size_t>(batch_max_);
+      if (commit_every_ > 0) {
+        int64_t room = commit_every_ - task.since_commit;
+        if (room < 1) room = 1;
+        if (static_cast<size_t>(room) < limit) limit = static_cast<size_t>(room);
+      }
+      size_t end = b + 1;
+      while (end < batch.size() && end - b < limit) {
+        const IncomingMessage& m = batch[end];
+        if (m.message.trace.valid() || !MessageCrcValid(m.message)) break;
+        auto it2 = dispatch_.find(m.origin);
+        if (it2 == dispatch_.end() || it2->second != &task) break;
+        ++end;
+      }
+      const size_t len = end - b;
+
       ProducerCollector collector(TaskProducer(task));
-      // Per-message span. A message stamped by a producer continues its
-      // trace; an untraced message (pre-existing log data) is a
-      // head-sampling point, so ingest-rooted traces work on topics written
-      // before tracing was on.
-      TraceContext parent = msg.message.trace;
-      if (!parent.valid()) parent = Tracer::Instance().MaybeStartTrace();
-      TraceSpan span(parent, "process", task.trace_scope, msg.origin.partition);
+      // One "process" span per run: head-sampling moves to batch
+      // granularity for untraced traffic (see docs/EXECUTION.md).
+      TraceContext parent = Tracer::Instance().MaybeStartTrace();
+      size_t consumed = 0;
+      Status st;
       int64_t t0 = MonotonicNanos();
-      Status process_st = task.task->Process(msg, collector, task);
-      if (!process_st.ok()) {
-        // Transient broker trouble must crash-and-recover, never be dropped:
-        // the message itself is fine and replay will succeed. The same goes
-        // for a fenced send — a newer incarnation of this task owns the
-        // output now, and this container must die without checkpointing.
-        // Only data errors are poison, so only they go through the policy.
-        if (process_st.code() == ErrorCode::kUnavailable ||
-            process_st.code() == ErrorCode::kFenced) {
-          return process_st;
-        }
-        SQS_RETURN_IF_ERROR(HandleProcessError(task, msg, process_st));
+      {
+        TraceSpan span(parent, "process", task.trace_scope,
+                       first.origin.partition);
+        st = task.task->ProcessBatch(&batch[b], len, collector, task, &consumed);
       }
       if (m_process_latency_ns_ != nullptr) {
         m_process_latency_ns_->Record(MonotonicNanos() - t0);
       }
+      if (st.ok() && consumed != len) {
+        return Status::Internal("task ProcessBatch consumed " +
+                                std::to_string(consumed) + " of " +
+                                std::to_string(len) + " without error");
+      }
+      // Fully-processed prefix: advance positions and cadence counters.
+      for (size_t i = b; i < b + consumed; ++i) {
+        task.processed_positions[batch[i].origin] = batch[i].offset + 1;
+      }
+      task.since_commit += static_cast<int64_t>(consumed);
+      processed += static_cast<int64_t>(consumed);
+      b += consumed;
+      if (!st.ok()) {
+        if (st.code() == ErrorCode::kUnavailable ||
+            st.code() == ErrorCode::kFenced) {
+          return st;
+        }
+        // `consumed` names the failing message; everything before it was
+        // fully processed (sends issued), so the error policy applies to
+        // exactly one record and the loop resumes right after it.
+        const IncomingMessage& failing = batch[b];
+        SQS_RETURN_IF_ERROR(HandleProcessError(task, failing, st));
+        task.processed_positions[failing.origin] = failing.offset + 1;
+        task.since_commit++;
+        ++processed;
+        ++b;
+      }
+      if (task.commit_requested ||
+          (commit_every_ > 0 && task.since_commit >= commit_every_)) {
+        SQS_RETURN_IF_ERROR(CommitTask(task));
+      }
+      if (shutdown_requested_) break;
+      continue;
     }
-    task.processed_positions[msg.origin] = msg.offset + 1;
+
+    // Solo (CRC-handled or traced) message bookkeeping.
+    task.processed_positions[first.origin] = first.offset + 1;
     task.since_commit++;
     ++processed;
+    ++b;
     if (task.commit_requested ||
         (commit_every_ > 0 && task.since_commit >= commit_every_)) {
       SQS_RETURN_IF_ERROR(CommitTask(task));

@@ -111,6 +111,10 @@ class Container {
 
   Status InitTask(TaskInstance& task);
   Result<int64_t> ProcessBatch(const std::vector<IncomingMessage>& batch);
+  // Legacy per-message dispatch with a per-message "process" span. Used for
+  // producer-traced messages (keeps span chains intact at message
+  // granularity) while untraced runs go through StreamTask::ProcessBatch.
+  Status ProcessOne(TaskInstance& task, const IncomingMessage& msg);
   // Apply task.error.policy to a failed message. Ok = handled (skipped or
   // dead-lettered), error = the container must stop with that status.
   Status HandleProcessError(TaskInstance& task, const IncomingMessage& msg,
@@ -148,6 +152,7 @@ class Container {
   std::string dlq_topic_;
   RetryPolicy retry_policy_;
   int64_t commit_every_ = 0;
+  int64_t batch_max_ = 256;  // task.batch.max.messages
   int64_t window_ms_ = 0;
   int64_t last_window_fire_ms_ = 0;
   bool started_ = false;

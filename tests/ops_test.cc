@@ -491,12 +491,14 @@ TEST_F(OpsTest, RouterBuildsPlanAndRoutes) {
   RouterConfig config;
   config.output_topic = "out";
   config.output_serde = std::make_shared<AvroRowSerde>(plan->schema);
+  config.fusion = false;  // interpreted DAG: one operator per plan node
   auto router = MessageRouter::Build(*plan, config);
   ASSERT_TRUE(router.ok()) << router.status().ToString();
   EXPECT_EQ(router.value()->InputTopics(), std::vector<std::string>{"orders"});
   EXPECT_TRUE(router.value()->BootstrapTopics().empty());
   // Scan + Filter + Project + Insert.
   EXPECT_EQ(router.value()->num_operators(), 4u);
+  EXPECT_EQ(router.value()->fused_stage(), nullptr);
 
   auto ctx = Ctx();
   ASSERT_TRUE(router.value()->Init(ctx).ok());
@@ -514,6 +516,66 @@ TEST_F(OpsTest, RouterBuildsPlanAndRoutes) {
   // Unknown topic is an error.
   msg.origin = {"nope", 0};
   EXPECT_FALSE(router.value()->Route(msg, ctx).ok());
+}
+
+TEST_F(OpsTest, RouterFusesTerminalFilterProjectChain) {
+  auto catalog = sql::testutil::PaperCatalog();
+  sql::QueryPlanner planner(catalog);
+  auto stmt = sql::ParseStatement(
+                  "SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 10")
+                  .value();
+  auto plan = planner.Plan(*stmt.select).value();
+
+  auto orders = catalog->GetSource("Orders").value();
+  RouterConfig config;
+  config.output_topic = "out";
+  config.output_serde = std::make_shared<AvroRowSerde>(plan->schema);
+  auto router = MessageRouter::Build(*plan, config);  // fusion defaults on
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  // The whole terminal scan<-filter<-project chain (plus the insert) is one
+  // fused stage, so the router holds exactly one operator.
+  EXPECT_EQ(router.value()->num_operators(), 1u);
+  ASSERT_NE(router.value()->fused_stage(), nullptr);
+  EXPECT_EQ(router.value()->fused_stage()->label(), "fused<op0..op2>");
+  EXPECT_EQ(router.value()->InputTopics(), std::vector<std::string>{"orders"});
+
+  auto ctx = Ctx();
+  ASSERT_TRUE(router.value()->Init(ctx).ok());
+  AvroRowSerde in_serde(orders.schema);
+  IncomingMessage msg;
+  msg.origin = {"orders", 0};
+  msg.offset = 0;
+  msg.message.value = in_serde.SerializeToBytes(
+      {Value(int64_t{1}), Value(int32_t{2}), Value(int64_t{3}), Value(int32_t{50}),
+       Value("p")});
+  ASSERT_TRUE(router.value()->Route(msg, ctx).ok());
+  ASSERT_EQ(collector_.sent.size(), 1u);
+  EXPECT_EQ(collector_.sent[0].topic, "out");
+
+  // A filtered-out tuple is dropped, not sent.
+  msg.message.value = in_serde.SerializeToBytes(
+      {Value(int64_t{2}), Value(int32_t{2}), Value(int64_t{4}), Value(int32_t{5}),
+       Value("p")});
+  ASSERT_TRUE(router.value()->Route(msg, ctx).ok());
+  EXPECT_EQ(collector_.sent.size(), 1u);
+}
+
+TEST_F(OpsTest, RouterKeepsJoinPlansInterpretedUnderFusion) {
+  auto catalog = sql::testutil::PaperCatalog();
+  sql::QueryPlanner planner(catalog);
+  auto stmt = sql::ParseStatement(
+                  "SELECT STREAM Orders.orderId, Products.supplierId FROM Orders "
+                  "JOIN Products ON Orders.productId = Products.productId")
+                  .value();
+  auto plan = planner.Plan(*stmt.select).value();
+  RouterConfig config;
+  config.output_topic = "out";
+  config.output_serde = std::make_shared<AvroRowSerde>(plan->schema);
+  auto router = MessageRouter::Build(*plan, config);
+  ASSERT_TRUE(router.ok());
+  // Chains under a join stay interpreted: no fused stage, >1 operators.
+  EXPECT_EQ(router.value()->fused_stage(), nullptr);
+  EXPECT_GT(router.value()->num_operators(), 1u);
 }
 
 TEST_F(OpsTest, RouterStoreNamesMatchBetweenPasses) {

@@ -160,24 +160,45 @@ class TracedShellTest : public ShellTest {
 };
 
 TEST_F(TracedShellTest, ExplainAnalyzeAnnotatesPlanWithSpanStats) {
+  // Fusion is on by default, so the terminal scan<-filter<-project chain
+  // reports as one fused stage covering every plan line plus the insert.
   std::string out =
       Feed("EXPLAIN ANALYZE SELECT STREAM orderId, units * 2 AS doubled "
            "FROM Orders WHERE units > 50;");
   // Header names the profiled job and how many traces/spans were captured.
   EXPECT_NE(out.find("EXPLAIN ANALYZE samzasql-query-0 (traces="), std::string::npos)
       << out;
+  // Every covered plan line carries the fused stage's annotation.
+  EXPECT_NE(out.find("fused<op0..op2> count="), std::string::npos) << out;
+  EXPECT_EQ(out.find("[no sampled spans]"), std::string::npos) << out;
+  EXPECT_NE(out.find("incl="), std::string::npos);
+  EXPECT_NE(out.find("self%="), std::string::npos);
+  // The stream-insert root (subsumed by the stage) keeps its synthetic line.
+  EXPECT_NE(out.find("insert -> samzasql-query-0-output"), std::string::npos) << out;
+  // The container dispatches in batches: one "process" span per run.
+  EXPECT_NE(out.find("process: count="), std::string::npos) << out;
+  // Serde share now comes from the stage's decode/encode child spans.
+  EXPECT_NE(out.find("serde share:"), std::string::npos);
+  EXPECT_NE(out.find("decode+encode self ="), std::string::npos) << out;
+  // Profiling must not leave the sample rate forced to 1.0.
+  EXPECT_DOUBLE_EQ(Tracer::Instance().sample_rate(), 0.0);
+}
+
+TEST_F(TracedShellTest, ExplainAnalyzeInterpretedWhenFusionOff) {
+  Config defaults;
+  defaults.SetInt(cfg::kContainerCount, 1);
+  defaults.Set(sqlcfg::kFusion, "off");
+  shell_ = std::make_unique<Shell>(env_, defaults);
+  std::string out =
+      Feed("EXPLAIN ANALYZE SELECT STREAM orderId, units * 2 AS doubled "
+           "FROM Orders WHERE units > 50;");
   // Every plan line carries a per-operator annotation with plan-unique ids.
   EXPECT_NE(out.find("op0-"), std::string::npos) << out;
   EXPECT_NE(out.find("-scan count="), std::string::npos) << out;
-  EXPECT_NE(out.find("incl="), std::string::npos);
-  EXPECT_NE(out.find("self%="), std::string::npos);
-  // The stream-insert root (not a plan node) gets its own synthetic line.
-  EXPECT_NE(out.find("insert -> samzasql-query-0-output"), std::string::npos) << out;
   EXPECT_NE(out.find("-insert count="), std::string::npos) << out;
-  EXPECT_NE(out.find("process: count=200"), std::string::npos) << out;
-  EXPECT_NE(out.find("serde share:"), std::string::npos);
-  // Profiling must not leave the sample rate forced to 1.0.
-  EXPECT_DOUBLE_EQ(Tracer::Instance().sample_rate(), 0.0);
+  EXPECT_EQ(out.find("fused<"), std::string::npos) << out;
+  EXPECT_NE(out.find("process: count="), std::string::npos) << out;
+  EXPECT_NE(out.find("scan+insert self ="), std::string::npos) << out;
 }
 
 TEST_F(TracedShellTest, ExplainAnalyzeSelfTimesSumToContainerBusyTime) {
@@ -221,9 +242,10 @@ TEST_F(TracedShellTest, ShowTraceSummarizesAndExportsSpans) {
   EXPECT_NE(out.find("traces="), std::string::npos) << out;
   EXPECT_NE(out.find("sample_rate="), std::string::npos);
   EXPECT_NE(out.find("process"), std::string::npos) << out;
-  // Scoped to one job, span names keep their plan-unique operator ids.
+  // Scoped to one job, span names keep their plan-unique operator ids
+  // (fused stages carry the covered id range in their label).
   out = Feed("SHOW TRACE samzasql-query-0;");
-  EXPECT_NE(out.find("-scan"), std::string::npos) << out;
+  EXPECT_NE(out.find("fused<op0"), std::string::npos) << out;
   // Chrome trace export for chrome://tracing / Perfetto.
   out = Feed("SHOW TRACE JSON;");
   EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos) << out;

@@ -395,9 +395,13 @@ TEST_F(RunnerTest, ContainerMetricsExposedViaSharedRegistry) {
   EXPECT_GT(snap.counters["test-job.container0.checkpoint_writes"], 0);
   EXPECT_GT(snap.counters["test-job.container0.checkpoint_bytes"], 0);
   EXPECT_GT(snap.timers["test-job.container0.busy_ns"], 0);
-  EXPECT_EQ(snap.histograms["test-job.container0.process_latency_ns"].count +
-                snap.histograms["test-job.container1.process_latency_ns"].count,
-            100);
+  // Batch dispatch records one latency sample per run (a contiguous slice of
+  // messages for one task), not one per message — see docs/METRICS.md.
+  int64_t latency_samples =
+      snap.histograms["test-job.container0.process_latency_ns"].count +
+      snap.histograms["test-job.container1.process_latency_ns"].count;
+  EXPECT_GT(latency_samples, 0);
+  EXPECT_LE(latency_samples, 100);
   // Quiescent: every per-partition consumer lag gauge reads zero.
   bool saw_lag_gauge = false;
   for (const auto& [name, value] : snap.gauges) {

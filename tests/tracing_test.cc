@@ -233,7 +233,12 @@ class TracingE2eTest : public ::testing::Test {
 
 TEST_F(TracingE2eTest, TraceFollowsTupleProducerToInsert) {
   // Enable tracing BEFORE producing, so traces root at the producer append
-  // (Figure 4: producer -> log -> scan -> operators -> insert).
+  // (Figure 4: producer -> log -> scan -> operators -> insert). Fusion is
+  // pinned off: this test covers the interpreted per-operator span chain.
+  Config defaults;
+  defaults.SetInt(cfg::kContainerCount, 1);
+  defaults.Set(core::sqlcfg::kFusion, "off");
+  executor_ = std::make_unique<core::QueryExecutor>(env_, defaults);
   Tracer::Instance().Configure(1.0);
   workload::OrdersGenerator gen(*env_, {});
   ASSERT_TRUE(gen.Produce(50).ok());
@@ -265,6 +270,44 @@ TEST_F(TracingE2eTest, TraceFollowsTupleProducerToInsert) {
   }
   EXPECT_TRUE(found) << "no traced output append found among " << spans.size()
                      << " spans";
+}
+
+TEST_F(TracingE2eTest, TraceFollowsTupleThroughFusedStage) {
+  // With fusion on (the default), the terminal filter/project chain is one
+  // fused stage: produce -> process -> fused<..> -> encode -> produce, with
+  // the serde boundary exposed as decode/encode child spans.
+  Tracer::Instance().Configure(1.0);
+  workload::OrdersGenerator gen(*env_, {});
+  ASSERT_TRUE(gen.Produce(50).ok());
+
+  auto submitted = executor_->Execute(
+      "SELECT STREAM orderId, units * 2 AS doubled FROM Orders WHERE units >= 0");
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  ASSERT_TRUE(executor_->RunJobsUntilQuiescent().ok());
+
+  std::vector<Span> spans = Tracer::Instance().Spans();
+  auto by_id = ById(spans);
+  bool found = false;
+  for (const Span& s : spans) {
+    if (s.name != "produce" || s.scope.find("producer.samzasql-query-") != 0) {
+      continue;
+    }
+    std::vector<std::string> chain = AncestryOf(s, by_id);
+    ASSERT_GE(chain.size(), 5u) << "short chain";
+    EXPECT_EQ(chain.front(), "produce");              // root: input append
+    EXPECT_EQ(chain[1], "process");                   // container loop
+    EXPECT_NE(chain[2].find("fused<"), std::string::npos) << chain[2];
+    EXPECT_EQ(chain[3], "encode");                    // serialize + send
+    found = true;
+    break;
+  }
+  EXPECT_TRUE(found) << "no traced output append found among " << spans.size()
+                     << " spans";
+  // The per-operator spans of the interpreted DAG are gone.
+  for (const Span& s : spans) {
+    EXPECT_EQ(s.name.find("-filter"), std::string::npos) << s.name;
+    EXPECT_EQ(s.name.find("-project"), std::string::npos) << s.name;
+  }
 }
 
 TEST_F(TracingE2eTest, TraceCrossesWindowedJoin) {
