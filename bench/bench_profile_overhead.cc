@@ -1,0 +1,132 @@
+// Continuous-profiling overhead: the Figure 5a filter/project query with
+// the observability layer in four arms — (0) flight recorder off, (1)
+// recorder on + sampler off (the always-on production default), (2)
+// recorder on + sampler at 19 Hz, (3) recorder on + sampler at 97 Hz. The
+// recorder arm bounds the tax of always-on forensics; the sampler arms
+// price continuous CPU attribution. The defaults arm (1) must stay within
+// 2% of baseline — asserted here and recorded in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/flightrec.h"
+#include "common/profiler.h"
+
+namespace sqs::bench {
+namespace {
+
+constexpr int64_t kMessages = 200'000;
+
+// Baseline throughput from arm 0, captured for the <=2% assertion on arm 1.
+// Benchmark registration order runs the arms in argument order.
+double g_baseline_tput = 0;
+
+const char* ArmName(int arm) {
+  switch (arm) {
+    case 0: return "recorder-off";
+    case 1: return "recorder-on";
+    case 2: return "sampler-19hz";
+    default: return "sampler-97hz";
+  }
+}
+
+// state.range(0): 0 = recorder off, 1 = recorder on / sampler off,
+// 2 = recorder on + 19 Hz sampler, 3 = recorder on + 97 Hz sampler.
+void BM_ProfileOverhead_Filter(benchmark::State& state) {
+  const int arm = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    FlightRecorder::Instance().SetEnabled(arm >= 1);
+    FlightRecorder::Instance().Clear();
+    Profiler::Instance().Reset();
+    if (arm == 2) (void)Profiler::Instance().StartSampling(19);
+    if (arm == 3) (void)Profiler::Instance().StartSampling(97);
+
+    auto env = MakeBenchEnv();
+    workload::OrdersGenerator gen(*env, {});
+    auto produced = gen.Produce(kMessages);
+    if (!produced.ok()) state.SkipWithError(produced.status().ToString().c_str());
+    auto r = MeasureSqlQuery(
+        env,
+        "SELECT STREAM orderId, units * 2 AS doubled FROM Orders WHERE units > 50",
+        BenchJobConfig(1));
+
+    const int64_t samples = Profiler::Instance().TotalSamples();
+    Profiler::Instance().Reset();
+    const int64_t recorded = FlightRecorder::Instance().recorded();
+    FlightRecorder::Instance().SetEnabled(true);
+
+    state.counters["job_msgs_per_s"] = r.job_tput;
+    state.counters["profile_samples"] = static_cast<double>(samples);
+    double vs_baseline = 0;
+    if (arm == 0) {
+      g_baseline_tput = r.job_tput;
+    } else if (g_baseline_tput > 0) {
+      vs_baseline = 100.0 * r.job_tput / g_baseline_tput;
+      state.counters["pct_of_baseline"] = vs_baseline;
+    }
+    std::printf("ProfileOverhead arm=%-13s job=%.0f msg/s  events=%lld  "
+                "samples=%lld  pct_of_baseline=%.1f%%\n",
+                ArmName(arm), r.job_tput, static_cast<long long>(recorded),
+                static_cast<long long>(samples), arm == 0 ? 100.0 : vs_baseline);
+    std::fflush(stdout);
+  }
+}
+
+BENCHMARK(BM_ProfileOverhead_Filter)
+    ->Arg(0)   // baseline: flight recorder disabled, no sampler
+    ->Arg(1)   // production default: recorder on, sampler off
+    ->Arg(2)   // continuous profiling at 19 Hz
+    ->Arg(3)   // continuous profiling at 97 Hz
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The acceptance bar: recorder on + sampler off (the shipped default) costs
+// at most 2% throughput against recorder off. Single runs on a shared box
+// swing by far more than 2% from cache/scheduler noise, so the two arms run
+// interleaved and best-of-N is compared — best-of isolates the code path's
+// floor from ambient noise the way paired microbenchmarks do.
+void BM_ProfileOverhead_RecorderTax(benchmark::State& state) {
+  constexpr int kRounds = 3;
+  for (auto _ : state) {
+    Profiler::Instance().Reset();
+    double best_off = 0, best_on = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int recorder_on = 0; recorder_on < 2; ++recorder_on) {
+        FlightRecorder::Instance().SetEnabled(recorder_on == 1);
+        FlightRecorder::Instance().Clear();
+        auto env = MakeBenchEnv();
+        workload::OrdersGenerator gen(*env, {});
+        auto produced = gen.Produce(kMessages);
+        if (!produced.ok()) {
+          state.SkipWithError(produced.status().ToString().c_str());
+        }
+        auto r = MeasureSqlQuery(env,
+                                 "SELECT STREAM orderId, units * 2 AS doubled "
+                                 "FROM Orders WHERE units > 50",
+                                 BenchJobConfig(1));
+        double& best = recorder_on == 1 ? best_on : best_off;
+        best = std::max(best, r.job_tput);
+      }
+    }
+    FlightRecorder::Instance().SetEnabled(true);
+    const double pct = best_off > 0 ? 100.0 * best_on / best_off : 0;
+    state.counters["best_off_msgs_per_s"] = best_off;
+    state.counters["best_on_msgs_per_s"] = best_on;
+    state.counters["pct_of_baseline"] = pct;
+    std::printf("ProfileOverhead recorder-tax best_off=%.0f msg/s  "
+                "best_on=%.0f msg/s  pct_of_baseline=%.1f%%\n",
+                best_off, best_on, pct);
+    std::fflush(stdout);
+    if (best_on < 0.98 * best_off) {
+      state.SkipWithError("flight recorder overhead exceeds 2% of baseline");
+    }
+  }
+}
+
+BENCHMARK(BM_ProfileOverhead_RecorderTax)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sqs::bench
+
+BENCHMARK_MAIN();

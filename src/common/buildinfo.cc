@@ -1,0 +1,69 @@
+#include "common/buildinfo.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/clock.h"
+
+#ifndef SAMZASQL_VERSION
+#define SAMZASQL_VERSION "dev"
+#endif
+#ifndef SAMZASQL_GIT_SHA
+#define SAMZASQL_GIT_SHA "unknown"
+#endif
+#ifndef SAMZASQL_BUILD_TYPE
+#define SAMZASQL_BUILD_TYPE "unknown"
+#endif
+
+namespace sqs {
+
+namespace {
+
+// Captured at static-initialization time; close enough to process start for
+// an uptime gauge.
+const int64_t g_start_ns = MonotonicNanos();
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = new BuildInfo{
+      SAMZASQL_VERSION, SAMZASQL_GIT_SHA, SAMZASQL_BUILD_TYPE};
+  return *info;
+}
+
+double ProcessUptimeSeconds() {
+  return static_cast<double>(MonotonicNanos() - g_start_ns) / 1e9;
+}
+
+int64_t ProcessRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size_pages = 0;
+  long long rss_pages = 0;
+  int matched = std::fscanf(f, "%lld %lld", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return static_cast<int64_t>(rss_pages) * page;
+}
+
+std::string RenderBuildInfoPrometheus() {
+  const BuildInfo& info = GetBuildInfo();
+  std::ostringstream os;
+  os << "# HELP samzasql_build_info Build identity (value is always 1).\n"
+     << "# TYPE samzasql_build_info gauge\n"
+     << "samzasql_build_info{version=\"" << info.version << "\",git_sha=\""
+     << info.git_sha << "\",build_type=\"" << info.build_type << "\"} 1\n"
+     << "# HELP samzasql_process_uptime_seconds Seconds since process start.\n"
+     << "# TYPE samzasql_process_uptime_seconds gauge\n"
+     << "samzasql_process_uptime_seconds " << ProcessUptimeSeconds() << "\n"
+     << "# HELP samzasql_process_rss_bytes Resident set size in bytes.\n"
+     << "# TYPE samzasql_process_rss_bytes gauge\n"
+     << "samzasql_process_rss_bytes " << ProcessRssBytes() << "\n";
+  return os.str();
+}
+
+}  // namespace sqs

@@ -1,0 +1,32 @@
+// Build identity + process gauges for the Prometheus endpoint:
+// samzasql_build_info{version,git_sha,build_type} 1, process uptime, and
+// resident set size. The version/sha/build-type come in as compile
+// definitions from CMake (see src/CMakeLists.txt); RSS is read from
+// /proc/self/statm (0 on platforms without procfs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sqs {
+
+struct BuildInfo {
+  std::string version;
+  std::string git_sha;
+  std::string build_type;
+};
+
+const BuildInfo& GetBuildInfo();
+
+// Seconds since this process first touched the observability layer (a
+// static initializer in buildinfo.cc, i.e. effectively process start).
+double ProcessUptimeSeconds();
+
+// Current resident set size in bytes; 0 if unavailable.
+int64_t ProcessRssBytes();
+
+// The three families rendered as Prometheus text exposition 0.0.4 (with
+// HELP/TYPE headers), appended to /metrics by the MonitorServer.
+std::string RenderBuildInfoPrometheus();
+
+}  // namespace sqs

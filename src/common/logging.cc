@@ -86,6 +86,11 @@ void Logger::Log(LogLevel level, std::string_view component,
   os.flush();
 }
 
+void Logger::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  (sink_ ? *sink_ : std::cerr).flush();
+}
+
 void ApplyLogConfig(const Config& config) {
   Logger& logger = Logger::Instance();
   std::string level = config.Get("log.level");

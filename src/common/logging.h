@@ -52,6 +52,11 @@ class Logger {
   // Legacy single-string entry point (component "app").
   void Log(LogLevel level, const std::string& msg) { Log(level, "app", msg); }
 
+  // Flush the sink stream. Part of the crash-forensics path: the fatal
+  // signal / terminate handlers call this before writing the flight
+  // recorder dump so buffered records are not lost with the process.
+  void Flush();
+
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;

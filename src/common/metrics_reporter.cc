@@ -5,7 +5,17 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/flightrec.h"
+
 namespace sqs {
+
+namespace {
+
+void CrashFlushReporter(void* arg) {
+  static_cast<MetricsReporter*>(arg)->ReportNow();
+}
+
+}  // namespace
 
 namespace {
 
@@ -123,7 +133,9 @@ MetricsReporter::MetricsReporter(std::shared_ptr<MetricsRegistry> registry,
       out_(out),
       interval_ms_(interval_ms),
       clock_(clock ? std::move(clock) : SystemClock::Instance()),
-      last_report_ms_(clock_->NowMillis()) {}
+      last_report_ms_(clock_->NowMillis()) {
+  RegisterCrashFlush(&CrashFlushReporter, this);
+}
 
 MetricsReporter::MetricsReporter(std::shared_ptr<MetricsRegistry> registry,
                                  std::string path, int64_t interval_ms,
@@ -140,7 +152,10 @@ MetricsReporter::MetricsReporter(std::shared_ptr<MetricsRegistry> registry,
   std::ifstream existing(path_, std::ios::binary | std::ios::ate);
   if (existing) bytes_written_ = static_cast<int64_t>(existing.tellg());
   file_.open(path_, std::ios::app);
+  RegisterCrashFlush(&CrashFlushReporter, this);
 }
+
+MetricsReporter::~MetricsReporter() { UnregisterCrashFlush(this); }
 
 void MetricsReporter::Emit(const std::string& payload) {
   if (out_ != nullptr) {

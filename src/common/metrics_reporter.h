@@ -47,6 +47,11 @@ class MetricsReporter {
                   int64_t interval_ms, int64_t max_bytes,
                   std::shared_ptr<Clock> clock = nullptr);
 
+  // Unregisters the crash-flush hook the constructors installed (the fatal
+  // signal / terminate handlers flush every live reporter so the tail of
+  // the JSON-lines file survives a crash — see common/flightrec.h).
+  ~MetricsReporter();
+
   // Emits if at least interval_ms elapsed since the last report. Returns
   // true when a report was written.
   bool MaybeReport();

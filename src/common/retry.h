@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "common/config.h"
+#include "common/flightrec.h"
 #include "common/metrics.h"
 #include "common/status.h"
 
@@ -77,6 +78,8 @@ class Retrier {
       if (st.ok() || st.code() != ErrorCode::kUnavailable) return st;
       if (attempt >= policy_.max_attempts) {
         if (giveups_ != nullptr) giveups_->Inc();
+        FlightRecorder::Record(FlightEventType::kRetryGiveup, "retry",
+                               st.ToString(), attempt);
         return st;
       }
       if (retries_ != nullptr) retries_->Inc();

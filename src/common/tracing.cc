@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/clock.h"
+#include "common/profiler.h"
 
 namespace sqs {
 
@@ -133,6 +134,10 @@ TraceContext CurrentTraceContext() { return g_current_context; }
 
 TraceSpan::TraceSpan(const TraceContext& parent, std::string_view name,
                      std::string_view scope, int64_t tag) {
+  // Every span — sampled or not — contributes a frame to the thread's
+  // cooperative profiling stack, so the sampler and the stall-watchdog
+  // burst always see what this thread is doing (docs/PROFILING.md).
+  Profiler::PushFrame(Profiler::Intern(name));
   prev_ = g_current_context;
   if (parent.valid() && Tracer::Instance().enabled()) {
     active_ = true;
@@ -157,6 +162,7 @@ TraceSpan::~TraceSpan() {
     Tracer::Instance().Record(std::move(span_));
   }
   g_current_context = prev_;
+  Profiler::PopFrame();
 }
 
 TraceContext TraceSpan::context() const {

@@ -8,7 +8,9 @@
 #include <set>
 #include <sstream>
 
+#include "common/flightrec.h"
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "common/tracing.h"
 #include "core/task.h"
 #include "ops/router.h"
@@ -180,6 +182,34 @@ std::string RenderAnalyzedPlan(const sql::LogicalNode& plan,
   return os.str();
 }
 
+// CPU attribution from the sampling profiler's burst: which operator label
+// was on top of each sampled thread's span stack. Complements the span
+// timings above — spans measure elapsed time per call, samples measure where
+// CPU time concentrates across the whole run.
+std::string RenderCpuAttribution() {
+  Profiler& prof = Profiler::Instance();
+  const int64_t total = prof.TotalSamples();
+  std::ostringstream os;
+  os << "cpu profile: " << total << " samples";
+  if (total <= 0) {
+    os << " (profiler idle)\n";
+    return os.str();
+  }
+  os << "\n";
+  // Largest share first so the hot operator leads the table.
+  std::map<std::string, int64_t> attribution = prof.OperatorAttribution();
+  std::vector<std::pair<std::string, int64_t>> rows(attribution.begin(),
+                                                    attribution.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  for (const auto& [label, samples] : rows) {
+    os << "  " << label << " samples=" << samples
+       << " cpu=" << FmtPct(samples, total) << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace
 
 QueryExecutor::QueryExecutor(EnvironmentPtr env, Config job_defaults)
@@ -190,6 +220,26 @@ QueryExecutor::QueryExecutor(EnvironmentPtr env, Config job_defaults)
   TaskFactoryRegistry::Instance().Register(factory_name_, [captured] {
     return std::make_unique<SamzaSqlTask>(captured);
   });
+  // Crash forensics are process-wide, so the executor applies them once from
+  // the defaults (containers re-apply the same settings idempotently).
+  if (defaults_.Has(cfg::kFlightRecEnable)) {
+    FlightRecorder::Instance().SetEnabled(
+        defaults_.GetBool(cfg::kFlightRecEnable, true));
+  }
+  if (defaults_.Has(cfg::kFlightRecRingEvents)) {
+    FlightRecorder::Instance().SetRingCapacity(static_cast<size_t>(
+        defaults_.GetInt(cfg::kFlightRecRingEvents,
+                         FlightRecorder::kDefaultRingEvents)));
+  }
+  std::string dump_path = defaults_.Get(cfg::kFlightRecDumpPath);
+  if (!dump_path.empty()) {
+    SetCrashDumpPath(dump_path);
+    InstallCrashHandlers();
+  }
+  double profile_hz = static_cast<double>(defaults_.GetInt(cfg::kProfileHz, 0));
+  if (profile_hz > 0 && !Profiler::Instance().sampling()) {
+    (void)Profiler::Instance().StartSampling(profile_hz);
+  }
   monitor_ = std::make_unique<MonitorServer>(
       defaults_, [this] { return CollectJobViews(); }, env_->clock);
   Status st = monitor_->Start();
@@ -220,6 +270,10 @@ std::vector<MonitorJobView> QueryExecutor::CollectJobViews() const {
     view.containers_running = job->NumRunningContainers();
     view.processed = job->TotalProcessed();
     view.restarts = job->TotalRestarts();
+    for (const JobRunner::ContainerStatus& cs :
+         job->CollectContainerStatus(env_->clock->NowMillis())) {
+      view.containers.push_back({cs.id, cs.running, cs.busy, cs.heartbeat_age_ms});
+    }
     view.snapshot = job->metrics_registry()->Snapshot();
     views.push_back(std::move(view));
   }
@@ -391,14 +445,35 @@ Result<QueryExecutor::ExecutionResult> QueryExecutor::RunExplainAnalyze(
   tracer.Configure(1.0, restore.capacity);
   tracer.Clear();
 
+  // Sample at high rate for the duration of the run (unless a background
+  // sampler is already on, whose cadence we must not disturb), so the CPU
+  // attribution table below reflects only this statement.
+  Profiler& prof = Profiler::Instance();
+  const bool burst = !prof.sampling();
+  if (burst) {
+    prof.ClearSamples();
+    (void)prof.StartSampling(997);
+  }
+  struct StopBurst {
+    bool active;
+    ~StopBurst() {
+      if (active) Profiler::Instance().StopSampling();
+    }
+  } stop_burst{burst};
+
   SQS_ASSIGN_OR_RETURN(submitted, SubmitStreamingJob(select, "", body));
   const std::string job_name = "samzasql-query-" + std::to_string(query_counter_ - 1);
   SQS_RETURN_IF_ERROR(RunJobsUntilQuiescent().status());
+  if (burst) {
+    prof.StopSampling();
+    stop_burst.active = false;
+  }
 
   ExecutionResult result;
   result.kind = ExecutionResult::Kind::kExplained;
   result.text =
-      RenderAnalyzedPlan(plan, tracer.Spans(), job_name, submitted.output_topic);
+      RenderAnalyzedPlan(plan, tracer.Spans(), job_name, submitted.output_topic) +
+      RenderCpuAttribution();
   result.schema = plan.schema;
   result.output_topic = submitted.output_topic;
   result.job_index = submitted.job_index;
@@ -516,6 +591,8 @@ Result<QueryExecutor::ExecutionResult> QueryExecutor::SubmitStreamingJob(
 
   auto runner = std::make_unique<JobRunner>(env_->broker, config, env_->clock);
   SQS_RETURN_IF_ERROR(runner->Start());
+  FlightRecorder::Record(FlightEventType::kJobSubmit, job_name, output_topic,
+                         static_cast<int64_t>(num_partitions));
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     jobs_.push_back(std::move(runner));

@@ -4,11 +4,16 @@
 #include <cctype>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include "common/flightrec.h"
 #include "common/logging.h"
 #include "common/metrics_reporter.h"
+#include "common/profiler.h"
 #include "common/tracing.h"
 #include "task/container.h"
 
@@ -330,6 +335,89 @@ void Shell::ExecuteBuffered(std::ostream& out) {
       }
       return;
     }
+    // SHOW PROFILE [JSON]: the sampling profiler's accumulated samples —
+    // per-operator CPU attribution plus collapsed stacks (flamegraph input).
+    if (w1 == "SHOW" && w2 == "PROFILE") {
+      Profiler& prof = Profiler::Instance();
+      const int64_t total = prof.TotalSamples();
+      std::map<std::string, int64_t> attribution = prof.OperatorAttribution();
+      if (w3 == "JSON") {
+        out << "{\"ts_ms\":" << SystemClock::Instance()->NowMillis()
+            << ",\"samples\":" << total << ",\"sampling\":"
+            << (prof.sampling() ? "true" : "false") << ",\"operators\":[";
+        bool first = true;
+        for (const auto& [label, samples] : attribution) {
+          if (!first) out << ",";
+          first = false;
+          out << "{\"label\":\"" << DlqJsonEscape(label)
+              << "\",\"samples\":" << samples << "}";
+        }
+        out << "]}\n";
+        return;
+      }
+      out << "samples=" << total << " sampling="
+          << (prof.sampling() ? "on" : "off");
+      if (prof.sampling()) out << " hz=" << prof.hz();
+      out << "\n";
+      if (total == 0) {
+        out << "(no samples — set profile.hz, run EXPLAIN ANALYZE, or GET "
+               "/debug/profile)\n";
+        return;
+      }
+      char line[192];
+      std::snprintf(line, sizeof(line), "%-36s %10s %8s\n", "operator",
+                    "samples", "cpu");
+      out << line;
+      // Largest CPU share first.
+      std::vector<std::pair<std::string, int64_t>> rows(attribution.begin(),
+                                                        attribution.end());
+      std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.second != b.second ? a.second > b.second : a.first < b.first;
+      });
+      for (const auto& [label, samples] : rows) {
+        std::snprintf(line, sizeof(line), "%-36s %10lld %7.1f%%\n",
+                      label.c_str(), static_cast<long long>(samples),
+                      100.0 * static_cast<double>(samples) /
+                          static_cast<double>(total));
+        out << line;
+      }
+      out << "collapsed stacks (flamegraph.pl input):\n" << prof.CollapsedStacks();
+      return;
+    }
+    // SHOW EVENTS [<job> | JSON]: the flight recorder's merged rings.
+    if (w1 == "SHOW" && w2 == "EVENTS") {
+      FlightRecorder& rec = FlightRecorder::Instance();
+      if (w3 == "JSON") {
+        out << rec.DumpJsonLines();
+        return;
+      }
+      std::string scope_filter;
+      {
+        std::istringstream orig(statement);
+        std::string o1, o2;
+        orig >> o1 >> o2 >> scope_filter;
+      }
+      while (!scope_filter.empty() && scope_filter.back() == ';') {
+        scope_filter.pop_back();
+      }
+      std::vector<FlightEvent> events = rec.Snapshot(scope_filter);
+      out << "events=" << events.size() << " recorded=" << rec.recorded()
+          << " dropped=" << rec.dropped() << "\n";
+      char line[256];
+      std::snprintf(line, sizeof(line), "%8s %-18s %-32s %10s %10s  %s\n",
+                    "seq", "type", "scope", "a", "b", "detail");
+      out << line;
+      for (const FlightEvent& e : events) {
+        std::snprintf(line, sizeof(line),
+                      "%8llu %-18s %-32s %10lld %10lld  %s\n",
+                      static_cast<unsigned long long>(e.seq),
+                      FlightEventTypeName(e.type), e.scope,
+                      static_cast<long long>(e.a), static_cast<long long>(e.b),
+                      e.detail);
+        out << line;
+      }
+      return;
+    }
   }
   auto result = executor_->Execute(statement);
   if (!result.ok()) {
@@ -379,9 +467,14 @@ void Shell::MetaCommand(const std::string& command, std::ostream& out) {
            "  SHOW ALERTS [JSON];   threshold alert states (alert.rules)\n"
            "  SHOW DLQ [<job>];     dead-letter queues: counts + last-error provenance\n"
            "  SHOW DLQ JSON;        the same, one JSON object per DLQ topic\n"
+           "  SHOW PROFILE [JSON];  sampling profiler: per-operator CPU attribution\n"
+           "                        + collapsed stacks (flamegraph input)\n"
+           "  SHOW EVENTS [<job>];  flight-recorder ring: engine events, seq-ordered\n"
+           "  SHOW EVENTS JSON;     the same as JSON lines\n"
            "  EXPLAIN ANALYZE <q>;  run a streaming query fully sampled and\n"
            "                        annotate its plan with span statistics\n"
-           "(see docs/METRICS.md, docs/TRACING.md, docs/MONITORING.md)\n";
+           "                        + sampled CPU attribution\n"
+           "(see docs/METRICS.md, docs/TRACING.md, docs/MONITORING.md, docs/PROFILING.md)\n";
     return;
   }
   if (cmd == "!tables") {

@@ -1,5 +1,6 @@
 #include "core/task.h"
 
+#include "common/flightrec.h"
 #include "sql/optimizer.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
@@ -70,6 +71,10 @@ Status SamzaSqlTask::Init(TaskContext& context) {
 
   SQS_ASSIGN_OR_RETURN(router, ops::MessageRouter::Build(*plan, router_config));
   router_ = std::move(router);
+  FlightRecorder::Record(
+      FlightEventType::kPlanBuilt, context.task_name(),
+      router_->fused_stage() != nullptr ? "task plan ready (fused)"
+                                        : "task plan ready (interpreted)");
 
   ops::OperatorContext op_context;
   op_context.task = context_;

@@ -1,10 +1,15 @@
 #include "http/monitor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
 
+#include "common/buildinfo.h"
+#include "common/flightrec.h"
 #include "common/logging.h"
 #include "common/metrics_reporter.h"
+#include "common/profiler.h"
 #include "common/prometheus.h"
 #include "task/api.h"
 
@@ -61,6 +66,13 @@ MonitorServer::MonitorServer(const Config& config, MonitorJobsProvider provider,
           cfg::kMetricsHistorySamples, MetricsHistory::kDefaultSamples))),
       self_metrics_(std::make_shared<MetricsRegistry>()) {
   if (history_interval_ms_ <= 0) history_interval_ms_ = kDefaultHistoryIntervalMs;
+  watchdog_stall_ms_ = config.GetInt(cfg::kWatchdogStallMs, 0);
+  watchdog_poll_ms_ = config.GetInt(
+      cfg::kWatchdogPollMs, std::max<int64_t>(25, watchdog_stall_ms_ / 4));
+  if (watchdog_poll_ms_ <= 0) watchdog_poll_ms_ = 25;
+  watchdog_profile_ms_ = config.GetInt(cfg::kWatchdogProfileMs, 250);
+  watchdog_profile_hz_ =
+      static_cast<double>(config.GetInt(cfg::kWatchdogProfileHz, 97));
   std::vector<AlertRule> rules;
   Result<std::vector<AlertRule>> parsed =
       AlertEngine::ParseRules(config.Get(cfg::kAlertRules));
@@ -77,6 +89,9 @@ MonitorServer::MonitorServer(const Config& config, MonitorJobsProvider provider,
 MonitorServer::~MonitorServer() { Stop(); }
 
 Status MonitorServer::Start() {
+  // The watchdog works without the HTTP endpoint: start it before the
+  // monitor.enable check so headless runs still get stall detection.
+  StartWatchdog();
   if (!config_.GetBool(cfg::kMonitorEnable, false)) return Status::Ok();
   if (http_) return Status::StateError("monitor already started");
   int port = static_cast<int>(config_.GetInt(cfg::kMonitorPort, 0));
@@ -94,10 +109,91 @@ Status MonitorServer::Start() {
 }
 
 void MonitorServer::Stop() {
+  StopWatchdog();
   if (http_) {
     http_->Stop();
     http_.reset();
   }
+}
+
+void MonitorServer::StartWatchdog() {
+  if (watchdog_stall_ms_ <= 0 || watchdog_thread_.joinable()) return;
+  watchdog_stop_.store(false);
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+}
+
+void MonitorServer::StopWatchdog() {
+  if (!watchdog_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_.store(true);
+  }
+  watchdog_cv_.notify_all();
+  watchdog_thread_.join();
+}
+
+void MonitorServer::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_.load()) {
+    watchdog_cv_.wait_for(lock, std::chrono::milliseconds(watchdog_poll_ms_),
+                          [this] { return watchdog_stop_.load(); });
+    if (watchdog_stop_.load()) break;
+    lock.unlock();
+    RunWatchdogCheck();
+    lock.lock();
+  }
+}
+
+void MonitorServer::RunWatchdogCheck() {
+  if (watchdog_stall_ms_ <= 0) return;
+  std::vector<MonitorJobView> views =
+      provider_ ? provider_() : std::vector<MonitorJobView>{};
+  for (const MonitorJobView& view : views) {
+    for (const MonitorContainerStatus& cs : view.containers) {
+      const std::string scope =
+          view.name + ".container" + std::to_string(cs.id);
+      self_metrics_->GetGauge(scope + ".heartbeat_age_ms")
+          .Set(cs.heartbeat_age_ms);
+      const bool stalled_now =
+          cs.running && cs.busy && cs.heartbeat_age_ms > watchdog_stall_ms_;
+      bool was_stalled;
+      {
+        std::lock_guard<std::mutex> lock(stalled_mu_);
+        was_stalled = stalled_.count(scope) > 0;
+        if (stalled_now && !was_stalled) stalled_.insert(scope);
+        if (!stalled_now && was_stalled) stalled_.erase(scope);
+      }
+      if (stalled_now && !was_stalled) {
+        FlightRecorder::Record(FlightEventType::kStall, scope,
+                               "heartbeat stale while busy",
+                               cs.heartbeat_age_ms, watchdog_stall_ms_);
+        SQS_ERRORC("watchdog", "container stalled", {"container", scope},
+                   {"heartbeat_age_ms", std::to_string(cs.heartbeat_age_ms)},
+                   {"stall_ms", std::to_string(watchdog_stall_ms_)});
+        self_metrics_->GetCounter("monitor.watchdog_stalls").Inc();
+        // One-shot forensics: a short profile burst (skipped when a
+        // background sampler is already collecting) then a ring snapshot,
+        // so the dump shows what every thread was doing while wedged.
+        if (watchdog_profile_ms_ > 0 && !Profiler::Instance().sampling()) {
+          (void)Profiler::Instance().SampleFor(watchdog_profile_ms_,
+                                               watchdog_profile_hz_);
+        }
+        std::string dump_path = config_.Get(cfg::kFlightRecDumpPath);
+        if (!dump_path.empty()) {
+          (void)FlightRecorder::Instance().DumpToPath(dump_path);
+        }
+      } else if (!stalled_now && was_stalled) {
+        FlightRecorder::Record(FlightEventType::kStallCleared, scope, "",
+                               cs.heartbeat_age_ms);
+        SQS_INFOC("watchdog", "container stall cleared", {"container", scope});
+      }
+    }
+  }
+}
+
+std::vector<std::string> MonitorServer::StalledContainers() const {
+  std::lock_guard<std::mutex> lock(stalled_mu_);
+  return std::vector<std::string>(stalled_.begin(), stalled_.end());
 }
 
 void MonitorServer::Tick() {
@@ -156,6 +252,16 @@ MonitorServer::Readiness MonitorServer::CheckReadiness() const {
       return readiness;
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(stalled_mu_);
+    if (!stalled_.empty()) {
+      readiness.ready = false;
+      readiness.reason = "container " + *stalled_.begin() +
+                         " stalled (heartbeat older than " +
+                         std::to_string(watchdog_stall_ms_) + "ms)";
+      return readiness;
+    }
+  }
   if (max_consumer_lag_ < 0 && max_watermark_lag_ms_ < 0) return readiness;
   for (const MonitorJobView& view : views) {
     for (const auto& [name, value] : view.snapshot.gauges) {
@@ -180,7 +286,7 @@ MonitorServer::Readiness MonitorServer::CheckReadiness() const {
 }
 
 std::string MonitorServer::RenderPrometheusText() const {
-  return RenderPrometheus(MergedSnapshot(nullptr));
+  return RenderPrometheus(MergedSnapshot(nullptr)) + RenderBuildInfoPrometheus();
 }
 
 std::string MonitorServer::RenderJobsJson() const {
@@ -229,6 +335,27 @@ HttpResponse MonitorServer::Handle(const HttpRequest& request) {
   } else if (request.path == "/alerts") {
     res.content_type = "application/json";
     res.body = alerts_->ToJson(clock_->NowMillis());
+  } else if (request.path == "/debug/profile") {
+    // On-demand profile burst: sample every thread's operator-label stack
+    // for ?seconds=N (default 1, capped) at ?hz=H, then return collapsed
+    // stacks ready for flamegraph.pl. A background sampler keeps running;
+    // in that case the response reports its accumulated samples instead.
+    int64_t seconds = std::atol(QueryParam(request.query, "seconds").c_str());
+    if (seconds <= 0) seconds = 1;
+    seconds = std::min<int64_t>(seconds, 30);
+    double hz = std::atof(QueryParam(request.query, "hz").c_str());
+    if (hz <= 0) hz = 97;
+    Profiler& prof = Profiler::Instance();
+    if (!prof.sampling()) {
+      prof.ClearSamples();
+      (void)prof.SampleFor(seconds * 1000, hz);
+    }
+    res.body = prof.CollapsedStacks();
+    if (res.body.empty()) res.body = "# no samples\n";
+  } else if (request.path == "/debug/events") {
+    res.content_type = "application/x-ndjson";
+    res.body =
+        FlightRecorder::Instance().DumpJsonLines(QueryParam(request.query, "job"));
   } else if (request.path == "/") {
     res.body =
         "samzasql monitor\n"
@@ -237,7 +364,9 @@ HttpResponse MonitorServer::Handle(const HttpRequest& request) {
         "  /readyz    readiness (containers + lag thresholds)\n"
         "  /jobs      submitted jobs (JSON)\n"
         "  /history   metrics history ring (JSON, ?job=<prefix>)\n"
-        "  /alerts    alert engine state (JSON)\n";
+        "  /alerts    alert engine state (JSON)\n"
+        "  /debug/profile  profile burst, collapsed stacks (?seconds=N&hz=H)\n"
+        "  /debug/events   flight-recorder ring (JSON lines, ?job=<prefix>)\n";
   } else {
     res.status = 404;
     res.body = "not found: " + request.path + "\n";

@@ -19,9 +19,13 @@
 // MonitorServer without it.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/alerts.h"
@@ -34,6 +38,16 @@
 
 namespace sqs {
 
+// Per-container health sampled by the provider: whether the slot is
+// allocated, whether it is actively driving input, and how stale its
+// heartbeat is. Feeds the stall watchdog and heartbeat-age gauges.
+struct MonitorContainerStatus {
+  int32_t id = 0;
+  bool running = false;
+  bool busy = false;
+  int64_t heartbeat_age_ms = 0;
+};
+
 // What the monitor needs to know about one submitted job. Collected through
 // a provider callback so the monitor has no dependency on the runner layer
 // (and so the owner can guard its job list with its own lock).
@@ -45,6 +59,7 @@ struct MonitorJobView {
   // Supervisor restart attempts so far (0 when supervision is off). Shown
   // in /jobs and in the /readyz dead-container reason.
   int64_t restarts = 0;
+  std::vector<MonitorContainerStatus> containers;
   MetricsSnapshot snapshot;
 };
 
@@ -89,6 +104,15 @@ class MonitorServer {
   };
   Readiness CheckReadiness() const;
 
+  // One watchdog pass over the provider's container statuses: declares
+  // containers whose heartbeat is older than watchdog.stall.ms (while busy)
+  // stalled — firing a one-shot profile burst + flight-recorder dump — and
+  // clears recovered ones. Runs on the watchdog thread every
+  // watchdog.poll.ms; exposed so tests can drive it deterministically.
+  void RunWatchdogCheck();
+  // Containers currently considered stalled (`<job>.container<id>`).
+  std::vector<std::string> StalledContainers() const;
+
   // Rendering entry points, independent of HTTP (used by shell and tests).
   std::string RenderPrometheusText() const;
   std::string RenderJobsJson() const;
@@ -102,6 +126,9 @@ class MonitorServer {
 
  private:
   MetricsSnapshot MergedSnapshot(std::vector<MonitorJobView>* views_out) const;
+  void StartWatchdog();
+  void StopWatchdog();
+  void WatchdogLoop();
 
   Config config_;
   MonitorJobsProvider provider_;
@@ -117,6 +144,20 @@ class MonitorServer {
 
   std::mutex tick_mu_;
   int64_t last_tick_ms_ = INT64_MIN;
+
+  // Stall watchdog (watchdog.stall.ms > 0 enables it; see docs/PROFILING.md).
+  // The thread polls on real wall time; heartbeat ages themselves come from
+  // the provider, which computes them on the injectable clock.
+  int64_t watchdog_stall_ms_ = 0;
+  int64_t watchdog_poll_ms_ = 0;
+  int64_t watchdog_profile_ms_ = 0;
+  double watchdog_profile_hz_ = 0;
+  std::thread watchdog_thread_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  mutable std::mutex stalled_mu_;
+  std::set<std::string> stalled_;
 };
 
 }  // namespace sqs

@@ -1,5 +1,6 @@
 #include "log/producer.h"
 
+#include "common/flightrec.h"
 #include "common/tracing.h"
 
 namespace sqs {
@@ -57,8 +58,10 @@ Result<int64_t> Producer::SendTo(const StreamPartition& sp, Bytes key, Bytes val
 Result<int64_t> Producer::AppendWithRetry(const StreamPartition& sp, Message m) {
   if (!retrier_.policy().enabled()) {
     auto r = broker_->Append(sp, std::move(m));
-    if (!r.ok() && r.status().code() == ErrorCode::kFenced && m_fenced_ != nullptr) {
-      m_fenced_->Inc();
+    if (!r.ok() && r.status().code() == ErrorCode::kFenced) {
+      if (m_fenced_ != nullptr) m_fenced_->Inc();
+      FlightRecorder::Record(FlightEventType::kFenced, sp.topic,
+                             r.status().ToString(), identity_.pid, identity_.epoch);
     }
     return r;
   }
@@ -73,7 +76,11 @@ Result<int64_t> Producer::AppendWithRetry(const StreamPartition& sp, Message m) 
     return Status::Ok();
   });
   if (!st.ok()) {
-    if (st.code() == ErrorCode::kFenced && m_fenced_ != nullptr) m_fenced_->Inc();
+    if (st.code() == ErrorCode::kFenced) {
+      if (m_fenced_ != nullptr) m_fenced_->Inc();
+      FlightRecorder::Record(FlightEventType::kFenced, sp.topic, st.ToString(),
+                             identity_.pid, identity_.epoch);
+    }
     return st;
   }
   return offset;

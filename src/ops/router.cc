@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/flightrec.h"
 #include "serde/json.h"
 
 namespace sqs::ops {
@@ -241,6 +242,7 @@ Result<std::unique_ptr<MessageRouter>> MessageRouter::Build(
           std::move(spec), input_serde, config.output_topic,
           config.output_serde, config.out_key_index);
       fused->set_metric_id(label);
+      FlightRecorder::Record(FlightEventType::kPlanBuilt, source.topic, label);
       router->operators_.push_back(fused);
       router->fused_stage_ = fused;
       SourceBinding binding;
@@ -264,6 +266,8 @@ Result<std::unique_ptr<MessageRouter>> MessageRouter::Build(
   builder.Register("op" + std::to_string(builder.next_id()), insert);
 
   router->operators_ = std::move(builder.operators_);
+  FlightRecorder::Record(FlightEventType::kPlanBuilt, config.output_topic,
+                         "interpreted", static_cast<int64_t>(router->operators_.size()));
   for (size_t i = 0; i < builder.scan_ops_.size(); ++i) {
     SourceBinding binding;
     binding.topic = builder.scan_topics_[i].first;

@@ -198,6 +198,25 @@ inline constexpr const char* kContainerRestartMax = "container.restart.max";
 inline constexpr const char* kContainerRestartBackoffMs = "container.restart.backoff.ms";
 inline constexpr const char* kContainerRestartBackoffMaxMs =
     "container.restart.backoff.max.ms";
+// --- profiling + flight recorder + watchdog (docs/PROFILING.md) ---
+// Background sampling-profiler rate in Hz (0 / unset = off; sampling is
+// also available on demand via GET /debug/profile and EXPLAIN ANALYZE).
+inline constexpr const char* kProfileHz = "profile.hz";
+// Flight recorder toggle (default on) and per-thread ring capacity.
+inline constexpr const char* kFlightRecEnable = "flightrec.enable";
+inline constexpr const char* kFlightRecRingEvents = "flightrec.ring.events";
+// Where crash/stall forensics dumps (JSON lines) are written: by the fatal
+// signal / terminate handlers, on supervisor-observed container death, and
+// on watchdog stalls. Empty = no automatic dump file.
+inline constexpr const char* kFlightRecDumpPath = "flightrec.dump.path";
+// Stall watchdog: a container whose heartbeat is older than this while it
+// is actively driving input is declared stalled (0 / unset = watchdog off).
+inline constexpr const char* kWatchdogStallMs = "watchdog.stall.ms";
+// Watchdog poll cadence (wall clock); default max(25, stall.ms / 4).
+inline constexpr const char* kWatchdogPollMs = "watchdog.poll.ms";
+// One-shot profile burst fired when a stall is detected.
+inline constexpr const char* kWatchdogProfileMs = "watchdog.profile.ms";
+inline constexpr const char* kWatchdogProfileHz = "watchdog.profile.hz";
 // `retry.*` keys live in common/retry.h, `fault.*` keys in log/fault_broker.h.
 }  // namespace cfg
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/flightrec.h"
+
 namespace sqs {
 
 CheckpointManager::CheckpointManager(BrokerPtr broker, std::string checkpoint_topic)
@@ -129,6 +131,9 @@ Status CheckpointManager::WriteTaskCheckpoint(const std::string& task_name,
     writes_->Inc();
     bytes_->Inc(written);
   }
+  FlightRecorder::Record(FlightEventType::kCheckpoint, task_name,
+                         cp.producer_sequences.empty() ? "offsets" : "transactional",
+                         written, offset);
   {
     // Keep the cache current without refetching our own write. cache_end_
     // only advances if the write landed exactly at the cached frontier —

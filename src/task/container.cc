@@ -2,7 +2,9 @@
 
 #include <iostream>
 
+#include "common/flightrec.h"
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "common/tracing.h"
 
 namespace sqs {
@@ -251,6 +253,29 @@ Status Container::Start() {
   if (started_) return Status::StateError("container already started");
 
   ApplyLogConfig(config_);
+  // Forensics config: flight-recorder toggle/ring size, crash-dump path +
+  // handlers, optional always-on sampling profiler. Process-global like the
+  // tracer, so only touch what this job's config actually sets.
+  if (config_.Has(cfg::kFlightRecEnable)) {
+    FlightRecorder::Instance().SetEnabled(
+        config_.GetBool(cfg::kFlightRecEnable, true));
+  }
+  if (config_.Has(cfg::kFlightRecRingEvents)) {
+    FlightRecorder::Instance().SetRingCapacity(static_cast<size_t>(
+        config_.GetInt(cfg::kFlightRecRingEvents,
+                       static_cast<int64_t>(FlightRecorder::kDefaultRingEvents))));
+  }
+  std::string dump_path = config_.Get(cfg::kFlightRecDumpPath);
+  if (!dump_path.empty()) {
+    SetCrashDumpPath(dump_path);
+    InstallCrashHandlers();
+  }
+  double profile_hz = config_.GetDouble(cfg::kProfileHz, 0.0);
+  if (profile_hz > 0 && !Profiler::Instance().sampling()) {
+    SQS_RETURN_IF_ERROR(Profiler::Instance().StartSampling(profile_hz));
+  }
+  flight_scope_ = config_.Get(cfg::kJobName, "job") + ".container" +
+                  std::to_string(model_.container_id);
   // The tracer is process-global (traces cross job boundaries); only touch
   // it when this job's config actually carries a tracing key, so a job
   // without one does not reset a rate the shell (EXPLAIN ANALYZE) enabled.
@@ -389,6 +414,9 @@ Status Container::Start() {
   SQS_RETURN_IF_ERROR(UpdateLagGauges());
 
   started_ = true;
+  last_heartbeat_ms_.store(clock_->NowMillis(), std::memory_order_relaxed);
+  FlightRecorder::Record(FlightEventType::kContainerStart, flight_scope_, "",
+                         static_cast<int64_t>(tasks_.size()));
   SQS_INFOC("container", "container started",
             {"job", config_.Get(cfg::kJobName, "job")},
             {"id", std::to_string(model_.container_id)},
@@ -506,6 +534,11 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
       if (m_process_latency_ns_ != nullptr) {
         m_process_latency_ns_->Record(MonotonicNanos() - t0);
       }
+      // Batch-run boundary: the flight recorder's record of forward
+      // progress (a = messages consumed, b = source partition).
+      FlightRecorder::Record(FlightEventType::kBatchRun, task.trace_scope, "",
+                             static_cast<int64_t>(consumed),
+                             first.origin.partition);
       if (st.ok() && consumed != len) {
         return Status::Internal("task ProcessBatch consumed " +
                                 std::to_string(consumed) + " of " +
@@ -603,6 +636,11 @@ Status Container::ApplyErrorPolicy(TaskErrorPolicy policy, TaskInstance& task,
     if (!sent.ok()) return sent.status();
   }
   if (task.dropped != nullptr) task.dropped->Inc();
+  if (policy == TaskErrorPolicy::kDeadLetter) {
+    FlightRecorder::Record(FlightEventType::kDlqDrop, task.trace_scope,
+                           error.ToString(), msg.offset,
+                           msg.origin.partition);
+  }
   const char* action = policy == TaskErrorPolicy::kDeadLetter
                            ? "message dead-lettered"
                            : "message skipped";
@@ -648,6 +686,11 @@ Status Container::CommitTask(TaskInstance& task) {
     SQS_RETURN_IF_ERROR(checkpoints_->WriteCheckpoint(task.model.task_name,
                                                       task.processed_positions));
   }
+  FlightRecorder::Record(FlightEventType::kCommit, task.trace_scope,
+                         delivery_ == DeliveryMode::kExactlyOnce
+                             ? "transactional"
+                             : "offsets",
+                         task.since_commit);
   task.since_commit = 0;
   task.commit_requested = false;
   if (m_commits_ != nullptr) m_commits_->Inc();
@@ -670,7 +713,16 @@ Result<int64_t> Container::RunUntilCaughtUp(int64_t max_messages) {
   if (!started_) return Status::StateError("container not started");
   int64_t processed = 0;
   int64_t t0 = MonotonicNanos();
+  // Watchdog heartbeat: one store per poll-loop iteration. A task wedged
+  // inside Process never returns here, so the heartbeat goes stale and the
+  // monitor's stall watchdog fires (docs/PROFILING.md "Stall watchdog").
+  busy_.store(true, std::memory_order_relaxed);
+  struct BusyReset {
+    std::atomic<bool>* flag;
+    ~BusyReset() { flag->store(false, std::memory_order_relaxed); }
+  } busy_reset{&busy_};
   while (!shutdown_requested_) {
+    last_heartbeat_ms_.store(clock_->NowMillis(), std::memory_order_relaxed);
     if (max_messages >= 0 && processed >= max_messages) break;
     if (reporter_) reporter_->MaybeReport();
 
@@ -735,6 +787,8 @@ Status Container::Stop() {
     }
   }
   started_ = false;
+  FlightRecorder::Record(FlightEventType::kContainerStop, flight_scope_, "",
+                         processed_total_);
   SQS_INFOC("container", "container stopped",
             {"job", config_.Get(cfg::kJobName, "job")},
             {"id", std::to_string(model_.container_id)},

@@ -13,6 +13,8 @@
 // constructed from the same model restores state and resumes.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <map>
@@ -103,6 +105,21 @@ class Container {
   int64_t MessagesProcessed() const { return processed_total_; }
   // CPU-side busy nanoseconds spent polling + processing.
   int64_t BusyNanos() const { return busy_nanos_; }
+
+  // Stall-watchdog surface: Busy() is true while RunUntilCaughtUp is
+  // driving input; the heartbeat advances at every poll-loop iteration, so
+  // a task wedged inside Process leaves it stale. Thread-safe.
+  bool Busy() const { return busy_.load(std::memory_order_relaxed); }
+  int64_t LastHeartbeatMs() const {
+    return last_heartbeat_ms_.load(std::memory_order_relaxed);
+  }
+  // Milliseconds since the last heartbeat while busy; 0 when idle (an idle
+  // container cannot stall).
+  int64_t HeartbeatAgeMs(int64_t now_ms) const {
+    if (!Busy()) return 0;
+    int64_t hb = LastHeartbeatMs();
+    return hb == 0 ? 0 : std::max<int64_t>(0, now_ms - hb);
+  }
   MetricsRegistry& metrics() { return *metrics_; }
   const ContainerModel& model() const { return model_; }
 
@@ -159,6 +176,11 @@ class Container {
   bool shutdown_requested_ = false;
   int64_t processed_total_ = 0;
   int64_t busy_nanos_ = 0;
+  // Watchdog heartbeat (written by the driving thread, read by the monitor
+  // thread). Precomputed `<job>.container<ID>` flight-recorder scope.
+  std::atomic<bool> busy_{false};
+  std::atomic<int64_t> last_heartbeat_ms_{0};
+  std::string flight_scope_;
 
   // Container-scoped instruments (`<job>.container<ID>.*`), bound in Start().
   Counter* m_processed_ = nullptr;

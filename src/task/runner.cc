@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/flightrec.h"
 #include "common/logging.h"
 
 namespace sqs {
@@ -46,10 +47,22 @@ void JobRunner::RecordCrash(int32_t container_id, const Status& error) {
   SQS_WARNC("supervisor", "container crashed",
             {"job", model_.job_name}, {"id", std::to_string(container_id)},
             {"error", error.ToString()});
-  std::lock_guard<std::mutex> lock(containers_mu_);
-  supervisor_[container_id].last_error = error.ToString();
-  // Crash semantics: drop without Stop(), exactly like KillContainer.
-  containers_[container_id].reset();
+  FlightRecorder::Record(
+      FlightEventType::kContainerCrash,
+      model_.job_name + ".container" + std::to_string(container_id),
+      error.ToString());
+  {
+    std::lock_guard<std::mutex> lock(containers_mu_);
+    supervisor_[container_id].last_error = error.ToString();
+    // Crash semantics: drop without Stop(), exactly like KillContainer.
+    containers_[container_id].reset();
+  }
+  // Supervisor-observed death is a forensics moment: persist the last N
+  // events (flightrec.dump.path) before the restart overwrites context.
+  std::string dump_path = config_.Get(cfg::kFlightRecDumpPath);
+  if (!dump_path.empty()) {
+    FlightRecorder::Instance().DumpToPath(dump_path);
+  }
 }
 
 Status JobRunner::SuperviseRestart(int32_t container_id) {
@@ -59,6 +72,10 @@ Status JobRunner::SuperviseRestart(int32_t container_id) {
     std::lock_guard<std::mutex> lock(containers_mu_);
     SupervisorState& s = supervisor_[container_id];
     if (s.restarts >= restart_max_) {
+      FlightRecorder::Record(
+          FlightEventType::kSupervisorRestart,
+          model_.job_name + ".container" + std::to_string(container_id),
+          "restart budget exhausted", s.restarts);
       return Status::Internal(
           "container " + std::to_string(container_id) + " restart budget exhausted (" +
           std::to_string(restart_max_) + " restarts); last error: " + s.last_error);
@@ -73,6 +90,10 @@ Status JobRunner::SuperviseRestart(int32_t container_id) {
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
   }
   if (m_restarts_ != nullptr) m_restarts_->Inc();
+  FlightRecorder::Record(
+      FlightEventType::kSupervisorRestart,
+      model_.job_name + ".container" + std::to_string(container_id), "",
+      attempt, backoff_ms);
   SQS_WARNC("supervisor", "restarting container",
             {"job", model_.job_name}, {"id", std::to_string(container_id)},
             {"attempt", std::to_string(attempt)},
@@ -251,6 +272,24 @@ int64_t JobRunner::ContainerRestarts(int32_t container_id) const {
     return 0;
   }
   return supervisor_[container_id].restarts;
+}
+
+std::vector<JobRunner::ContainerStatus> JobRunner::CollectContainerStatus(
+    int64_t now_ms) const {
+  std::lock_guard<std::mutex> lock(containers_mu_);
+  std::vector<ContainerStatus> out;
+  out.reserve(containers_.size());
+  for (int32_t id = 0; id < static_cast<int32_t>(containers_.size()); ++id) {
+    ContainerStatus cs;
+    cs.id = id;
+    if (containers_[id]) {
+      cs.running = true;
+      cs.busy = containers_[id]->Busy();
+      cs.heartbeat_age_ms = containers_[id]->HeartbeatAgeMs(now_ms);
+    }
+    out.push_back(cs);
+  }
+  return out;
 }
 
 int64_t JobRunner::TotalProcessed() const {

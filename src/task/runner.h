@@ -75,6 +75,16 @@ class JobRunner {
   int64_t TotalProcessed() const;
   int64_t TotalBusyNanos() const;
 
+  // Per-slot health for the monitor's watchdog: running (allocated), busy
+  // (inside RunUntilCaughtUp), and heartbeat age at `now_ms`. Thread-safe.
+  struct ContainerStatus {
+    int32_t id = 0;
+    bool running = false;
+    bool busy = false;
+    int64_t heartbeat_age_ms = 0;
+  };
+  std::vector<ContainerStatus> CollectContainerStatus(int64_t now_ms) const;
+
   // Job-wide registry shared by every container this runner allocates
   // (including restarts), so one Snapshot() sees the whole job. Created at
   // construction; valid before Start().

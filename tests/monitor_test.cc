@@ -14,8 +14,11 @@
 #include <vector>
 
 #include "common/alerts.h"
+#include "common/buildinfo.h"
+#include "common/flightrec.h"
 #include "common/history.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/prometheus.h"
 #include "core/shell.h"
 #include "http/http_server.h"
@@ -691,6 +694,119 @@ TEST_F(MonitorShellTest, ShowAlertsRendersRuleStates) {
   std::string help = Feed("!help");
   EXPECT_NE(help.find("SHOW HISTORY"), std::string::npos);
   EXPECT_NE(help.find("SHOW ALERTS"), std::string::npos);
+}
+
+TEST_F(MonitorIntegrationTest, MetricsCarryBuildInfoAndProcessGauges) {
+  ASSERT_TRUE(executor_->Execute(kJoinSql).ok());
+  HttpResponse metrics = Get("/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  PromExposition exp = ParseExposition(metrics.body);
+  EXPECT_EQ(exp.types.at("samzasql_build_info"), "gauge");
+  bool build_info = false;
+  double uptime = -1, rss = -1;
+  for (const PromSample& s : exp.samples) {
+    if (s.name == "samzasql_build_info") {
+      build_info = true;
+      EXPECT_EQ(s.value, 1.0);
+      EXPECT_EQ(s.labels.at("version"), GetBuildInfo().version);
+      EXPECT_EQ(s.labels.at("git_sha"), GetBuildInfo().git_sha);
+      EXPECT_EQ(s.labels.at("build_type"), GetBuildInfo().build_type);
+      EXPECT_FALSE(s.labels.at("version").empty());
+    }
+    if (s.name == "samzasql_process_uptime_seconds") uptime = s.value;
+    if (s.name == "samzasql_process_rss_bytes") rss = s.value;
+  }
+  EXPECT_TRUE(build_info) << "samzasql_build_info missing from /metrics";
+  EXPECT_GT(uptime, 0.0);
+  EXPECT_GT(rss, 0.0);  // /proc/self/statm is available on Linux
+}
+
+TEST_F(MonitorIntegrationTest, DebugProfileEndpointServesCollapsedStacks) {
+  ASSERT_TRUE(executor_->Execute(kJoinSql).ok());
+  Profiler::Instance().Reset();
+  // Accumulate a deterministic sample, then keep the background sampler
+  // running so the handler serves the accumulation instead of blocking on
+  // a multi-second burst.
+  {
+    ProfiledFrame process("process");
+    ProfiledFrame op("op0-scan");
+    Profiler::Instance().SampleOnce();
+  }
+  ASSERT_TRUE(Profiler::Instance().StartSampling(19).ok());
+  HttpResponse profile = Get("/debug/profile");
+  Profiler::Instance().Reset();
+  EXPECT_EQ(profile.status, 200);
+  EXPECT_NE(profile.body.find("process;op0-scan"), std::string::npos)
+      << profile.body;
+}
+
+TEST_F(MonitorIntegrationTest, DebugEventsEndpointServesJsonLines) {
+  ASSERT_TRUE(executor_->Execute(kJoinSql).ok());
+  FlightRecorder::Instance().SetEnabled(true);
+  FlightRecorder::Record(FlightEventType::kCommit, "debug-ep-job.task0",
+                         "offsets", 3);
+  HttpResponse events = Get("/debug/events?job=debug-ep-job");
+  EXPECT_EQ(events.status, 200);
+  EXPECT_EQ(events.content_type, "application/x-ndjson");
+  EXPECT_EQ(events.body.find("{\"flightrec\":\"samzasql\""), 0u) << events.body;
+  EXPECT_NE(events.body.find("\"type\":\"commit\""), std::string::npos);
+  EXPECT_NE(events.body.find("debug-ep-job.task0"), std::string::npos);
+  // The job filter excludes everything else — including this query's own
+  // plan_built/job_submit events.
+  EXPECT_EQ(events.body.find("samzasql-query-0"), std::string::npos);
+  // The executor's own submission left flight-recorder breadcrumbs too.
+  HttpResponse all = Get("/debug/events");
+  EXPECT_NE(all.body.find("\"type\":\"job_submit\""), std::string::npos);
+  // The index advertises the debug endpoints.
+  HttpResponse index = Get("/");
+  EXPECT_NE(index.body.find("/debug/profile"), std::string::npos);
+  EXPECT_NE(index.body.find("/debug/events"), std::string::npos);
+}
+
+TEST_F(MonitorShellTest, ShowProfileRendersAttributionTable) {
+  Profiler::Instance().Reset();
+  std::string idle = Feed("SHOW PROFILE;");
+  EXPECT_NE(idle.find("samples=0"), std::string::npos) << idle;
+  EXPECT_NE(idle.find("profile.hz"), std::string::npos);  // hint how to enable
+
+  {
+    ProfiledFrame process("process");
+    ProfiledFrame op("fused<op0..op1>");
+    Profiler::Instance().SampleOnce();
+    Profiler::Instance().SampleOnce();
+  }
+  std::string out = Feed("SHOW PROFILE;");
+  EXPECT_NE(out.find("samples=2"), std::string::npos) << out;
+  EXPECT_NE(out.find("fused<op0..op1>"), std::string::npos);
+  EXPECT_NE(out.find("100.0%"), std::string::npos) << out;
+  EXPECT_NE(out.find("flamegraph.pl"), std::string::npos);
+  EXPECT_NE(out.find("process;fused<op0..op1> 2"), std::string::npos);
+
+  std::string json = Feed("SHOW PROFILE JSON;");
+  EXPECT_NE(json.find("\"samples\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"label\":\"fused<op0..op1>\""), std::string::npos);
+  EXPECT_NE(json.find("\"sampling\":false"), std::string::npos);
+  Profiler::Instance().Reset();
+}
+
+TEST_F(MonitorShellTest, ShowEventsRendersFlightRecorderRing) {
+  FlightRecorder::Instance().SetEnabled(true);
+  FlightRecorder::Record(FlightEventType::kStall, "shell-ev-job.container0",
+                         "heartbeat stale while busy", 5000, 100);
+  std::string out = Feed("SHOW EVENTS shell-ev-job;");
+  EXPECT_NE(out.find("stall"), std::string::npos) << out;
+  EXPECT_NE(out.find("shell-ev-job.container0"), std::string::npos);
+  EXPECT_NE(out.find("heartbeat stale while busy"), std::string::npos);
+  // The unfiltered listing carries the recorder's accounting header.
+  std::string all = Feed("SHOW EVENTS;");
+  EXPECT_NE(all.find("recorded="), std::string::npos) << all;
+  EXPECT_NE(all.find("dropped="), std::string::npos);
+  std::string json = Feed("SHOW EVENTS JSON;");
+  EXPECT_EQ(json.find("{\"flightrec\":\"samzasql\""), 0u) << json;
+  // !help advertises the profiling surface.
+  std::string help = Feed("!help");
+  EXPECT_NE(help.find("SHOW PROFILE"), std::string::npos);
+  EXPECT_NE(help.find("SHOW EVENTS"), std::string::npos);
 }
 
 TEST(MonitorShellNoRulesTest, ShowAlertsExplainsMissingRules) {
