@@ -15,12 +15,22 @@ class Clock {
   virtual ~Clock() = default;
   // Milliseconds since epoch.
   virtual int64_t NowMillis() const = 0;
+  // Microseconds since epoch. The default derives from NowMillis() so a
+  // ManualClock stays deterministic (advancing 5ms advances exactly
+  // 5000us); SystemClock overrides with real microsecond resolution for
+  // the ingest-to-sink latency stamps (common/latency.h).
+  virtual int64_t NowMicros() const { return NowMillis() * 1000; }
 };
 
 class SystemClock : public Clock {
  public:
   int64_t NowMillis() const override {
     return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
                std::chrono::system_clock::now().time_since_epoch())
         .count();
   }

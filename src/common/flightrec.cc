@@ -137,6 +137,8 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kStall: return "stall";
     case FlightEventType::kStallCleared: return "stall_cleared";
     case FlightEventType::kCrashDump: return "crash_dump";
+    case FlightEventType::kSloBreach: return "slo_breach";
+    case FlightEventType::kSloCleared: return "slo_cleared";
   }
   return "unknown";
 }

@@ -42,6 +42,8 @@ enum class FlightEventType : uint8_t {
   kStall,
   kStallCleared,
   kCrashDump,
+  kSloBreach,
+  kSloCleared,
 };
 
 // Stable lowercase identifier ("commit", "batch_run", ...), used in dumps.

@@ -1,0 +1,30 @@
+#include "common/latency.h"
+
+#include <atomic>
+
+namespace sqs {
+
+namespace {
+
+std::atomic<bool> g_stamping_enabled{true};
+thread_local int64_t t_ingest_us = 0;
+
+}  // namespace
+
+void SetLatencyStampingEnabled(bool enabled) {
+  g_stamping_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool LatencyStampingEnabled() {
+  return g_stamping_enabled.load(std::memory_order_relaxed);
+}
+
+int64_t CurrentIngestMicros() { return t_ingest_us; }
+
+IngestScope::IngestScope(int64_t ingest_us) : saved_(t_ingest_us) {
+  if (ingest_us > 0 && LatencyStampingEnabled()) t_ingest_us = ingest_us;
+}
+
+IngestScope::~IngestScope() { t_ingest_us = saved_; }
+
+}  // namespace sqs

@@ -1,0 +1,41 @@
+// Pipeline-latency stamping support (docs/LATENCY.md). A message is
+// stamped with its first producer-append wall time (`Message::ingest_us`)
+// and carries that stamp verbatim through repartitions and downstream jobs,
+// exactly like TraceContext. The stamp travels between the consume side and
+// the produce side of one hop through an ambient thread-local: the container
+// (or operator) sets an IngestScope around Process, and any send issued
+// inside the scope propagates the input's ingest time onto the output
+// message — so the sink-side send can record true source-to-sink latency.
+//
+// Stamping is process-global and on by default; `latency.stamping.enable=
+// false` turns the whole layer off (the bench_latency overhead arm).
+#pragma once
+
+#include <cstdint>
+
+namespace sqs {
+
+// Process-global stamping toggle (`latency.stamping.enable`, default on).
+void SetLatencyStampingEnabled(bool enabled);
+bool LatencyStampingEnabled();
+
+// Ambient ingest timestamp of the message currently being processed on this
+// thread, in microseconds since epoch; 0 = no message context (a send
+// outside any scope becomes a fresh ingest root).
+int64_t CurrentIngestMicros();
+
+// RAII ambient scope: saves the current thread-local ingest stamp, installs
+// `ingest_us` (when > 0 and stamping is enabled), restores on destruction.
+// Nesting with the same value is harmless — scopes telescope.
+class IngestScope {
+ public:
+  explicit IngestScope(int64_t ingest_us);
+  ~IngestScope();
+  IngestScope(const IngestScope&) = delete;
+  IngestScope& operator=(const IngestScope&) = delete;
+
+ private:
+  int64_t saved_;
+};
+
+}  // namespace sqs

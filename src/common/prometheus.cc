@@ -67,6 +67,27 @@ FamilyKey SplitName(const std::string& name) {
     key.labels.emplace_back("partition", segments.back());
     return key;
   }
+  // Per-partition freshness / backlog gauges
+  // (`<scope>.{freshness,backlog}.<topic>.<partition>`, docs/LATENCY.md)
+  // follow the consumer-lag shape. They get their own families — named
+  // apart from the container rollup leaves `freshness_lag_ms` /
+  // `backlog_bytes` so one family never mixes label sets.
+  if (segments.size() >= 4 && AllDigits(segments.back()) &&
+      (segments[segments.size() - 3] == "freshness" ||
+       segments[segments.size() - 3] == "backlog")) {
+    key.leaf = segments[segments.size() - 3] == "freshness"
+                   ? "partition_freshness_ms"
+                   : "partition_backlog_bytes";
+    std::string scope;
+    for (size_t i = 0; i + 3 < segments.size(); ++i) {
+      if (i) scope += '.';
+      scope += segments[i];
+    }
+    key.labels.emplace_back("scope", scope);
+    key.labels.emplace_back("topic", segments[segments.size() - 2]);
+    key.labels.emplace_back("partition", segments.back());
+    return key;
+  }
   // Per-operation retry counters (`<scope>.retry.<op>.{retries,giveups}`,
   // op = send|fetch|changelog|checkpoint) collapse into one retries_total /
   // giveups_total family with the operation as a label, so alerting can

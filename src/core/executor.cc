@@ -210,6 +210,101 @@ std::string RenderCpuAttribution() {
   return os.str();
 }
 
+// Merge per-container histogram snapshots into one distribution: cumulative
+// bucket counts become per-bucket deltas, summed across containers, then
+// percentiles are re-estimated by a cumulative walk. The estimate uses each
+// bucket's upper bound clamped to the observed range, so it carries the same
+// bounded relative error as the per-container stats.
+HistogramStats MergeHistogramStats(const std::vector<HistogramStats>& parts) {
+  HistogramStats out;
+  out.min = INT64_MAX;
+  std::map<int64_t, int64_t> deltas;  // inclusive upper bound -> merged count
+  for (const HistogramStats& h : parts) {
+    if (h.count <= 0) continue;
+    out.count += h.count;
+    out.sum += h.sum;
+    out.min = std::min(out.min, h.min);
+    out.max = std::max(out.max, h.max);
+    int64_t prev = 0;
+    for (const auto& [le, cumulative] : h.buckets) {
+      deltas[le] += cumulative - prev;
+      prev = cumulative;
+    }
+  }
+  if (out.count <= 0) return HistogramStats{};
+  const double targets[] = {50.0, 95.0, 99.0};
+  int64_t* fields[] = {&out.p50, &out.p95, &out.p99};
+  size_t next = 0;
+  int64_t cumulative = 0;
+  for (const auto& [le, n] : deltas) {
+    cumulative += n;
+    out.buckets.emplace_back(le, cumulative);
+    while (next < 3) {
+      int64_t rank = static_cast<int64_t>(
+          targets[next] / 100.0 * static_cast<double>(out.count) + 0.5);
+      if (rank < 1) rank = 1;
+      if (cumulative < rank) break;
+      *fields[next] = std::min(std::max(le, out.min), out.max);
+      ++next;
+    }
+  }
+  for (; next < 3; ++next) *fields[next] = out.max;
+  return out;
+}
+
+// Wall-clock latency waterfall for the analyzed job (docs/LATENCY.md): where
+// a record's time went between its first broker append and the sink emit.
+// "broker queue wait" is the fetch-side dwell (append -> fetch), "container
+// process" the per-run processing time merged across the job's containers,
+// and "source->sink e2e" the ingest-stamp-to-sink-send distribution.
+std::string RenderLatencyWaterfall(const MetricsSnapshot& snap,
+                                   const std::string& job_name) {
+  std::vector<HistogramStats> process_parts;
+  const std::string container_prefix = job_name + ".container";
+  const std::string process_leaf = ".process_latency_ns";
+  for (const auto& [name, stats] : snap.histograms) {
+    if (name.size() > container_prefix.size() + process_leaf.size() &&
+        name.compare(0, container_prefix.size(), container_prefix) == 0 &&
+        name.compare(name.size() - process_leaf.size(), process_leaf.size(),
+                     process_leaf) == 0) {
+      process_parts.push_back(stats);
+    }
+  }
+  auto job_histogram = [&](const char* leaf) {
+    auto it = snap.histograms.find(job_name + "." + leaf);
+    return it == snap.histograms.end() ? HistogramStats{} : it->second;
+  };
+  struct WaterfallRow {
+    const char* label;
+    HistogramStats stats;
+    bool nanos;  // values recorded in ns; false = recorded in us
+  };
+  const WaterfallRow rows[] = {
+      {"broker queue wait", job_histogram("dwell_queue_us"), false},
+      {"container process", MergeHistogramStats(process_parts), true},
+      {"source->sink e2e", job_histogram("e2e_latency_us"), false},
+  };
+  std::ostringstream os;
+  os << "latency waterfall (wall clock):\n";
+  for (const WaterfallRow& row : rows) {
+    char buf[160];
+    if (row.stats.count <= 0) {
+      std::snprintf(buf, sizeof(buf), "  %-18s [no samples]\n", row.label);
+      os << buf;
+      continue;
+    }
+    // FmtUs takes nanoseconds; the us-valued histograms scale up first.
+    auto ns = [&](int64_t v) { return row.nanos ? v : v * 1000; };
+    std::snprintf(buf, sizeof(buf),
+                  "  %-18s count=%lld p50=%s p95=%s p99=%s max=%s\n", row.label,
+                  static_cast<long long>(row.stats.count),
+                  FmtUs(ns(row.stats.p50)).c_str(), FmtUs(ns(row.stats.p95)).c_str(),
+                  FmtUs(ns(row.stats.p99)).c_str(), FmtUs(ns(row.stats.max)).c_str());
+    os << buf;
+  }
+  return os.str();
+}
+
 }  // namespace
 
 QueryExecutor::QueryExecutor(EnvironmentPtr env, Config job_defaults)
@@ -270,6 +365,7 @@ std::vector<MonitorJobView> QueryExecutor::CollectJobViews() const {
     view.containers_running = job->NumRunningContainers();
     view.processed = job->TotalProcessed();
     view.restarts = job->TotalRestarts();
+    view.uptime_ms = job->UptimeMs(env_->clock->NowMillis());
     for (const JobRunner::ContainerStatus& cs :
          job->CollectContainerStatus(env_->clock->NowMillis())) {
       view.containers.push_back({cs.id, cs.running, cs.busy, cs.heartbeat_age_ms});
@@ -473,6 +569,8 @@ Result<QueryExecutor::ExecutionResult> QueryExecutor::RunExplainAnalyze(
   result.kind = ExecutionResult::Kind::kExplained;
   result.text =
       RenderAnalyzedPlan(plan, tracer.Spans(), job_name, submitted.output_topic) +
+      RenderLatencyWaterfall(job(submitted.job_index)->metrics_registry()->Snapshot(),
+                             job_name) +
       RenderCpuAttribution();
   result.schema = plan.schema;
   result.output_topic = submitted.output_topic;

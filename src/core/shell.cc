@@ -15,6 +15,7 @@
 #include "common/metrics_reporter.h"
 #include "common/profiler.h"
 #include "common/tracing.h"
+#include "http/monitor.h"
 #include "task/container.h"
 
 namespace sqs::core {
@@ -118,6 +119,54 @@ void Shell::ExecuteBuffered(std::ostream& out) {
         out << SnapshotToJsonLines(merged, SystemClock::Instance()->NowMillis());
       } else {
         out << SnapshotToTable(merged);
+      }
+      return;
+    }
+    // SHOW JOBS [JSON]: one row per submitted job with its live resource
+    // ledger — rows/bytes through it, CPU busy time, e2e latency
+    // percentiles, freshness lag, backlog, state size, DLQ drops, restarts,
+    // uptime (docs/LATENCY.md). JSON form is the monitor's /jobs payload.
+    if (w1 == "SHOW" && w2 == "JOBS") {
+      if (w3 == "JSON") {
+        out << executor_->monitor().RenderJobsJson() << "\n";
+        return;
+      }
+      std::vector<MonitorJobView> views = executor_->CollectJobViews();
+      if (views.empty()) {
+        out << "(no jobs submitted)\n";
+        return;
+      }
+      char row[320];
+      std::snprintf(row, sizeof(row),
+                    "%-24s %5s %9s %9s %11s %8s %9s %9s %9s %8s %9s %9s %5s "
+                    "%4s %8s\n",
+                    "job", "cont", "rows_in", "rows_out", "bytes_out",
+                    "busy_ms", "e2e_p50us", "e2e_p95us", "e2e_p99us",
+                    "fresh_ms", "backlog", "state", "dlq", "rst", "up_ms");
+      out << row;
+      for (const MonitorJobView& view : views) {
+        ResourceLedger ledger = ComputeResourceLedger(view);
+        char cont[16];
+        std::snprintf(cont, sizeof(cont), "%zu/%zu", view.containers_running,
+                      view.containers_total);
+        std::snprintf(row, sizeof(row),
+                      "%-24s %5s %9lld %9lld %11lld %8lld %9lld %9lld %9lld "
+                      "%8lld %9lld %9lld %5lld %4lld %8lld\n",
+                      view.name.c_str(), cont,
+                      static_cast<long long>(ledger.rows_in),
+                      static_cast<long long>(ledger.rows_out),
+                      static_cast<long long>(ledger.bytes_out),
+                      static_cast<long long>(ledger.cpu_busy_ns / 1000000),
+                      static_cast<long long>(ledger.e2e.p50),
+                      static_cast<long long>(ledger.e2e.p95),
+                      static_cast<long long>(ledger.e2e.p99),
+                      static_cast<long long>(ledger.freshness_lag_ms),
+                      static_cast<long long>(ledger.backlog_bytes),
+                      static_cast<long long>(ledger.state_bytes),
+                      static_cast<long long>(ledger.dlq_drops),
+                      static_cast<long long>(view.restarts),
+                      static_cast<long long>(view.uptime_ms));
+        out << row;
       }
       return;
     }
@@ -460,6 +509,9 @@ void Shell::MetaCommand(const std::string& command, std::ostream& out) {
            "statements:\n"
            "  SHOW METRICS;         job/task/operator metrics of submitted jobs\n"
            "  SHOW METRICS JSON;    the same snapshot as JSON lines\n"
+           "  SHOW JOBS;            per-job resource ledger: rows, bytes, CPU,\n"
+           "                        e2e latency, freshness lag, state, uptime\n"
+           "  SHOW JOBS JSON;       the same as the monitor's /jobs payload\n"
            "  SHOW TRACE [<job>];   per-span statistics from the trace buffer\n"
            "  SHOW TRACE JSON;      buffered spans as Chrome trace format\n"
            "  SHOW HISTORY [<job>]; metrics history ring: rates + sparklines\n"

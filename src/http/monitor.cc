@@ -51,7 +51,59 @@ std::string QueryParam(const std::string& query, const std::string& key) {
   return "";
 }
 
+// True for metrics bound under a `<job>.container<N>.` scope — the
+// container-level instruments the resource ledger aggregates (task/operator
+// scopes use the task name "Partition <N>", so they never match).
+bool InContainerScope(const std::string& name) {
+  return name.find(".container") != std::string::npos;
+}
+
+size_t CountDots(const std::string& name) {
+  size_t n = 0;
+  for (char c : name) n += c == '.';
+  return n;
+}
+
 }  // namespace
+
+ResourceLedger ComputeResourceLedger(const MonitorJobView& view) {
+  ResourceLedger ledger;
+  ledger.restarts = view.restarts;
+  ledger.uptime_ms = view.uptime_ms;
+  for (const auto& [name, value] : view.snapshot.timers) {
+    if (InContainerScope(name) && Leaf(name) == "busy_ns") {
+      ledger.cpu_busy_ns += value;
+    }
+  }
+  for (const auto& [name, value] : view.snapshot.counters) {
+    if (InContainerScope(name)) {
+      const std::string leaf = Leaf(name);
+      if (leaf == "processed") ledger.rows_in += value;
+      else if (leaf == "rows_out") ledger.rows_out += value;
+      else if (leaf == "bytes_in") ledger.bytes_in += value;
+      else if (leaf == "bytes_out") ledger.bytes_out += value;
+    } else if (Leaf(name) == "dropped" && CountDots(name) == 2) {
+      // Task-level drop counter `<job>.<task>.dropped` (skip / dead-letter
+      // policy victims); the 4-segment `<job>.<task>.<op>.dropped` counters
+      // are ordinary filter/join drops, not losses.
+      ledger.dlq_drops += value;
+    }
+  }
+  for (const auto& [name, value] : view.snapshot.gauges) {
+    if (!InContainerScope(name)) continue;
+    const std::string leaf = Leaf(name);
+    if (leaf == "state_bytes") ledger.state_bytes += value;
+    else if (leaf == "state_bytes_hwm") ledger.state_bytes_hwm += value;
+    else if (leaf == "backlog_bytes") ledger.backlog_bytes += value;
+    else if (leaf == "freshness_lag_ms") {
+      ledger.freshness_lag_ms = std::max(ledger.freshness_lag_ms, value);
+    }
+  }
+  for (const auto& [name, stats] : view.snapshot.histograms) {
+    if (Leaf(name) == "e2e_latency_us") ledger.e2e = stats;
+  }
+  return ledger;
+}
 
 MonitorServer::MonitorServer(const Config& config, MonitorJobsProvider provider,
                              std::shared_ptr<Clock> clock)
@@ -73,6 +125,7 @@ MonitorServer::MonitorServer(const Config& config, MonitorJobsProvider provider,
   watchdog_profile_ms_ = config.GetInt(cfg::kWatchdogProfileMs, 250);
   watchdog_profile_hz_ =
       static_cast<double>(config.GetInt(cfg::kWatchdogProfileHz, 97));
+  slo_ms_ = config.GetInt(cfg::kLatencySloMs, 0);
   std::vector<AlertRule> rules;
   Result<std::vector<AlertRule>> parsed =
       AlertEngine::ParseRules(config.Get(cfg::kAlertRules));
@@ -82,6 +135,15 @@ MonitorServer::MonitorServer(const Config& config, MonitorJobsProvider provider,
     rules_status_ = parsed.status();
     SQS_WARNC("monitor", "alert rules disabled",
               {"error", rules_status_.message()});
+  }
+  if (slo_ms_ > 0) {
+    // Implicit SLO alert rule: fires while any job's freshness lag exceeds
+    // the configured SLO, alongside the flight-recorder breach events.
+    Result<std::vector<AlertRule>> slo_rule = AlertEngine::ParseRules(
+        "freshness_lag_ms > " + std::to_string(slo_ms_));
+    if (slo_rule.ok()) {
+      for (AlertRule& r : slo_rule.value()) rules.push_back(std::move(r));
+    }
   }
   alerts_ = std::make_unique<AlertEngine>(std::move(rules));
 }
@@ -213,7 +275,9 @@ void MonitorServer::ForceTick() {
   // Count the tick before sampling so the very first history sample already
   // carries the monitor's own instruments.
   self_metrics_->GetCounter("monitor.ticks").Inc();
-  MetricsSnapshot merged = MergedSnapshot(nullptr);
+  std::vector<MonitorJobView> views;
+  MetricsSnapshot merged = MergedSnapshot(&views);
+  CheckSloTransitions(views);
   history_.Record(now, merged);
   alerts_->Evaluate(now, merged, &history_);
   self_metrics_->GetGauge("monitor.alerts_firing").Set(alerts_->FiringCount());
@@ -223,12 +287,62 @@ void MonitorServer::ForceTick() {
   }
 }
 
+void MonitorServer::CheckSloTransitions(
+    const std::vector<MonitorJobView>& views) {
+  if (slo_ms_ <= 0) return;
+  for (const MonitorJobView& view : views) {
+    // The job's freshness lag is the worst container rollup gauge.
+    int64_t freshness = 0;
+    for (const auto& [name, value] : view.snapshot.gauges) {
+      if (Leaf(name) == "freshness_lag_ms") {
+        freshness = std::max(freshness, value);
+      }
+    }
+    const bool over = freshness > slo_ms_;
+    bool was_over;
+    {
+      std::lock_guard<std::mutex> lock(slo_mu_);
+      was_over = slo_breached_.count(view.name) > 0;
+      if (over && !was_over) slo_breached_.insert(view.name);
+      if (!over && was_over) slo_breached_.erase(view.name);
+    }
+    if (over && !was_over) {
+      FlightRecorder::Record(FlightEventType::kSloBreach, view.name,
+                             "freshness lag over latency.slo.ms", freshness,
+                             slo_ms_);
+      SQS_WARNC("monitor", "latency SLO breached", {"job", view.name},
+                {"freshness_lag_ms", std::to_string(freshness)},
+                {"slo_ms", std::to_string(slo_ms_)});
+      self_metrics_->GetCounter("monitor.slo_breaches").Inc();
+    } else if (!over && was_over) {
+      FlightRecorder::Record(FlightEventType::kSloCleared, view.name, "",
+                             freshness, slo_ms_);
+      SQS_INFOC("monitor", "latency SLO cleared", {"job", view.name},
+                {"freshness_lag_ms", std::to_string(freshness)});
+    }
+  }
+  int64_t breached;
+  {
+    std::lock_guard<std::mutex> lock(slo_mu_);
+    breached = static_cast<int64_t>(slo_breached_.size());
+  }
+  self_metrics_->GetGauge("monitor.slo_breached").Set(breached);
+}
+
 MetricsSnapshot MonitorServer::MergedSnapshot(
     std::vector<MonitorJobView>* views_out) const {
   std::vector<MonitorJobView> views = provider_ ? provider_() : std::vector<MonitorJobView>{};
   std::vector<MetricsSnapshot> snapshots;
   snapshots.reserve(views.size() + 1);
-  for (MonitorJobView& view : views) snapshots.push_back(std::move(view.snapshot));
+  for (MonitorJobView& view : views) {
+    // Callers that want the views back (ledger rendering, SLO transitions)
+    // still need each view's own snapshot — copy instead of moving.
+    if (views_out != nullptr) {
+      snapshots.push_back(view.snapshot);
+    } else {
+      snapshots.push_back(std::move(view.snapshot));
+    }
+  }
   snapshots.push_back(self_metrics_->Snapshot());
   if (views_out != nullptr) *views_out = std::move(views);
   return MergeSnapshots(snapshots);
@@ -262,7 +376,9 @@ MonitorServer::Readiness MonitorServer::CheckReadiness() const {
       return readiness;
     }
   }
-  if (max_consumer_lag_ < 0 && max_watermark_lag_ms_ < 0) return readiness;
+  if (max_consumer_lag_ < 0 && max_watermark_lag_ms_ < 0 && slo_ms_ <= 0) {
+    return readiness;
+  }
   for (const MonitorJobView& view : views) {
     for (const auto& [name, value] : view.snapshot.gauges) {
       if (max_consumer_lag_ >= 0 && name.find(".lag.") != std::string::npos &&
@@ -280,13 +396,103 @@ MonitorServer::Readiness MonitorServer::CheckReadiness() const {
                            ")";
         return readiness;
       }
+      if (slo_ms_ > 0 && Leaf(name) == "freshness_lag_ms" && value > slo_ms_) {
+        readiness.ready = false;
+        readiness.reason = "freshness lag " + std::to_string(value) +
+                           "ms over latency SLO " + std::to_string(slo_ms_) +
+                           "ms (" + name + ")";
+        return readiness;
+      }
     }
   }
   return readiness;
 }
 
+namespace {
+
+// Per-job resource-ledger families: one `samzasql_job_<field>` family per
+// ledger field, every job one sample with a `job` label; the e2e latency
+// distribution renders as a quantile-labeled summary. Appended after the
+// generic per-scope families so quota/chargeback dashboards can consume the
+// ledger without reassembling it from container scopes.
+std::string RenderJobLedgers(const std::vector<MonitorJobView>& views) {
+  if (views.empty()) return "";
+  std::ostringstream os;
+  struct Field {
+    const char* name;
+    const char* type;
+    const char* help;
+    int64_t ResourceLedger::* member;
+  };
+  static const Field kFields[] = {
+      {"samzasql_job_cpu_busy_ns_total", "counter",
+       "Cumulative CPU busy nanoseconds across the job's containers",
+       &ResourceLedger::cpu_busy_ns},
+      {"samzasql_job_rows_in_total", "counter",
+       "Input messages processed by the job", &ResourceLedger::rows_in},
+      {"samzasql_job_rows_out_total", "counter",
+       "Messages emitted by the job", &ResourceLedger::rows_out},
+      {"samzasql_job_bytes_in_total", "counter",
+       "Input payload bytes fetched by the job", &ResourceLedger::bytes_in},
+      {"samzasql_job_bytes_out_total", "counter",
+       "Payload bytes emitted by the job", &ResourceLedger::bytes_out},
+      {"samzasql_job_state_bytes", "gauge",
+       "Resident task-local state bytes", &ResourceLedger::state_bytes},
+      {"samzasql_job_state_bytes_hwm", "gauge",
+       "High-water mark of resident state bytes",
+       &ResourceLedger::state_bytes_hwm},
+      {"samzasql_job_dlq_drops_total", "counter",
+       "Messages skipped or dead-lettered by error policy",
+       &ResourceLedger::dlq_drops},
+      {"samzasql_job_freshness_lag_ms", "gauge",
+       "Age of the oldest unfetched input message",
+       &ResourceLedger::freshness_lag_ms},
+      {"samzasql_job_backlog_bytes", "gauge",
+       "Unfetched input payload bytes", &ResourceLedger::backlog_bytes},
+      {"samzasql_job_restarts_total", "counter",
+       "Supervisor container restarts", &ResourceLedger::restarts},
+      {"samzasql_job_uptime_ms", "gauge", "Wall-clock ms since job start",
+       &ResourceLedger::uptime_ms},
+  };
+  std::vector<std::pair<std::string, ResourceLedger>> ledgers;
+  ledgers.reserve(views.size());
+  for (const MonitorJobView& view : views) {
+    ledgers.emplace_back(PrometheusLabelValue(view.name),
+                         ComputeResourceLedger(view));
+  }
+  for (const Field& field : kFields) {
+    os << "# HELP " << field.name << " " << field.help << "\n";
+    os << "# TYPE " << field.name << " " << field.type << "\n";
+    for (const auto& [job, ledger] : ledgers) {
+      os << field.name << "{job=\"" << job << "\"} " << ledger.*field.member
+         << "\n";
+    }
+  }
+  os << "# HELP samzasql_job_e2e_latency_us "
+        "Source-to-sink event latency in microseconds\n";
+  os << "# TYPE samzasql_job_e2e_latency_us summary\n";
+  for (const auto& [job, ledger] : ledgers) {
+    os << "samzasql_job_e2e_latency_us{job=\"" << job
+       << "\",quantile=\"0.5\"} " << ledger.e2e.p50 << "\n";
+    os << "samzasql_job_e2e_latency_us{job=\"" << job
+       << "\",quantile=\"0.95\"} " << ledger.e2e.p95 << "\n";
+    os << "samzasql_job_e2e_latency_us{job=\"" << job
+       << "\",quantile=\"0.99\"} " << ledger.e2e.p99 << "\n";
+    os << "samzasql_job_e2e_latency_us_sum{job=\"" << job << "\"} "
+       << ledger.e2e.sum << "\n";
+    os << "samzasql_job_e2e_latency_us_count{job=\"" << job << "\"} "
+       << ledger.e2e.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
 std::string MonitorServer::RenderPrometheusText() const {
-  return RenderPrometheus(MergedSnapshot(nullptr)) + RenderBuildInfoPrometheus();
+  std::vector<MonitorJobView> views;
+  MetricsSnapshot merged = MergedSnapshot(&views);
+  return RenderPrometheus(merged) + RenderJobLedgers(views) +
+         RenderBuildInfoPrometheus();
 }
 
 std::string MonitorServer::RenderJobsJson() const {
@@ -296,12 +502,28 @@ std::string MonitorServer::RenderJobsJson() const {
   os << "{\"ts_ms\":" << clock_->NowMillis() << ",\"jobs\":[";
   for (size_t i = 0; i < views.size(); ++i) {
     const MonitorJobView& view = views[i];
+    const ResourceLedger ledger = ComputeResourceLedger(view);
     if (i) os << ",";
     os << "{\"name\":\"" << JsonEscape(view.name)
        << "\",\"containers_total\":" << view.containers_total
        << ",\"containers_running\":" << view.containers_running
        << ",\"processed\":" << view.processed
-       << ",\"restarts\":" << view.restarts << "}";
+       << ",\"restarts\":" << view.restarts
+       << ",\"uptime_ms\":" << view.uptime_ms
+       << ",\"rows_in\":" << ledger.rows_in
+       << ",\"rows_out\":" << ledger.rows_out
+       << ",\"bytes_in\":" << ledger.bytes_in
+       << ",\"bytes_out\":" << ledger.bytes_out
+       << ",\"cpu_busy_ns\":" << ledger.cpu_busy_ns
+       << ",\"state_bytes\":" << ledger.state_bytes
+       << ",\"state_bytes_hwm\":" << ledger.state_bytes_hwm
+       << ",\"dlq_drops\":" << ledger.dlq_drops
+       << ",\"freshness_lag_ms\":" << ledger.freshness_lag_ms
+       << ",\"backlog_bytes\":" << ledger.backlog_bytes
+       << ",\"e2e_latency_us\":{\"count\":" << ledger.e2e.count
+       << ",\"p50\":" << ledger.e2e.p50 << ",\"p95\":" << ledger.e2e.p95
+       << ",\"p99\":" << ledger.e2e.p99 << ",\"max\":" << ledger.e2e.max
+       << "}}";
   }
   os << "]}";
   return os.str();
@@ -361,8 +583,8 @@ HttpResponse MonitorServer::Handle(const HttpRequest& request) {
         "samzasql monitor\n"
         "  /metrics   Prometheus text exposition\n"
         "  /healthz   liveness\n"
-        "  /readyz    readiness (containers + lag thresholds)\n"
-        "  /jobs      submitted jobs (JSON)\n"
+        "  /readyz    readiness (containers + lag thresholds + latency SLO)\n"
+        "  /jobs      submitted jobs + resource ledgers (JSON)\n"
         "  /history   metrics history ring (JSON, ?job=<prefix>)\n"
         "  /alerts    alert engine state (JSON)\n"
         "  /debug/profile  profile burst, collapsed stacks (?seconds=N&hz=H)\n"

@@ -59,9 +59,38 @@ struct MonitorJobView {
   // Supervisor restart attempts so far (0 when supervision is off). Shown
   // in /jobs and in the /readyz dead-container reason.
   int64_t restarts = 0;
+  // Wall-clock ms since the job started (JobRunner::UptimeMs).
+  int64_t uptime_ms = 0;
   std::vector<MonitorContainerStatus> containers;
   MetricsSnapshot snapshot;
 };
+
+// Cumulative resource accounting for one job, aggregated live from its
+// metrics snapshot (docs/LATENCY.md "Resource ledger"): what the job has
+// consumed (CPU, rows/bytes through it, state), how far behind it is
+// (freshness/backlog), and its end-to-end latency distribution. This is the
+// substrate a multi-tenant front door's per-tenant quotas will meter
+// against (ROADMAP item 2).
+struct ResourceLedger {
+  int64_t cpu_busy_ns = 0;      // Σ container busy_ns timers
+  int64_t rows_in = 0;          // Σ container processed counters
+  int64_t rows_out = 0;         // Σ container rows_out counters
+  int64_t bytes_in = 0;         // Σ container bytes_in counters
+  int64_t bytes_out = 0;        // Σ container bytes_out counters
+  int64_t state_bytes = 0;      // Σ container state_bytes gauges
+  int64_t state_bytes_hwm = 0;  // Σ container state_bytes_hwm gauges
+  int64_t dlq_drops = 0;        // Σ task dropped counters
+  int64_t freshness_lag_ms = 0; // max container freshness_lag_ms gauge
+  int64_t backlog_bytes = 0;    // Σ container backlog_bytes gauges
+  int64_t restarts = 0;         // from the view
+  int64_t uptime_ms = 0;        // from the view
+  HistogramStats e2e;           // <job>.e2e_latency_us
+};
+
+// Aggregate the ledger from a job view's snapshot (leaf-name matching over
+// the container-scoped instruments, so restarts — fresh container scopes —
+// keep accumulating).
+ResourceLedger ComputeResourceLedger(const MonitorJobView& view);
 
 using MonitorJobsProvider = std::function<std::vector<MonitorJobView>()>;
 
@@ -126,6 +155,9 @@ class MonitorServer {
 
  private:
   MetricsSnapshot MergedSnapshot(std::vector<MonitorJobView>* views_out) const;
+  // Per-job SLO breach/clear transitions against `latency.slo.ms`, recorded
+  // into the flight recorder and the monitor's self-metrics.
+  void CheckSloTransitions(const std::vector<MonitorJobView>& views);
   void StartWatchdog();
   void StopWatchdog();
   void WatchdogLoop();
@@ -136,6 +168,12 @@ class MonitorServer {
   int64_t history_interval_ms_;
   int64_t max_consumer_lag_;
   int64_t max_watermark_lag_ms_;
+  // Freshness-lag SLO (`latency.slo.ms`, 0 = off): ForceTick records
+  // slo_breach / slo_cleared transitions per job, /readyz fails while any
+  // job is over the threshold (docs/LATENCY.md).
+  int64_t slo_ms_ = 0;
+  mutable std::mutex slo_mu_;
+  std::set<std::string> slo_breached_;  // job names currently over the SLO
   MetricsHistory history_;
   std::unique_ptr<AlertEngine> alerts_;
   Status rules_status_;

@@ -44,6 +44,7 @@ class ChangelogBackedStore : public KeyValueStore {
   }
   void All(const RangeCallback& cb) const override { backing_->All(cb); }
   size_t Size() const override { return backing_->Size(); }
+  int64_t SizeBytes() const override { return backing_->SizeBytes(); }
   void Clear() override;
 
   // Replay the changelog partition from the beginning into the (cleared)

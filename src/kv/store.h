@@ -34,6 +34,12 @@ class KeyValueStore {
   virtual void All(const RangeCallback& cb) const = 0;
 
   virtual size_t Size() const = 0;
+
+  // Resident payload bytes (keys + values). Feeds the per-job resource
+  // ledger's state high-water mark (docs/LATENCY.md); stores that cannot
+  // account cheaply may report 0.
+  virtual int64_t SizeBytes() const { return 0; }
+
   virtual void Clear() = 0;
 };
 
@@ -48,8 +54,23 @@ class InMemoryStore : public KeyValueStore {
     if (it == map_.end()) return std::nullopt;
     return it->second;
   }
-  void Put(const Bytes& key, Bytes value) override { map_[key] = std::move(value); }
-  void Delete(const Bytes& key) override { map_.erase(key); }
+  void Put(const Bytes& key, Bytes value) override {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      bytes_ += static_cast<int64_t>(key.size() + value.size());
+      map_.emplace(key, std::move(value));
+    } else {
+      bytes_ += static_cast<int64_t>(value.size()) -
+                static_cast<int64_t>(it->second.size());
+      it->second = std::move(value);
+    }
+  }
+  void Delete(const Bytes& key) override {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    bytes_ -= static_cast<int64_t>(it->first.size() + it->second.size());
+    map_.erase(it);
+  }
 
   void Range(const Bytes& from, const Bytes& to, const RangeCallback& cb) const override {
     for (auto it = map_.lower_bound(from); it != map_.end() && it->first < to; ++it) {
@@ -63,10 +84,15 @@ class InMemoryStore : public KeyValueStore {
   }
 
   size_t Size() const override { return map_.size(); }
-  void Clear() override { map_.clear(); }
+  int64_t SizeBytes() const override { return bytes_; }
+  void Clear() override {
+    map_.clear();
+    bytes_ = 0;
+  }
 
  private:
   std::map<Bytes, Bytes> map_;
+  int64_t bytes_ = 0;  // incremental Σ key+value sizes of live entries
 };
 
 // Write-through cache wrapper (Samza's CachedStore): bounds the number of
@@ -85,6 +111,7 @@ class CachedStore : public KeyValueStore {
   }
   void All(const RangeCallback& cb) const override { backing_->All(cb); }
   size_t Size() const override { return backing_->Size(); }
+  int64_t SizeBytes() const override { return backing_->SizeBytes(); }
   void Clear() override {
     cache_.clear();
     lru_.clear();
@@ -137,6 +164,7 @@ class LatencyStore : public KeyValueStore {
     backing_->All(cb);
   }
   size_t Size() const override { return backing_->Size(); }
+  int64_t SizeBytes() const override { return backing_->SizeBytes(); }
   void Clear() override { backing_->Clear(); }
 
  private:

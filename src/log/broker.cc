@@ -71,8 +71,22 @@ Result<ProducerIdentity> Broker::RegisterProducer(const std::string& name) {
   return id;
 }
 
+namespace {
+
+// Extends the partition's cumulative byte ledger for one appended message.
+// Caller holds part->mu.
+void ExtendByteLedger(std::vector<int64_t>& cum_bytes, int64_t bytes_base,
+                      int64_t msg_bytes) {
+  int64_t prev = cum_bytes.empty() ? bytes_base : cum_bytes.back();
+  cum_bytes.push_back(prev + msg_bytes);
+}
+
+}  // namespace
+
 Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
   SQS_ASSIGN_OR_RETURN(part, GetPartition(sp));
+  int64_t msg_bytes = static_cast<int64_t>(message.key.size()) +
+                      static_cast<int64_t>(message.value.size());
   if (message.producer_id != 0) {
     int32_t newest_epoch;
     {
@@ -111,11 +125,13 @@ Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
     st.last_seq = message.sequence;
     st.last_offset = offset;
     part->entries.push_back(std::move(message));
+    ExtendByteLedger(part->cum_bytes, part->bytes_base, msg_bytes);
     return offset;
   }
   std::lock_guard<std::mutex> lock(part->mu);
   int64_t offset = part->log_start + static_cast<int64_t>(part->entries.size());
   part->entries.push_back(std::move(message));
+  ExtendByteLedger(part->cum_bytes, part->bytes_base, msg_bytes);
   return offset;
 }
 
@@ -182,6 +198,9 @@ Status Broker::EnforceRetention(const std::string& topic) {
         static_cast<int64_t>(part->entries.size()) - config.retention_messages;
     if (excess > 0) {
       part->entries.erase(part->entries.begin(), part->entries.begin() + excess);
+      part->bytes_base = part->cum_bytes[static_cast<size_t>(excess) - 1];
+      part->cum_bytes.erase(part->cum_bytes.begin(),
+                            part->cum_bytes.begin() + excess);
       part->log_start += excess;
     }
   }
@@ -218,8 +237,46 @@ Status Broker::Compact(const std::string& topic) {
     }
     part->log_start += static_cast<int64_t>(part->entries.size() - kept.size());
     part->entries = std::move(kept);
+    // Rebuild the byte ledger: survivors keep their true sizes, and
+    // bytes_base absorbs everything compacted away so the cumulative totals
+    // stay monotone across the rebase.
+    int64_t total =
+        part->cum_bytes.empty() ? part->bytes_base : part->cum_bytes.back();
+    int64_t kept_bytes = 0;
+    for (const Message& m : part->entries) {
+      kept_bytes += static_cast<int64_t>(m.key.size()) +
+                    static_cast<int64_t>(m.value.size());
+    }
+    part->bytes_base = total - kept_bytes;
+    part->cum_bytes.clear();
+    for (const Message& m : part->entries) {
+      ExtendByteLedger(part->cum_bytes, part->bytes_base,
+                       static_cast<int64_t>(m.key.size()) +
+                           static_cast<int64_t>(m.value.size()));
+    }
   }
   return Status::Ok();
+}
+
+Result<PartitionBacklog> Broker::BacklogFrom(const StreamPartition& sp,
+                                             int64_t offset) const {
+  SQS_ASSIGN_OR_RETURN(part, GetPartition(sp));
+  std::lock_guard<std::mutex> lock(part->mu);
+  PartitionBacklog out;
+  int64_t end = part->log_start + static_cast<int64_t>(part->entries.size());
+  int64_t from = std::max(offset, part->log_start);
+  if (from >= end) return out;
+  out.messages = end - from;
+  int64_t total =
+      part->cum_bytes.empty() ? part->bytes_base : part->cum_bytes.back();
+  int64_t before = from == part->log_start
+                       ? part->bytes_base
+                       : part->cum_bytes[static_cast<size_t>(
+                             from - part->log_start - 1)];
+  out.bytes = total - before;
+  out.oldest_append_ms =
+      part->entries[static_cast<size_t>(from - part->log_start)].timestamp;
+  return out;
 }
 
 Result<int64_t> Broker::TopicSize(const std::string& topic) const {

@@ -26,6 +26,16 @@ struct TopicConfig {
   bool compacted = false;
 };
 
+// Backlog of one partition beyond a consumer's position: how many messages
+// and payload bytes remain unfetched, and the append time of the oldest of
+// them (-1 when there is no backlog). `now - oldest_append_ms` is the
+// freshness lag the container exports (docs/LATENCY.md).
+struct PartitionBacklog {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t oldest_append_ms = -1;
+};
+
 // Identity handed out by RegisterProducer: a stable id per producer name
 // plus a monotonically increasing epoch. Re-registering the same name bumps
 // the epoch, fencing every earlier holder (Kafka's producer id/epoch model).
@@ -88,6 +98,14 @@ class Broker {
   virtual Status EnforceRetention(const std::string& topic);
   virtual Status Compact(const std::string& topic);
 
+  // Backlog (messages, payload bytes, oldest append time) at/after `offset`.
+  // An offset below the log start clamps to it — retained-away data no
+  // longer contributes to backlog. O(1): payload bytes come from a
+  // cumulative per-partition byte ledger maintained by Append / retention /
+  // compaction, not from walking entries.
+  virtual Result<PartitionBacklog> BacklogFrom(const StreamPartition& sp,
+                                               int64_t offset) const;
+
   // Total messages currently held in a topic (across partitions).
   virtual Result<int64_t> TopicSize(const std::string& topic) const;
 
@@ -104,6 +122,12 @@ class Broker {
     int64_t log_start = 0;
     std::vector<Message> entries;  // entries[i] has offset log_start + i
     std::map<uint64_t, ProducerSeqState> producers;  // by pid
+    // Absolute cumulative payload bytes: cum_bytes[i] counts every key+value
+    // byte ever appended up to and including entries[i], including bytes of
+    // since-retained entries (bytes_base). BacklogFrom subtracts two ledger
+    // values to price any suffix in O(1).
+    std::vector<int64_t> cum_bytes;
+    int64_t bytes_base = 0;  // cumulative bytes before entries[0]
   };
   struct Topic {
     TopicConfig config;

@@ -134,6 +134,10 @@ class FaultInjectingBroker : public Broker {
     return inner_->EnforceRetention(topic);
   }
   Status Compact(const std::string& topic) override { return inner_->Compact(topic); }
+  Result<PartitionBacklog> BacklogFrom(const StreamPartition& sp,
+                                       int64_t offset) const override {
+    return inner_->BacklogFrom(sp, offset);
+  }
   Result<int64_t> TopicSize(const std::string& topic) const override {
     return inner_->TopicSize(topic);
   }

@@ -54,6 +54,18 @@ struct Message {
   int64_t timestamp = 0;
   TraceContext trace;
 
+  // Pipeline-latency stamps (common/latency.h, docs/LATENCY.md), both in
+  // microseconds since epoch; 0 = unstamped (raw broker writes, or
+  // latency.stamping.enable=false). `ingest_us` is the wall time of the
+  // *first* producer append in the message's lineage: a send issued while
+  // processing an input message inherits that input's ingest_us, so the
+  // stamp survives repartitioning and multi-job pipelines — the sink-side
+  // send measures true source-to-sink latency against it. `append_us` is
+  // this hop's own append time, used for the broker-queue dwell
+  // (fetch-side now minus append_us) in the EXPLAIN ANALYZE waterfall.
+  int64_t ingest_us = 0;
+  int64_t append_us = 0;
+
   // Idempotent-producer metadata (Kafka's record-batch pid/epoch/sequence,
   // docs/FAULT_TOLERANCE.md "Exactly-once"). producer_id 0 marks a plain
   // non-idempotent append; the broker dedups/fences only stamped messages.

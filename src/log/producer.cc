@@ -1,6 +1,9 @@
 #include "log/producer.h"
 
+#include <algorithm>
+
 #include "common/flightrec.h"
+#include "common/latency.h"
 #include "common/tracing.h"
 
 namespace sqs {
@@ -31,7 +34,21 @@ Result<int64_t> Producer::SendTo(const StreamPartition& sp, Bytes key, Bytes val
   Message m;
   m.key = std::move(key);
   m.value = std::move(value);
-  m.timestamp = clock_->NowMillis();
+  if (LatencyStampingEnabled()) {
+    // Latency stamps: append_us is this hop's own append time; ingest_us
+    // continues the ambient input's stamp (repartition / downstream hop) or
+    // roots a new lineage at this append. The record timestamp is derived
+    // from the same reading, so stamping adds no clock read to the send.
+    m.append_us = clock_->NowMicros();
+    m.timestamp = m.append_us / 1000;
+    int64_t ambient = CurrentIngestMicros();
+    m.ingest_us = ambient > 0 ? ambient : m.append_us;
+    last_e2e_us_ =
+        ambient > 0 ? std::max<int64_t>(0, m.append_us - ambient) : -1;
+  } else {
+    m.timestamp = clock_->NowMillis();
+    last_e2e_us_ = -1;
+  }
   if (identity_.pid != 0) {
     // The sequence is assigned once, before any retry: a retried append
     // re-sends the same seq, so an ambiguous first attempt (failure injected

@@ -61,6 +61,13 @@ class Producer {
   // Explicit-partition send.
   Result<int64_t> SendTo(const StreamPartition& sp, Bytes key, Bytes value);
 
+  // Source-to-sink latency of the most recent send, in microseconds — the
+  // gap between the ambient ingest stamp it inherited and its own append
+  // stamp. -1 when the send rooted a new lineage or stamping is off. Reusing
+  // the append stamp keeps the e2e histogram off the clock on the hot path
+  // (docs/LATENCY.md).
+  int64_t last_e2e_us() const { return last_e2e_us_; }
+
   static int32_t PartitionForKey(const Bytes& key, int32_t num_partitions) {
     return static_cast<int32_t>(Fnv1a64(key) % static_cast<uint64_t>(num_partitions));
   }
@@ -75,6 +82,7 @@ class Producer {
   ProducerIdentity identity_;
   std::map<StreamPartition, int64_t> sequences_;  // next seq per partition
   Counter* m_fenced_ = nullptr;
+  int64_t last_e2e_us_ = -1;
 };
 
 }  // namespace sqs

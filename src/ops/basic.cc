@@ -1,5 +1,7 @@
 #include "ops/basic.h"
 
+#include "common/latency.h"
+
 namespace sqs::ops {
 
 Status ScanOperator::ProcessMessage(const IncomingMessage& message,
@@ -11,6 +13,10 @@ Status ScanOperator::ProcessMessage(const IncomingMessage& message,
   TraceContext parent = CurrentTraceContext();
   if (!parent.valid()) parent = message.message.trace;
   TraceSpan span(parent, TraceName(), TraceScopeName(), message.origin.partition);
+  // Ambient latency scope for the whole operator chain: any send the
+  // downstream operators issue (InsertOperator through the collector)
+  // inherits this input's ingest stamp (common/latency.h).
+  IngestScope ingest(message.message.ingest_us);
   int64_t t0 = MonotonicNanos();
   Status st = DecodeAndEmit(message, ctx);
   // rowtime is only known post-decode; the router-facing watermark for scan

@@ -1,5 +1,7 @@
 #include "ops/fused.h"
 
+#include "common/latency.h"
+
 namespace sqs::ops {
 
 bool FusedStageCanPassthrough(const sql::FusedStageSpec& spec,
@@ -53,6 +55,10 @@ Status FusedStageOperator::Evaluate(const IncomingMessage& msg, PendingSend& out
 
 Status FusedStageOperator::SendOne(const IncomingMessage& msg, PendingSend& pending,
                                    OperatorContext& ctx) {
+  // Both the per-message and the batched (phase-2) paths funnel through
+  // here, so this one scope propagates the input's ingest stamp onto every
+  // fused-stage output (common/latency.h).
+  IngestScope ingest(msg.message.ingest_us);
   if (passthrough_) {
     ++emitted_;
     return ctx.collector->SendToPartition(topic_, msg.origin.partition, Bytes{},

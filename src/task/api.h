@@ -15,6 +15,7 @@
 
 #include "common/clock.h"
 #include "common/config.h"
+#include "common/latency.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "kv/store.h"
@@ -81,6 +82,9 @@ class StreamTask {
                               TaskCoordinator& coordinator, size_t* consumed) {
     for (size_t i = 0; i < count; ++i) {
       if (consumed) *consumed = i;
+      // Ambient latency scope: sends issued by Process inherit the input's
+      // ingest stamp (common/latency.h).
+      IngestScope ingest(msgs[i].message.ingest_us);
       SQS_RETURN_IF_ERROR(Process(msgs[i], collector, coordinator));
     }
     if (consumed) *consumed = count;
@@ -156,6 +160,15 @@ inline constexpr const char* kMonitorPort = "monitor.port";
 // lag / operator watermark lag exceeds these (-1 = check disabled).
 inline constexpr const char* kMonitorReadyMaxConsumerLag = "monitor.ready.max.consumer.lag";
 inline constexpr const char* kMonitorReadyMaxWatermarkLagMs = "monitor.ready.max.watermark.lag.ms";
+// --- end-to-end latency SLOs (docs/LATENCY.md) ---
+// Freshness-lag SLO in ms: while any job's oldest unfetched input message is
+// older than this, /readyz reports 503, an implicit alert rule fires, and
+// slo_breach / slo_cleared events land in the flight recorder (0 / unset =
+// SLO checking off).
+inline constexpr const char* kLatencySloMs = "latency.slo.ms";
+// Process-global toggle for ingest/append timestamp stamping and the e2e /
+// dwell histograms (default on; the bench_latency overhead arm turns it off).
+inline constexpr const char* kLatencyStampingEnable = "latency.stamping.enable";
 // Metrics history ring: sampling interval and retained points per key.
 inline constexpr const char* kMetricsHistoryIntervalMs = "metrics.history.interval.ms";
 inline constexpr const char* kMetricsHistorySamples = "metrics.history.samples";

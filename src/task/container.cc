@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "common/flightrec.h"
+#include "common/latency.h"
 #include "common/logging.h"
 #include "common/profiler.h"
 #include "common/tracing.h"
@@ -12,24 +13,53 @@ namespace sqs {
 namespace {
 
 // Collector bound to a task instance; keyed sends hash-partition, partition-
-// preserving sends reuse the input partition id.
+// preserving sends reuse the input partition id. Every successful send is
+// accounted against the container's resource ledger (rows/bytes out), and —
+// when an ambient ingest stamp is live — its source-to-sink latency lands in
+// the job's e2e histogram (docs/LATENCY.md).
 class ProducerCollector : public MessageCollector {
  public:
-  explicit ProducerCollector(Producer& producer) : producer_(producer) {}
+  ProducerCollector(Producer& producer, Counter* rows_out, Counter* bytes_out,
+                    Histogram* e2e_us)
+      : producer_(producer),
+        rows_out_(rows_out),
+        bytes_out_(bytes_out),
+        e2e_us_(e2e_us) {}
 
   Status Send(const std::string& topic, Bytes key, Bytes value) override {
+    int64_t bytes = static_cast<int64_t>(key.size() + value.size());
     auto r = producer_.Send(topic, std::move(key), std::move(value));
-    return r.ok() ? Status::Ok() : r.status();
+    if (!r.ok()) return r.status();
+    Account(bytes);
+    return Status::Ok();
   }
 
   Status SendToPartition(const std::string& topic, int32_t partition, Bytes key,
                          Bytes value) override {
+    int64_t bytes = static_cast<int64_t>(key.size() + value.size());
     auto r = producer_.SendTo({topic, partition}, std::move(key), std::move(value));
-    return r.ok() ? Status::Ok() : r.status();
+    if (!r.ok()) return r.status();
+    Account(bytes);
+    return Status::Ok();
   }
 
  private:
+  void Account(int64_t bytes) const {
+    if (rows_out_ != nullptr) rows_out_->Inc();
+    if (bytes_out_ != nullptr) bytes_out_->Inc(bytes);
+    if (e2e_us_ != nullptr) {
+      // The producer already stamped this send's append time; its gap to the
+      // inherited ingest stamp is the source-to-sink latency, with no extra
+      // clock read on the hot path. -1 means unstamped or a fresh lineage.
+      int64_t e2e = producer_.last_e2e_us();
+      if (e2e >= 0) e2e_us_->Record(e2e);
+    }
+  }
+
   Producer& producer_;
+  Counter* rows_out_;
+  Counter* bytes_out_;
+  Histogram* e2e_us_;
 };
 
 }  // namespace
@@ -276,6 +306,11 @@ Status Container::Start() {
   }
   flight_scope_ = config_.Get(cfg::kJobName, "job") + ".container" +
                   std::to_string(model_.container_id);
+  // Latency stamping is process-global like the tracer (stamps cross job
+  // boundaries); only touch it when this job's config carries the key.
+  if (config_.Has(cfg::kLatencyStampingEnable)) {
+    SetLatencyStampingEnabled(config_.GetBool(cfg::kLatencyStampingEnable, true));
+  }
   // The tracer is process-global (traces cross job boundaries); only touch
   // it when this job's config actually carries a tracing key, so a job
   // without one does not reset a rate the shell (EXPLAIN ANALYZE) enabled.
@@ -330,6 +365,20 @@ Status Container::Start() {
   m_process_latency_ns_ = &cscope.histogram("process_latency_ns");
   checkpoints_->BindMetrics(&cscope.counter("checkpoint_writes"),
                             &cscope.counter("checkpoint_bytes"));
+  // Resource-ledger instruments (docs/LATENCY.md): I/O volume, state
+  // footprint, and freshness/backlog rollups per container; the e2e/dwell
+  // latency histograms are job-scoped so every container of the job records
+  // into one pair (the registry is shared across the job's containers).
+  m_rows_out_ = &cscope.counter("rows_out");
+  m_bytes_in_ = &cscope.counter("bytes_in");
+  m_bytes_out_ = &cscope.counter("bytes_out");
+  m_state_bytes_ = &cscope.gauge("state_bytes");
+  m_state_bytes_hwm_ = &cscope.gauge("state_bytes_hwm");
+  m_freshness_ms_ = &cscope.gauge("freshness_lag_ms");
+  m_backlog_bytes_ = &cscope.gauge("backlog_bytes");
+  ScopedMetrics jscope(metrics_.get(), config_.Get(cfg::kJobName, "job"));
+  m_e2e_us_ = &jscope.histogram("e2e_latency_us");
+  m_dwell_us_ = &jscope.histogram("dwell_queue_us");
 
   // One retry budget for every broker data path this container owns:
   // produce, poll, changelog mirror/restore, checkpoint read/write. Retry
@@ -403,12 +452,20 @@ Status Container::Start() {
     tasks_.push_back(std::move(instance));
   }
 
-  // One lag gauge per assigned partition: `<job>.container<ID>.lag.<topic>.<P>`.
+  // Per assigned partition: message-count lag, freshness lag (ms), and
+  // backlog (bytes) gauges — `<job>.container<ID>.{lag,freshness,backlog}.
+  // <topic>.<P>`.
   for (const Consumer* c : {consumer_.get(), bootstrap_consumer_.get()}) {
     for (const auto& [sp, pos] : c->assignments()) {
       (void)pos;
       lag_gauges_[sp] =
           &cscope.Sub("lag").Sub(sp.topic).gauge(std::to_string(sp.partition));
+      freshness_gauges_[sp] = &cscope.Sub("freshness")
+                                   .Sub(sp.topic)
+                                   .gauge(std::to_string(sp.partition));
+      backlog_gauges_[sp] = &cscope.Sub("backlog")
+                                 .Sub(sp.topic)
+                                 .gauge(std::to_string(sp.partition));
     }
   }
   SQS_RETURN_IF_ERROR(UpdateLagGauges());
@@ -432,6 +489,43 @@ Status Container::UpdateLagGauges() {
       if (it != lag_gauges_.end()) it->second->Set(lag);
     }
   }
+  // Freshness / backlog accounting (docs/LATENCY.md): for each assigned
+  // partition, how many payload bytes sit unfetched past the consumer's
+  // position and how stale the oldest of them is. Rollups: max freshness
+  // (the partition furthest behind bounds the job's answer staleness) and
+  // summed backlog bytes.
+  int64_t max_freshness = 0;
+  int64_t total_backlog = 0;
+  int64_t now_ms = clock_->NowMillis();
+  for (const Consumer* c : {consumer_.get(), bootstrap_consumer_.get()}) {
+    for (const auto& [sp, pos] : c->assignments()) {
+      SQS_ASSIGN_OR_RETURN(backlog, broker_->BacklogFrom(sp, pos));
+      int64_t freshness =
+          backlog.oldest_append_ms >= 0
+              ? std::max<int64_t>(0, now_ms - backlog.oldest_append_ms)
+              : 0;
+      auto fit = freshness_gauges_.find(sp);
+      if (fit != freshness_gauges_.end()) fit->second->Set(freshness);
+      auto bit = backlog_gauges_.find(sp);
+      if (bit != backlog_gauges_.end()) bit->second->Set(backlog.bytes);
+      max_freshness = std::max(max_freshness, freshness);
+      total_backlog += backlog.bytes;
+    }
+  }
+  if (m_freshness_ms_ != nullptr) m_freshness_ms_->Set(max_freshness);
+  if (m_backlog_bytes_ != nullptr) m_backlog_bytes_->Set(total_backlog);
+  // State footprint: resident store bytes across this container's tasks,
+  // with a container-lifetime high-water mark for the resource ledger.
+  int64_t state_bytes = 0;
+  for (const auto& task : tasks_) {
+    for (const auto& [name, store] : task->stores) {
+      (void)name;
+      state_bytes += store->SizeBytes();
+    }
+  }
+  if (state_bytes > state_hwm_) state_hwm_ = state_bytes;
+  if (m_state_bytes_ != nullptr) m_state_bytes_->Set(state_bytes);
+  if (m_state_bytes_hwm_ != nullptr) m_state_bytes_hwm_->Set(state_hwm_);
   // Broker-wide duplicate-drop total (idempotent dedup activity); sampled
   // here so it moves with the same cadence as the lag gauges.
   if (m_dups_dropped_ != nullptr) m_dups_dropped_->Set(broker_->dups_dropped());
@@ -443,7 +537,11 @@ Producer& Container::TaskProducer(TaskInstance& task) {
 }
 
 Status Container::ProcessOne(TaskInstance& task, const IncomingMessage& msg) {
-  ProducerCollector collector(TaskProducer(task));
+  ProducerCollector collector(TaskProducer(task), m_rows_out_, m_bytes_out_,
+                              m_e2e_us_);
+  // Sends issued by Process (including a dead-letter route) inherit the
+  // input's ingest stamp.
+  IngestScope ingest(msg.message.ingest_us);
   // Per-message span. A message stamped by a producer continues its
   // trace; an untraced message (pre-existing log data) is a
   // head-sampling point, so ingest-rooted traces work on topics written
@@ -472,6 +570,24 @@ Status Container::ProcessOne(TaskInstance& task, const IncomingMessage& msg) {
 }
 
 Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batch) {
+  // Fetch-side ledger pass: input payload bytes, and — for stamped
+  // messages — broker-queue dwell (now minus this hop's append time).
+  int64_t dwell_now_us =
+      (m_dwell_us_ != nullptr && LatencyStampingEnabled()) ? clock_->NowMicros()
+                                                           : 0;
+  if (m_bytes_in_ != nullptr || dwell_now_us > 0) {
+    for (const IncomingMessage& im : batch) {
+      if (m_bytes_in_ != nullptr) {
+        m_bytes_in_->Inc(static_cast<int64_t>(im.message.key.size() +
+                                              im.message.value.size()));
+      }
+      if (dwell_now_us > 0 && im.message.append_us > 0 &&
+          (dwell_sample_seq_++ & 15) == 0) {
+        m_dwell_us_->Record(
+            std::max<int64_t>(0, dwell_now_us - im.message.append_us));
+      }
+    }
+  }
   int64_t processed = 0;
   size_t b = 0;
   while (b < batch.size()) {
@@ -519,7 +635,8 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
       }
       const size_t len = end - b;
 
-      ProducerCollector collector(TaskProducer(task));
+      ProducerCollector collector(TaskProducer(task), m_rows_out_,
+                                  m_bytes_out_, m_e2e_us_);
       // One "process" span per run: head-sampling moves to batch
       // granularity for untraced traffic (see docs/EXECUTION.md).
       TraceContext parent = Tracer::Instance().MaybeStartTrace();
@@ -703,7 +820,10 @@ Status Container::MaybeFireWindows() {
   if (now - last_window_fire_ms_ < window_ms_) return Status::Ok();
   last_window_fire_ms_ = now;
   for (auto& task : tasks_) {
-    ProducerCollector collector(TaskProducer(*task));
+    // No ambient ingest scope here: a timer-driven emission is a new event,
+    // so its sends root fresh ingest stamps.
+    ProducerCollector collector(TaskProducer(*task), m_rows_out_, m_bytes_out_,
+                                m_e2e_us_);
     SQS_RETURN_IF_ERROR(task->task->Window(collector, *task));
   }
   return Status::Ok();

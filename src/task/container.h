@@ -188,6 +188,35 @@ class Container {
   Timer* m_busy_ns_ = nullptr;
   Histogram* m_process_latency_ns_ = nullptr;
   std::map<StreamPartition, Gauge*> lag_gauges_;
+  // Backpressure / freshness accounting (docs/LATENCY.md): per-partition
+  // `freshness.<topic>.<P>` (ms behind ingest) and `backlog.<topic>.<P>`
+  // (unfetched payload bytes) gauges plus container-level rollups
+  // `freshness_lag_ms` (max) / `backlog_bytes` (sum). Names deliberately
+  // avoid `.lag.` — that substring is the message-count consumer-lag family
+  // special-cased by readiness and the alert engine.
+  std::map<StreamPartition, Gauge*> freshness_gauges_;
+  std::map<StreamPartition, Gauge*> backlog_gauges_;
+  Gauge* m_freshness_ms_ = nullptr;
+  Gauge* m_backlog_bytes_ = nullptr;
+  // Resource-ledger instruments: rows/bytes through this container and the
+  // state footprint of its stores (with a container-lifetime high-water).
+  Counter* m_rows_out_ = nullptr;
+  Counter* m_bytes_in_ = nullptr;
+  Counter* m_bytes_out_ = nullptr;
+  Gauge* m_state_bytes_ = nullptr;
+  Gauge* m_state_bytes_hwm_ = nullptr;
+  int64_t state_hwm_ = 0;
+  // Job-scoped latency histograms (shared registry, so every container of
+  // the job records into the same pair): source-to-sink event latency at
+  // send time, and broker-queue dwell at fetch time.
+  Histogram* m_e2e_us_ = nullptr;
+  Histogram* m_dwell_us_ = nullptr;
+  // Free-running input-message counter driving 1-in-16 dwell sampling:
+  // messages fetched in one poll batch share a single wall-clock reading and
+  // near-identical append times, so dense dwell samples are redundant — the
+  // stride keeps the distribution while shedding histogram writes from the
+  // hot path. Not batch-aligned, so no bias toward batch heads.
+  uint64_t dwell_sample_seq_ = 0;
   // Per-operation retry pressure (`<scope>.retry.<op>.{retries,giveups}`,
   // op = send|fetch|changelog|checkpoint) — labeled in /metrics.
   Counter* m_send_retries_ = nullptr;

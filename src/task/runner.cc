@@ -40,6 +40,7 @@ Status JobRunner::Start() {
                      .counter("container_restarts");
 
   started_ = true;
+  start_ms_ = clock_->NowMillis();
   return Status::Ok();
 }
 

@@ -13,6 +13,7 @@
 //    (docs/FAULT_TOLERANCE.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -75,6 +76,12 @@ class JobRunner {
   int64_t TotalProcessed() const;
   int64_t TotalBusyNanos() const;
 
+  // Wall-clock ms since Start() (0 before Start). Feeds the resource
+  // ledger's uptime column in SHOW JOBS / GET /jobs.
+  int64_t UptimeMs(int64_t now_ms) const {
+    return started_ ? std::max<int64_t>(0, now_ms - start_ms_) : 0;
+  }
+
   // Per-slot health for the monitor's watchdog: running (allocated), busy
   // (inside RunUntilCaughtUp), and heartbeat age at `now_ms`. Thread-safe.
   struct ContainerStatus {
@@ -120,6 +127,7 @@ class JobRunner {
   JobModel model_;
   std::vector<std::unique_ptr<Container>> containers_;
   bool started_ = false;
+  int64_t start_ms_ = 0;  // clock time at Start(), for UptimeMs()
 
   // Supervisor config (container.restart.*), read at Start().
   int64_t restart_max_ = 0;  // 0 = supervision off

@@ -39,7 +39,8 @@ struct PromSample {
 };
 
 struct PromExposition {
-  std::map<std::string, std::string> types;  // family -> counter|gauge|histogram
+  // family -> counter|gauge|histogram|summary
+  std::map<std::string, std::string> types;
   std::vector<PromSample> samples;
 };
 
@@ -67,7 +68,8 @@ void ParseExpositionInto(const std::string& text, PromExposition& out) {
       std::string family, type;
       rest >> family >> type;
       EXPECT_TRUE(ValidPromName(family)) << line;
-      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram" ||
+                  type == "summary")
           << line;
       out.types[family] = type;
       continue;
@@ -114,8 +116,8 @@ void ParseExpositionInto(const std::string& text, PromExposition& out) {
         << "bad sample value: " << line;
     out.samples.push_back(std::move(sample));
   }
-  // Every sample must belong to a declared family (histogram series hang off
-  // the base family's TYPE line).
+  // Every sample must belong to a declared family (histogram and summary
+  // series hang off the base family's TYPE line).
   for (const PromSample& s : out.samples) {
     std::string family = s.name;
     for (const char* suffix : {"_bucket", "_sum", "_count"}) {
@@ -123,7 +125,10 @@ void ParseExpositionInto(const std::string& text, PromExposition& out) {
       if (family.size() > len &&
           family.compare(family.size() - len, len, suffix) == 0) {
         std::string base = family.substr(0, family.size() - len);
-        if (out.types.count(base) && out.types[base] == "histogram") family = base;
+        if (out.types.count(base) &&
+            (out.types[base] == "histogram" || out.types[base] == "summary")) {
+          family = base;
+        }
       }
     }
     EXPECT_TRUE(out.types.count(family)) << "sample without TYPE: " << s.name;
@@ -528,11 +533,31 @@ TEST_F(MonitorIntegrationTest, MetricsEndpointServesValidExposition) {
   }
   EXPECT_TRUE(join_scope) << "join operator metrics missing from exposition";
 
+  // Resource-ledger families ride along in the exposition, one sample per
+  // job, plus the e2e latency quantile summary (docs/LATENCY.md).
+  EXPECT_EQ(exp.types.at("samzasql_job_rows_in_total"), "counter");
+  EXPECT_EQ(exp.types.at("samzasql_job_e2e_latency_us"), "summary");
+  bool ledger_rows = false;
+  for (const PromSample& s : exp.samples) {
+    if (s.name == "samzasql_job_rows_in_total" &&
+        s.labels.count("job") && s.value > 0) {
+      ledger_rows = true;
+    }
+  }
+  EXPECT_TRUE(ledger_rows) << "job ledger reports no processed rows";
+
   HttpResponse jobs = Get("/jobs");
   EXPECT_EQ(jobs.status, 200);
   EXPECT_EQ(jobs.content_type, "application/json");
   EXPECT_NE(jobs.body.find("\"name\":\"samzasql-query-0\""), std::string::npos);
   EXPECT_NE(jobs.body.find("\"containers_running\":1"), std::string::npos);
+  // Ledger enrichment of the /jobs payload: live rows/bytes/latency fields.
+  for (const char* key :
+       {"\"rows_in\":", "\"rows_out\":", "\"bytes_in\":", "\"bytes_out\":",
+        "\"cpu_busy_ns\":", "\"uptime_ms\":", "\"freshness_lag_ms\":",
+        "\"backlog_bytes\":", "\"e2e_latency_us\":"}) {
+    EXPECT_NE(jobs.body.find(key), std::string::npos) << key;
+  }
 
   HttpResponse index = Get("/");
   EXPECT_NE(index.body.find("/metrics"), std::string::npos);
