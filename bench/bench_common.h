@@ -1,9 +1,12 @@
 // Shared benchmark harness reproducing the paper's measurement methodology
 // (§5.1):
 //  - 32-partition topics, ~100-byte messages;
-//  - containers run serially on this machine (we have one core); job
-//    throughput is computed the way the paper aggregates it: "The average
-//    throughput across containers was multiplied by the container count";
+//  - single-core figures (Fig 5/6 shapes) drive containers serially and
+//    aggregate throughput the way the paper does: "The average throughput
+//    across containers was multiplied by the container count";
+//  - the contended multicore bench (bench_multicore.cc) instead measures
+//    wall-clock throughput through the executor's scheduler, serial vs
+//    threaded (see EXPERIMENTS.md §methodology);
 //  - the broker charges a fixed simulated round-trip per consumer poll and
 //    caps per-partition fetch size, so per-container read throughput drops
 //    as partitions-per-container shrink — the paper's stated cause of
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "baseline/native_tasks.h"
+#include "common/clock.h"
 #include "core/executor.h"
 #include "workload/generators.h"
 
@@ -130,6 +134,49 @@ inline ThroughputResult MeasureNativeJob(core::EnvironmentPtr env, Config config
   st = job.Stop();
   if (!st.ok()) throw std::runtime_error(st.ToString());
   return result;
+}
+
+// Measured wall-clock result of one scheduler-driven run: unlike
+// ThroughputResult (average x count), `tput` here is messages divided by
+// the wall time RunJobsUntilQuiescent actually took, so serial and threaded
+// executor modes are compared on the same honest scale.
+struct WallClockResult {
+  int64_t messages = 0;
+  double wall_seconds = 0;
+  double tput = 0;  // messages / wall-clock second
+};
+
+// Submit a query and drive it to quiescence through the executor's
+// scheduler (executor.mode / executor.threads in `config` pick the mode),
+// timing the run wall-clock.
+inline WallClockResult MeasureSqlQueryWallClock(core::EnvironmentPtr env,
+                                                const std::string& sql,
+                                                Config config) {
+  core::QueryExecutor executor(env, std::move(config));
+  auto submitted = executor.Execute(sql);
+  if (!submitted.ok()) throw std::runtime_error(submitted.status().ToString());
+  int64_t t0 = MonotonicNanos();
+  auto processed = executor.RunJobsUntilQuiescent();
+  if (!processed.ok()) throw std::runtime_error(processed.status().ToString());
+  WallClockResult result;
+  result.wall_seconds = static_cast<double>(MonotonicNanos() - t0) / 1e9;
+  result.messages = processed.value();
+  if (result.wall_seconds > 0) {
+    result.tput = static_cast<double>(result.messages) / result.wall_seconds;
+  }
+  JobRunner* job = executor.job(submitted.value().job_index);
+  Status st = job->Stop();
+  if (!st.ok()) throw std::runtime_error(st.ToString());
+  return result;
+}
+
+inline void ReportWallClock(const char* figure, const char* variant,
+                            int containers, const WallClockResult& r) {
+  std::printf("%-10s %-16s containers=%d  msgs=%lld  wall=%.3f s  "
+              "measured=%.0f msg/s\n",
+              figure, variant, containers, static_cast<long long>(r.messages),
+              r.wall_seconds, r.tput);
+  std::fflush(stdout);
 }
 
 inline void ReportThroughput(const char* figure, const char* variant, int containers,

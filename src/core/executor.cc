@@ -706,13 +706,17 @@ Result<QueryExecutor::ExecutionResult> QueryExecutor::SubmitStreamingJob(
 }
 
 Result<int64_t> QueryExecutor::RunJobsUntilQuiescent() {
+  if (!scheduler_) {
+    SQS_ASSIGN_OR_RETURN(scheduler, MakeScheduler(defaults_));
+    scheduler_ = std::move(scheduler);
+  }
   std::vector<JobRunner*> raw;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     raw.reserve(jobs_.size());
     for (auto& job : jobs_) raw.push_back(job.get());
   }
-  Result<int64_t> processed = JobRunner::RunPipelineUntilQuiescent(raw);
+  Result<int64_t> processed = scheduler_->RunUntilQuiescent(raw);
   // Sample history / evaluate alerts on the driving clock so SHOW HISTORY,
   // SHOW ALERTS and /readyz reflect the state the run just produced.
   monitor_->Tick();

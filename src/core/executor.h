@@ -17,6 +17,7 @@
 
 #include "common/config.h"
 #include "core/environment.h"
+#include "core/scheduler.h"
 #include "http/monitor.h"
 #include "sql/batch_eval.h"
 #include "sql/planner.h"
@@ -49,8 +50,12 @@ class QueryExecutor {
   // Executes a ';'-separated script, returning one result per statement.
   Result<std::vector<ExecutionResult>> ExecuteScript(const std::string& script);
 
-  // Drive all submitted jobs round-robin until globally quiescent (handles
-  // query pipelines chained through intermediate topics).
+  // Drive all submitted jobs until globally quiescent (handles query
+  // pipelines chained through intermediate topics). Scheduling is governed
+  // by executor.mode in the job defaults: "threaded" (default) runs
+  // containers of all jobs concurrently on a pool sized by
+  // executor.threads; "serial" round-robins them on this thread
+  // (deterministic interleaving). See core/scheduler.h.
   Result<int64_t> RunJobsUntilQuiescent();
 
   JobRunner* job(int index) {
@@ -98,6 +103,9 @@ class QueryExecutor {
   // worker, which calls CollectJobViews() concurrently.
   mutable std::mutex jobs_mu_;
   std::vector<std::unique_ptr<JobRunner>> jobs_;
+  // Built lazily from executor.mode / executor.threads on the first
+  // RunJobsUntilQuiescent (so a bad mode surfaces as that call's error).
+  std::unique_ptr<JobScheduler> scheduler_;
   std::unique_ptr<MonitorServer> monitor_;
   std::string views_script_;
   int query_counter_ = 0;

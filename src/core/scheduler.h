@@ -1,0 +1,67 @@
+// JobScheduler: how QueryExecutor drives its submitted jobs' containers to
+// quiescence (docs/EXECUTION.md "Threaded execution").
+//
+//  - ThreadedScheduler (executor.mode=threaded, the default): containers of
+//    all jobs run concurrently on a worker pool sized by executor.threads
+//    (0 = one worker per container), under the global quiescence barrier of
+//    JobRunner::RunPipelineThreaded. This is the paper's execution model —
+//    partition-parallel containers (§5.1 / Figure 5) — and what the
+//    multicore bench measures.
+//  - SerialScheduler (executor.mode=serial): round-robin on the calling
+//    thread via JobRunner::RunPipelineUntilQuiescent. Deterministic
+//    interleaving and output order; determinism-sensitive tests pin it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "task/runner.h"
+
+namespace sqs::core {
+
+enum class ExecutorMode { kSerial, kThreaded };
+
+Result<ExecutorMode> ParseExecutorMode(const std::string& value);
+
+class JobScheduler {
+ public:
+  virtual ~JobScheduler() = default;
+  virtual const char* name() const = 0;
+  // Drive every container of every job until globally quiescent; returns
+  // messages processed. `jobs` may form a pipeline chained through
+  // intermediate topics — a scheduler must not declare quiescence while any
+  // upstream job still owes output.
+  virtual Result<int64_t> RunUntilQuiescent(
+      const std::vector<JobRunner*>& jobs) = 0;
+};
+
+class SerialScheduler : public JobScheduler {
+ public:
+  const char* name() const override { return "serial"; }
+  Result<int64_t> RunUntilQuiescent(
+      const std::vector<JobRunner*>& jobs) override;
+};
+
+class ThreadedScheduler : public JobScheduler {
+ public:
+  // threads = 0: one pool worker per container (preserves per-container
+  // liveness for kill/restart/stall scenarios).
+  explicit ThreadedScheduler(int threads = 0) : threads_(threads) {}
+  const char* name() const override { return "threaded"; }
+  Result<int64_t> RunUntilQuiescent(
+      const std::vector<JobRunner*>& jobs) override;
+  int threads() const { return threads_; }
+
+ private:
+  int threads_;
+};
+
+// Build the scheduler `config` asks for: executor.mode (default "threaded")
+// and executor.threads (default 0). An unknown mode is an error surfaced on
+// first use, not silently mapped.
+Result<std::unique_ptr<JobScheduler>> MakeScheduler(const Config& config);
+
+}  // namespace sqs::core

@@ -3,7 +3,9 @@
 #include "common/clock.h"
 #include "common/logging.h"
 
+#include <chrono>
 #include <map>
+#include <thread>
 
 namespace sqs {
 
@@ -60,15 +62,35 @@ Result<Broker::Partition*> Broker::GetPartition(const StreamPartition& sp) const
 
 Result<ProducerIdentity> Broker::RegisterProducer(const std::string& name) {
   if (name.empty()) return Status::InvalidArgument("empty producer name");
-  std::lock_guard<std::mutex> lock(producers_mu_);
-  ProducerIdentity& id = producers_by_name_[name];
-  if (id.pid == 0) id.pid = next_pid_++;
-  ++id.epoch;  // first registration: -1 -> 0
-  current_epoch_[id.pid] = id.epoch;
+  ProducerIdentity id;
+  {
+    std::lock_guard<std::mutex> lock(producers_mu_);
+    ProducerIdentity& entry = producers_by_name_[name];
+    if (entry.pid == 0) entry.pid = next_pid_++;
+    ++entry.epoch;  // first registration: -1 -> 0
+    id = entry;
+  }
+  // Publish the new epoch through the pid's cell. Appends stamped with an
+  // older epoch observe the bump on their next fencing check; the release
+  // store pairs with the acquire load in Append.
+  EpochShard& shard = epoch_shards_[id.pid % kEpochShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::unique_ptr<EpochCell>& cell = shard.cells[id.pid];
+    if (!cell) cell = std::make_unique<EpochCell>();
+    cell->epoch.store(id.epoch, std::memory_order_release);
+  }
   SQS_DEBUGC("broker", "producer registered", {"name", name},
              {"pid", std::to_string(id.pid)},
              {"epoch", std::to_string(id.epoch)});
   return id;
+}
+
+Broker::EpochCell* Broker::FindEpochCell(uint64_t pid) const {
+  const EpochShard& shard = epoch_shards_[pid % kEpochShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.cells.find(pid);
+  return it == shard.cells.end() ? nullptr : it->second.get();
 }
 
 namespace {
@@ -83,22 +105,34 @@ void ExtendByteLedger(std::vector<int64_t>& cum_bytes, int64_t bytes_base,
 
 }  // namespace
 
+void Broker::Spin(int64_t nanos) const {
+  int64_t until = MonotonicNanos() + nanos;
+  while (MonotonicNanos() < until) {
+    // busy-wait: the simulated RTT consumes real CPU time so it shows up in
+    // measured container busy time (the single-threaded microbench model)
+  }
+}
+
 Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
   SQS_ASSIGN_OR_RETURN(part, GetPartition(sp));
   int64_t msg_bytes = static_cast<int64_t>(message.key.size()) +
                       static_cast<int64_t>(message.value.size());
   if (message.producer_id != 0) {
-    int32_t newest_epoch;
-    {
-      std::lock_guard<std::mutex> lock(producers_mu_);
-      auto it = current_epoch_.find(message.producer_id);
-      if (it == current_epoch_.end()) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    ProducerSeqState& st = part->producers[message.producer_id];
+    if (st.epoch_cell == nullptr) {
+      // First append from this pid on this partition: resolve and cache the
+      // epoch cell (one shard lock). Steady-state appends skip this branch,
+      // so the exactly-once data path takes only the partition lock.
+      st.epoch_cell = FindEpochCell(message.producer_id);
+      if (st.epoch_cell == nullptr) {
+        part->producers.erase(message.producer_id);
         return Status::StateError("append from unregistered producer id " +
                                   std::to_string(message.producer_id));
       }
-      newest_epoch = it->second;
     }
-    std::lock_guard<std::mutex> lock(part->mu);
+    int32_t newest_epoch =
+        st.epoch_cell->epoch.load(std::memory_order_acquire);
     if (message.producer_epoch < newest_epoch) {
       fenced_appends_.fetch_add(1);
       return Status::Fenced("producer " + std::to_string(message.producer_id) +
@@ -106,7 +140,6 @@ Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
                             " fenced by epoch " + std::to_string(newest_epoch) +
                             " on " + sp.ToString());
     }
-    ProducerSeqState& st = part->producers[message.producer_id];
     if (st.last_seq >= 0) {
       if (message.sequence <= st.last_seq) {
         // Duplicate of an append already in the log (an idempotent retry or
@@ -138,11 +171,14 @@ Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
 Result<std::vector<IncomingMessage>> Broker::Fetch(const StreamPartition& sp,
                                                    int64_t offset,
                                                    int32_t max_messages) const {
-  if (fetch_latency_nanos_ > 0) {
-    int64_t until = MonotonicNanos() + fetch_latency_nanos_;
-    while (MonotonicNanos() < until) {
-      // busy-wait: the simulated RTT must consume real CPU time so it shows
-      // up in measured container busy time
+  int64_t rtt = fetch_latency_nanos_.load(std::memory_order_relaxed);
+  if (rtt > 0) {
+    if (fetch_latency_sleeps_.load(std::memory_order_relaxed)) {
+      // Sleep: the RTT is wait, not work — concurrent fetchers overlap it
+      // (the multicore model; a real broker round-trip leaves the CPU free).
+      std::this_thread::sleep_for(std::chrono::nanoseconds(rtt));
+    } else {
+      Spin(rtt);
     }
   }
   SQS_ASSIGN_OR_RETURN(part, GetPartition(sp));

@@ -50,13 +50,29 @@ class Broker {
  public:
   virtual ~Broker() = default;
 
-  // Simulated network round-trip cost charged (as real CPU spin) on every
-  // Fetch call. A real Kafka fetch pays a broker RTT regardless of how much
-  // data it returns; this knob reproduces that fixed cost so poll batch
-  // size affects throughput the way it does on a cluster. Defaults to 0
-  // (off) — the bench harness turns it on.
-  virtual void SetFetchLatencyNanos(int64_t nanos) { fetch_latency_nanos_ = nanos; }
-  virtual int64_t fetch_latency_nanos() const { return fetch_latency_nanos_; }
+  // Simulated network round-trip cost charged on every Fetch call. A real
+  // Kafka fetch pays a broker RTT regardless of how much data it returns;
+  // this knob reproduces that fixed cost so poll batch size affects
+  // throughput the way it does on a cluster. Defaults to 0 (off) — the
+  // bench harness turns it on. Atomic: the bench/driver thread writes it
+  // while container threads read it on every fetch (regression: this was a
+  // plain int64_t, a data race under the threaded executor).
+  virtual void SetFetchLatencyNanos(int64_t nanos) {
+    fetch_latency_nanos_.store(nanos, std::memory_order_relaxed);
+  }
+  virtual int64_t fetch_latency_nanos() const {
+    return fetch_latency_nanos_.load(std::memory_order_relaxed);
+  }
+  // How the simulated RTT is charged: kSpin burns real CPU (the cost shows
+  // up in measured busy time — right for single-threaded microbenches);
+  // kSleep blocks the calling thread without consuming CPU (right for the
+  // contended multicore bench, where concurrent containers overlap their
+  // RTT waits exactly like real network I/O). See docs/EXECUTION.md.
+  enum class LatencyModel { kSpin, kSleep };
+  virtual void SetFetchLatencyModel(LatencyModel m) {
+    fetch_latency_sleeps_.store(m == LatencyModel::kSleep,
+                                std::memory_order_relaxed);
+  }
 
   virtual Status CreateTopic(const std::string& name, TopicConfig config);
   virtual bool HasTopic(const std::string& name) const;
@@ -112,10 +128,21 @@ class Broker {
   virtual Status DeleteTopic(const std::string& name);
 
  private:
+  // Newest epoch of one producer id, published by RegisterProducer and read
+  // lock-free on the append data path. Cells live in a sharded registry and
+  // are never freed while the broker lives, so a Partition may cache a raw
+  // pointer to its producer's cell.
+  struct EpochCell {
+    std::atomic<int32_t> epoch{-1};
+  };
   // Last sequence accepted from one producer on one partition; dedup state.
+  // `epoch_cell` caches the producer's epoch cell after the first append so
+  // the fencing check is a single atomic load under the partition lock —
+  // the global producer registry lock never appears on the data path.
   struct ProducerSeqState {
     int64_t last_seq = -1;
     int64_t last_offset = -1;
+    EpochCell* epoch_cell = nullptr;
   };
   struct Partition {
     mutable std::mutex mu;
@@ -135,15 +162,33 @@ class Broker {
   };
 
   Result<Partition*> GetPartition(const StreamPartition& sp) const;
+  // Look up a producer's epoch cell (nullptr if the pid was never
+  // registered). Takes only the owning shard's lock; the returned pointer
+  // stays valid for the broker's lifetime.
+  EpochCell* FindEpochCell(uint64_t pid) const;
+  void Spin(int64_t nanos) const;
 
   mutable std::mutex mu_;  // guards the topic map, not partition contents
   std::map<std::string, std::unique_ptr<Topic>> topics_;
-  int64_t fetch_latency_nanos_ = 0;
+  std::atomic<int64_t> fetch_latency_nanos_{0};
+  std::atomic<bool> fetch_latency_sleeps_{false};
 
-  mutable std::mutex producers_mu_;  // guards the producer registry
+  // Producer-name registry: control path only (RegisterProducer). The
+  // append data path never takes this lock — epoch state lives in the
+  // sharded cell registry below.
+  mutable std::mutex producers_mu_;
   std::map<std::string, ProducerIdentity> producers_by_name_;
-  std::map<uint64_t, int32_t> current_epoch_;  // pid -> newest epoch
   uint64_t next_pid_ = 1;
+  // Sharded pid -> EpochCell registry. Sharding keeps RegisterProducer
+  // (epoch bumps during restarts) from contending with first-touch lookups
+  // from unrelated producers; steady-state appends bypass the shards
+  // entirely via the cached cell pointer.
+  static constexpr size_t kEpochShards = 16;
+  struct EpochShard {
+    mutable std::mutex mu;
+    std::map<uint64_t, std::unique_ptr<EpochCell>> cells;
+  };
+  mutable EpochShard epoch_shards_[kEpochShards];
   std::atomic<int64_t> dups_dropped_{0};
   std::atomic<int64_t> fenced_appends_{0};
 };

@@ -3,6 +3,9 @@
 #include "common/clock.h"
 #include "common/tracing.h"
 
+#include <chrono>
+#include <thread>
+
 namespace sqs {
 
 Status Consumer::Assign(const StreamPartition& sp, int64_t offset) {
@@ -39,9 +42,14 @@ Result<std::vector<IncomingMessage>> Consumer::Poll() {
   Tracer& tracer = Tracer::Instance();
   const int64_t poll_start = tracer.enabled() ? MonotonicNanos() : 0;
   if (poll_latency_nanos_ > 0) {
-    int64_t until = MonotonicNanos() + poll_latency_nanos_;
-    while (MonotonicNanos() < until) {
-      // busy-wait: simulated broker RTT must consume measurable CPU time
+    if (poll_latency_model_ == Broker::LatencyModel::kSleep) {
+      // Sleep: the RTT is wait, not work — concurrent pollers overlap it.
+      std::this_thread::sleep_for(std::chrono::nanoseconds(poll_latency_nanos_));
+    } else {
+      int64_t until = MonotonicNanos() + poll_latency_nanos_;
+      while (MonotonicNanos() < until) {
+        // busy-wait: simulated broker RTT must consume measurable CPU time
+      }
     }
   }
   // Visit assignments starting from a rotating index so no partition starves

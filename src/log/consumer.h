@@ -39,12 +39,17 @@ class Consumer {
   // paper's sublinear container scaling.
   void SetMaxFetchPerPartition(int32_t n) { max_fetch_per_partition_ = n; }
 
-  // Fixed cost charged (as a real CPU spin) once per Poll() — the broker
-  // round trip a real Kafka fetch request pays. One poll returns up to
-  // (assigned partitions x per-partition cap) messages, so consumers with
-  // fewer partitions amortize this worse: the mechanism behind the paper's
-  // sublinear container scaling (§5.1).
+  // Fixed cost charged once per Poll() — the broker round trip a real Kafka
+  // fetch request pays. One poll returns up to (assigned partitions x
+  // per-partition cap) messages, so consumers with fewer partitions
+  // amortize this worse: the mechanism behind the paper's sublinear
+  // container scaling (§5.1).
   void SetPollLatencyNanos(int64_t nanos) { poll_latency_nanos_ = nanos; }
+  // How the per-poll RTT is charged: kSpin burns real CPU (single-threaded
+  // microbenches, where the cost must appear in busy time); kSleep blocks
+  // without consuming CPU, so concurrent containers overlap their waits the
+  // way real network I/O overlaps (the multicore bench model).
+  void SetPollLatencyModel(Broker::LatencyModel m) { poll_latency_model_ = m; }
 
   // Assign a partition starting at `offset`.
   Status Assign(const StreamPartition& sp, int64_t offset);
@@ -77,6 +82,7 @@ class Consumer {
   int32_t max_poll_messages_;
   int32_t max_fetch_per_partition_ = 0;  // 0 = unlimited
   int64_t poll_latency_nanos_ = 0;
+  Broker::LatencyModel poll_latency_model_ = Broker::LatencyModel::kSpin;
   std::map<StreamPartition, int64_t> positions_;
   size_t next_start_ = 0;  // round-robin start index over assignments
   Retrier retrier_;

@@ -100,6 +100,9 @@ class FaultInjectingBroker : public Broker {
   int64_t fetch_latency_nanos() const override {
     return inner_->fetch_latency_nanos();
   }
+  void SetFetchLatencyModel(LatencyModel m) override {
+    inner_->SetFetchLatencyModel(m);
+  }
   Status CreateTopic(const std::string& name, TopicConfig config) override {
     return inner_->CreateTopic(name, std::move(config));
   }

@@ -141,6 +141,21 @@ inline constexpr const char* kMaxPollMessages = "task.poll.max.messages";
 inline constexpr const char* kBatchMaxMessages = "task.batch.max.messages";
 inline constexpr const char* kMaxFetchPerPartition = "task.fetch.max.per.partition";
 inline constexpr const char* kPollLatencyNanos = "task.poll.latency.nanos";
+// How the simulated per-poll broker RTT is charged: "spin" (default) burns
+// real CPU so the cost appears in measured busy time; "sleep" blocks the
+// polling thread without consuming CPU, so concurrently running containers
+// overlap their RTT waits like real network I/O (the multicore bench model,
+// docs/EXECUTION.md "Threaded execution").
+inline constexpr const char* kPollLatencyModel = "task.poll.latency.model";
+// --- executor (core/scheduler.h, docs/EXECUTION.md "Threaded execution") ---
+// How QueryExecutor drives submitted jobs' containers: "threaded" (the
+// default — containers of all jobs run on a shared pool under a global
+// quiescence barrier) or "serial" (round-robin on the calling thread;
+// deterministic output order, used by tests that compare row-for-row).
+inline constexpr const char* kExecutorMode = "executor.mode";
+// Pool size for executor.mode=threaded; 0 (default) = one thread per
+// container, preserving per-container liveness under kill/stall tests.
+inline constexpr const char* kExecutorThreads = "executor.threads";
 // Simulated per-access latency of task-local stores (RocksDB model).
 inline constexpr const char* kStoreAccessLatencyNanos = "stores.access.latency.nanos";
 // Periodic JSON-lines metrics reporting (0 = disabled).

@@ -338,6 +338,11 @@ Status Container::Start() {
     consumer_->SetPollLatencyNanos(poll_latency);
     bootstrap_consumer_->SetPollLatencyNanos(poll_latency);
   }
+  if (config_.Get(cfg::kPollLatencyModel, "spin") == "sleep") {
+    consumer_->SetPollLatencyModel(Broker::LatencyModel::kSleep);
+    bootstrap_consumer_->SetPollLatencyModel(Broker::LatencyModel::kSleep);
+    broker_->SetFetchLatencyModel(Broker::LatencyModel::kSleep);
+  }
 
   std::string cp_topic = config_.Get(cfg::kCheckpointTopic,
                                      "__checkpoint_" + config_.Get(cfg::kJobName, "job"));
@@ -683,6 +688,10 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
         ++processed;
         ++b;
       }
+      // A killed container stops mid-batch without its cadence commit:
+      // in-memory progress past the last checkpoint is lost, exactly like a
+      // process kill between commits.
+      if (KillRequested()) break;
       if (task.commit_requested ||
           (commit_every_ > 0 && task.since_commit >= commit_every_)) {
         SQS_RETURN_IF_ERROR(CommitTask(task));
@@ -696,6 +705,7 @@ Result<int64_t> Container::ProcessBatch(const std::vector<IncomingMessage>& batc
     task.since_commit++;
     ++processed;
     ++b;
+    if (KillRequested()) break;
     if (task.commit_requested ||
         (commit_every_ > 0 && task.since_commit >= commit_every_)) {
       SQS_RETURN_IF_ERROR(CommitTask(task));
@@ -841,7 +851,7 @@ Result<int64_t> Container::RunUntilCaughtUp(int64_t max_messages) {
     std::atomic<bool>* flag;
     ~BusyReset() { flag->store(false, std::memory_order_relaxed); }
   } busy_reset{&busy_};
-  while (!shutdown_requested_) {
+  while (!shutdown_requested_ && !KillRequested()) {
     last_heartbeat_ms_.store(clock_->NowMillis(), std::memory_order_relaxed);
     if (max_messages >= 0 && processed >= max_messages) break;
     if (reporter_) reporter_->MaybeReport();
@@ -874,8 +884,8 @@ Result<int64_t> Container::RunUntilCaughtUp(int64_t max_messages) {
   }
   SQS_RETURN_IF_ERROR(UpdateLagGauges());
   int64_t busy = MonotonicNanos() - t0;
-  busy_nanos_ += busy;
-  processed_total_ += processed;
+  busy_nanos_.fetch_add(busy, std::memory_order_relaxed);
+  processed_total_.fetch_add(processed, std::memory_order_relaxed);
   if (m_processed_ != nullptr) {
     m_processed_->Inc(processed);
     m_busy_ns_->Add(busy);

@@ -102,9 +102,25 @@ class Container {
 
   bool ShutdownRequested() const { return shutdown_requested_; }
 
-  int64_t MessagesProcessed() const { return processed_total_; }
+  // Asynchronous kill signal (JobRunner::KillContainer): the driving thread
+  // observes the flag at the next poll-loop iteration and returns without a
+  // final commit — exactly the state loss a real kill produces. The
+  // container object itself is destroyed only once the last shared_ptr
+  // holder (the pool worker that may be inside RunUntilCaughtUp) drops it.
+  void RequestKill() { kill_requested_.store(true, std::memory_order_relaxed); }
+  bool KillRequested() const {
+    return kill_requested_.load(std::memory_order_relaxed);
+  }
+
+  // Thread-safe: read by the monitor/bench threads while a pool worker
+  // drives the container.
+  int64_t MessagesProcessed() const {
+    return processed_total_.load(std::memory_order_relaxed);
+  }
   // CPU-side busy nanoseconds spent polling + processing.
-  int64_t BusyNanos() const { return busy_nanos_; }
+  int64_t BusyNanos() const {
+    return busy_nanos_.load(std::memory_order_relaxed);
+  }
 
   // Stall-watchdog surface: Busy() is true while RunUntilCaughtUp is
   // driving input; the heartbeat advances at every poll-loop iteration, so
@@ -174,8 +190,12 @@ class Container {
   int64_t last_window_fire_ms_ = 0;
   bool started_ = false;
   bool shutdown_requested_ = false;
-  int64_t processed_total_ = 0;
-  int64_t busy_nanos_ = 0;
+  std::atomic<bool> kill_requested_{false};
+  // Atomic: written by the driving thread at the end of every
+  // RunUntilCaughtUp, read by monitor/bench threads mid-run (regression:
+  // plain int64_t was a data race under the threaded executor).
+  std::atomic<int64_t> processed_total_{0};
+  std::atomic<int64_t> busy_nanos_{0};
   // Watchdog heartbeat (written by the driving thread, read by the monitor
   // thread). Precomputed `<job>.container<ID>` flight-recorder scope.
   std::atomic<bool> busy_{false};

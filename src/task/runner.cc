@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <thread>
 
 #include "common/flightrec.h"
@@ -21,7 +22,7 @@ Status JobRunner::Start() {
   model_ = std::move(model);
   containers_.clear();
   for (const ContainerModel& cm : model_.containers) {
-    auto container = std::make_unique<Container>(broker_, config_, cm, clock_, metrics_);
+    auto container = std::make_shared<Container>(broker_, config_, cm, clock_, metrics_);
     SQS_RETURN_IF_ERROR(container->Start());
     containers_.push_back(std::move(container));
   }
@@ -55,7 +56,9 @@ void JobRunner::RecordCrash(int32_t container_id, const Status& error) {
   {
     std::lock_guard<std::mutex> lock(containers_mu_);
     supervisor_[container_id].last_error = error.ToString();
-    // Crash semantics: drop without Stop(), exactly like KillContainer.
+    // Crash semantics: detach without Stop(), exactly like KillContainer.
+    // (A pool worker may still hold a reference; the kill flag stops it.)
+    if (containers_[container_id]) containers_[container_id]->RequestKill();
     containers_[container_id].reset();
   }
   // Supervisor-observed death is a forensics moment: persist the last N
@@ -99,7 +102,7 @@ Status JobRunner::SuperviseRestart(int32_t container_id) {
             {"job", model_.job_name}, {"id", std::to_string(container_id)},
             {"attempt", std::to_string(attempt)},
             {"backoff_ms", std::to_string(backoff_ms)});
-  auto container = std::make_unique<Container>(
+  auto container = std::make_shared<Container>(
       broker_, config_, model_.containers[container_id], clock_, metrics_);
   Status st = container->Start();
   if (!st.ok()) {
@@ -147,69 +150,183 @@ Result<int64_t> JobRunner::RunUntilQuiescent() {
   return total;
 }
 
-Result<int64_t> JobRunner::RunThreadedUntilQuiescent() {
+Result<int64_t> JobRunner::RunThreadedUntilQuiescent(int threads) {
   if (!started_) return Status::StateError("job not started");
-  std::atomic<int64_t> total{0};
-  std::atomic<bool> failed{false};
-  std::mutex err_mu;
-  Status first_error;
-  auto fail_with = [&](const Status& st) {
-    std::lock_guard<std::mutex> lock(err_mu);
-    if (first_error.ok()) first_error = st;
-    failed.store(true);
+  return RunPipelineThreaded({this}, threads);
+}
+
+std::shared_ptr<Container> JobRunner::SnapshotContainer(
+    int32_t container_id) const {
+  std::lock_guard<std::mutex> lock(containers_mu_);
+  return containers_[container_id];
+}
+
+bool JobRunner::SlotHolds(int32_t container_id, const Container* c) const {
+  std::lock_guard<std::mutex> lock(containers_mu_);
+  return containers_[container_id].get() == c;
+}
+
+namespace {
+
+// Shared state of one RunPipelineThreaded invocation. Workers claim units
+// (one per live container per round) off an atomic cursor, then meet at a
+// round barrier where the last arrival decides whether the pipeline is
+// globally quiescent. The barrier is the fix for the old per-thread
+// `idle_rounds < 2` exit: no container can conclude "nothing left" from its
+// own idleness while an upstream container is still mid-round.
+struct ThreadedRun {
+  struct Unit {
+    JobRunner* job;
+    int32_t slot;
   };
-  std::vector<std::thread> threads;
-  threads.reserve(containers_.size());
-  for (int32_t id = 0; id < static_cast<int32_t>(containers_.size()); ++id) {
-    if (!containers_[id] && !Supervised()) continue;
-    threads.emplace_back([&, id] {
-      // Each container loops until it sees no progress twice in a row,
-      // tolerating interleaved producers (upstream containers). Each thread
-      // supervises its own slot; no two threads share one.
-      int idle_rounds = 0;
-      while (idle_rounds < 2 && !failed.load()) {
-        Container* c;
-        {
-          std::lock_guard<std::mutex> lock(containers_mu_);
-          c = containers_[id].get();
-        }
-        if (c == nullptr) {
-          Status st = SuperviseRestart(id);
-          if (!st.ok()) {
-            fail_with(st);
-            return;
-          }
-          idle_rounds = 0;
-          continue;
-        }
-        auto r = c->RunUntilCaughtUp();
-        if (!r.ok()) {
-          if (!Supervised()) {
-            SQS_ERROR("container failed: " << r.status().ToString());
-            fail_with(r.status());
-            return;
-          }
-          RecordCrash(id, r.status());
-          idle_rounds = 0;
-          continue;
-        }
-        if (r.value() == 0) {
-          ++idle_rounds;
-          std::this_thread::yield();
-        } else {
-          idle_rounds = 0;
-          total.fetch_add(r.value());
-        }
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  if (failed.load()) {
+  std::vector<Unit> units;
+  size_t workers = 0;
+
+  std::atomic<size_t> next{0};            // round-local unit cursor
+  std::atomic<int64_t> total{0};          // messages processed, all rounds
+  std::atomic<int64_t> round_progress{0};
+  std::atomic<bool> supervised_action{false};
+  std::atomic<bool> failed{false};
+
+  std::mutex err_mu;
+  Status first_error;  // the status the run returns on failure
+  Status first_crash;  // the first real container error (crash provenance)
+
+  std::mutex bar_mu;
+  std::condition_variable bar_cv;
+  size_t arrived = 0;
+  uint64_t generation = 0;
+  bool done = false;
+
+  // Record the failure that ends the run. If a supervised crash was seen
+  // earlier and `st` (e.g. a budget-exhaustion message) does not already
+  // carry it, append it — the first real error must never be masked by a
+  // generic wrapper (crash provenance, ISSUE 9 satellite 2).
+  void FailWith(Status st) {
     std::lock_guard<std::mutex> lock(err_mu);
-    if (!first_error.ok()) return first_error;
-    return Status::Internal("a container failed during threaded run");
+    if (first_error.ok()) {
+      if (!first_crash.ok() &&
+          st.message().find(first_crash.message()) == std::string::npos) {
+        st = Status(st.code(),
+                    st.message() + "; first error: " + first_crash.ToString());
+      }
+      first_error = std::move(st);
+    }
+    failed.store(true);
   }
-  return total.load();
+
+  void NoteCrash(const Status& st) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (first_crash.ok()) first_crash = st;
+  }
+};
+
+}  // namespace
+
+Result<int64_t> JobRunner::RunPipelineThreaded(std::vector<JobRunner*> jobs,
+                                               int threads) {
+  for (JobRunner* job : jobs) {
+    if (!job->started_) return Status::StateError("job not started");
+  }
+  ThreadedRun run;
+  for (JobRunner* job : jobs) {
+    for (int32_t id = 0; id < static_cast<int32_t>(job->containers_.size());
+         ++id) {
+      run.units.push_back({job, id});
+    }
+  }
+  if (run.units.empty()) return 0;
+  size_t workers = threads > 0 ? static_cast<size_t>(threads)
+                               : run.units.size();
+  run.workers = workers = std::min(workers, run.units.size());
+
+  // Run one unit: one RunUntilCaughtUp on the slot's current container (or
+  // one supervision pass if the slot is dead).
+  auto run_unit = [&run](const ThreadedRun::Unit& u) {
+    JobRunner* job = u.job;
+    std::shared_ptr<Container> c = job->SnapshotContainer(u.slot);
+    if (!c) {
+      if (!job->Supervised()) return;  // killed and unsupervised: stays dead
+      Status st = job->SuperviseRestart(u.slot);
+      if (!st.ok()) {
+        // Budget exhausted: the status carries the slot's last real error.
+        run.FailWith(st);
+        return;
+      }
+      // Restarted (or restart failed and the slot retries next round):
+      // either way another round is owed.
+      run.supervised_action.store(true, std::memory_order_relaxed);
+      return;
+    }
+    auto r = c->RunUntilCaughtUp();
+    if (!job->SlotHolds(u.slot, c.get())) {
+      // The container was detached (killed or replaced) while this worker
+      // drove it. Its result — progress or error — belongs to a container
+      // that no longer exists; force another round so the slot's successor
+      // (or the supervisor) gets its turn.
+      run.supervised_action.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (!r.ok()) {
+      if (!job->Supervised()) {
+        SQS_ERROR("container failed: " << r.status().ToString());
+        run.FailWith(r.status());
+        return;
+      }
+      // Keep the first real error even when supervision later masks it
+      // behind a budget-exhaustion message (crash provenance).
+      run.NoteCrash(r.status());
+      job->RecordCrash(u.slot, r.status());
+      run.supervised_action.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (r.value() > 0) {
+      run.round_progress.fetch_add(r.value(), std::memory_order_relaxed);
+      run.total.fetch_add(r.value(), std::memory_order_relaxed);
+    }
+  };
+
+  auto worker = [&run, &run_unit] {
+    while (true) {
+      for (size_t i = run.next.fetch_add(1); i < run.units.size();
+           i = run.next.fetch_add(1)) {
+        if (run.failed.load(std::memory_order_relaxed)) break;
+        run_unit(run.units[i]);
+      }
+      // Round barrier: the last worker to arrive evaluates global
+      // quiescence over the whole round and opens the next one.
+      std::unique_lock<std::mutex> lock(run.bar_mu);
+      uint64_t gen = run.generation;
+      if (++run.arrived == run.workers) {
+        run.arrived = 0;
+        bool quiescent =
+            run.round_progress.load(std::memory_order_relaxed) == 0 &&
+            !run.supervised_action.load(std::memory_order_relaxed);
+        if (quiescent || run.failed.load(std::memory_order_relaxed)) {
+          run.done = true;
+        }
+        run.round_progress.store(0, std::memory_order_relaxed);
+        run.supervised_action.store(false, std::memory_order_relaxed);
+        run.next.store(0, std::memory_order_relaxed);
+        ++run.generation;
+        run.bar_cv.notify_all();
+      } else {
+        run.bar_cv.wait(lock, [&run, gen] { return run.generation != gen; });
+      }
+      if (run.done) return;
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (run.failed.load()) {
+    std::lock_guard<std::mutex> lock(run.err_mu);
+    return run.first_error;
+  }
+  return run.total.load();
 }
 
 Status JobRunner::Stop() {
@@ -228,7 +345,10 @@ Status JobRunner::KillContainer(int32_t container_id) {
   if (!containers_[container_id]) {
     return Status::StateError("container already dead");
   }
-  // Destroy without Stop(): no final commit, in-memory state lost.
+  // Detach without Stop(): no final commit, in-memory state lost. The kill
+  // flag makes a pool worker currently inside RunUntilCaughtUp return at
+  // its next poll-loop check; the object dies with its last reference.
+  containers_[container_id]->RequestKill();
   containers_[container_id].reset();
   return Status::Ok();
 }
@@ -243,7 +363,7 @@ Status JobRunner::RestartContainer(int32_t container_id) {
       return Status::StateError("container still running; kill it first");
     }
   }
-  auto container = std::make_unique<Container>(
+  auto container = std::make_shared<Container>(
       broker_, config_, model_.containers[container_id], clock_, metrics_);
   SQS_RETURN_IF_ERROR(container->Start());
   std::lock_guard<std::mutex> lock(containers_mu_);
@@ -294,6 +414,7 @@ std::vector<JobRunner::ContainerStatus> JobRunner::CollectContainerStatus(
 }
 
 int64_t JobRunner::TotalProcessed() const {
+  std::lock_guard<std::mutex> lock(containers_mu_);
   int64_t total = 0;
   for (const auto& c : containers_) {
     if (c) total += c->MessagesProcessed();
@@ -302,6 +423,7 @@ int64_t JobRunner::TotalProcessed() const {
 }
 
 int64_t JobRunner::TotalBusyNanos() const {
+  std::lock_guard<std::mutex> lock(containers_mu_);
   int64_t total = 0;
   for (const auto& c : containers_) {
     if (c) total += c->BusyNanos();

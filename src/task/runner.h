@@ -2,8 +2,10 @@
 // role), allocates containers, and drives them. Supports:
 //  - serial deterministic execution (round-robin across containers until
 //    the whole job — or a set of chained jobs — is quiescent), used by
-//    tests and the throughput harness;
-//  - threaded execution (one thread per container) for liveness tests;
+//    determinism-sensitive tests;
+//  - threaded execution (the mainline: containers scheduled on a worker
+//    pool under a global round barrier — see docs/EXECUTION.md "Threaded
+//    execution");
 //  - failure injection: KillContainer drops a container without clean
 //    shutdown; RestartContainer allocates a fresh one that restores state
 //    from changelogs and resumes from the last checkpoint (§2 Durability);
@@ -41,8 +43,10 @@ class JobRunner {
   // messages processed by this call.
   Result<int64_t> RunUntilQuiescent();
 
-  // Run all containers concurrently (one thread each) until quiescent.
-  Result<int64_t> RunThreadedUntilQuiescent();
+  // Run all containers concurrently on a worker pool until globally
+  // quiescent (equivalent to RunPipelineThreaded({this}, threads)).
+  // threads = 0 means one worker per container.
+  Result<int64_t> RunThreadedUntilQuiescent(int threads = 0);
 
   Status Stop();
 
@@ -68,6 +72,7 @@ class JobRunner {
     return NumRunningContainers() == containers_.size();
   }
   Container* container(int32_t id) {
+    std::lock_guard<std::mutex> lock(containers_mu_);
     return id >= 0 && id < static_cast<int32_t>(containers_.size())
                ? containers_[id].get()
                : nullptr;
@@ -103,6 +108,19 @@ class JobRunner {
   // topics) round-robin to global quiescence.
   static Result<int64_t> RunPipelineUntilQuiescent(std::vector<JobRunner*> jobs);
 
+  // Drive every container of every job on one worker pool until globally
+  // quiescent. Each round, every live container gets exactly one
+  // RunUntilCaughtUp (claimed by at most one worker, so no container is
+  // ever driven by two threads); a round barrier then declares quiescence
+  // only when a full round across ALL jobs made zero progress and the
+  // supervisor had nothing to do — a downstream container cannot exit while
+  // an upstream job is still producing. threads = 0 means one worker per
+  // container. On failure the returned status is the first real container
+  // error (crash provenance survives supervision — see
+  // docs/EXECUTION.md "Threaded execution").
+  static Result<int64_t> RunPipelineThreaded(std::vector<JobRunner*> jobs,
+                                             int threads = 0);
+
  private:
   // Per-slot supervision bookkeeping.
   struct SupervisorState {
@@ -110,6 +128,14 @@ class JobRunner {
     int64_t next_backoff_ms = 0;
     std::string last_error;
   };
+
+  // Snapshot a slot's container, keeping it alive for the caller even if
+  // KillContainer / RecordCrash clears the slot concurrently.
+  std::shared_ptr<Container> SnapshotContainer(int32_t container_id) const;
+  // True while `slot` still holds exactly `c` — a worker uses this to tell
+  // "my container crashed" from "my container was detached (killed /
+  // replaced) while I was driving it".
+  bool SlotHolds(int32_t container_id, const Container* c) const;
 
   // Restart a dead slot under the supervisor: sleep the slot's backoff,
   // count the attempt, allocate + Start a fresh container (full recovery).
@@ -125,7 +151,11 @@ class JobRunner {
   std::shared_ptr<Clock> clock_;
   std::shared_ptr<MetricsRegistry> metrics_;
   JobModel model_;
-  std::vector<std::unique_ptr<Container>> containers_;
+  // shared_ptr, not unique_ptr: KillContainer only detaches a slot (and
+  // raises the container's kill flag); the object is destroyed when the
+  // last holder — possibly a pool worker inside RunUntilCaughtUp — drops
+  // its reference. This is what makes kill-during-threaded-run safe.
+  std::vector<std::shared_ptr<Container>> containers_;
   bool started_ = false;
   int64_t start_ms_ = 0;  // clock time at Start(), for UptimeMs()
 

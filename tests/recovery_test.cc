@@ -12,8 +12,12 @@
 //    (run with `ctest -R recovery_soak`).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <random>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/crc32c.h"
@@ -834,6 +838,36 @@ TEST_F(RecoveryTest, RestartBudgetExhaustionSurfacesCleanError) {
   EXPECT_EQ(views[0].restarts, 2);
 }
 
+// The same budget exhaustion under the threaded executor must surface the
+// first real crash error, not a generic wrapper: the terminal status names
+// both the exhausted budget and the blackout that caused the crash loop.
+// (Before the fix, the threaded path reported only
+// "a container failed during threaded run".)
+TEST_F(RecoveryTest, ThreadedBudgetExhaustionCarriesFirstCrashError) {
+  MakeEnv();
+  ProduceOrders(400);
+  WrapFaults(FaultPolicy{});
+
+  Config defaults = SupervisedDefaults();
+  defaults.SetInt(cfg::kContainerRestartMax, 2);
+  defaults.Set(cfg::kExecutorMode, "threaded");
+  executor_ = std::make_unique<QueryExecutor>(env_, defaults);
+  auto submitted = executor_->Execute(kTumblingStream);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  JobRunner* job = executor_->job(submitted.value().job_index);
+
+  fault_->BlackoutPartition({"Orders", 0});
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_FALSE(ran.ok());
+  const std::string msg = ran.status().message();
+  EXPECT_NE(msg.find("restart budget exhausted"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("partition blackout"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("a container failed during threaded run"),
+            std::string::npos)
+      << msg;
+  EXPECT_EQ(job->TotalRestarts(), 2);
+}
+
 // ---------------------------------------------------------------------------
 // task.error.policy: poison messages
 // ---------------------------------------------------------------------------
@@ -1049,6 +1083,100 @@ TEST_F(ExactlyOnceSqlTest, ThreadedKillRestartMatchesOracleExactlyAndFencesZombi
   EXPECT_EQ(std::set<std::string>(got.begin(), got.end()), expected);
   EXPECT_GT(expected.size(), 10u);
 }
+
+// The zombie-fencing scenario above, run *continuously*: kills and a zombie
+// registration land while pool workers are actively driving containers and
+// a load thread keeps appending orders mid-run. The raw output must still
+// be byte-equal to the batch oracle (computed after all input is on the
+// log). Seeds vary the kill schedule and the generator stream.
+class eo_threaded_chaos : public ExactlyOnceSqlTest,
+                          public ::testing::WithParamInterface<int> {};
+
+TEST_P(eo_threaded_chaos, ContinuousKillsUnderLoadStayByteEqualToOracle) {
+  const int seed = GetParam();
+  MakeEnv();
+
+  // First tranche lands before the job starts; the load thread appends the
+  // rest while the threaded run is in flight.
+  workload::OrdersGeneratorOptions options;
+  options.num_products = 20;
+  options.seed = 42 + static_cast<uint64_t>(seed);
+  workload::OrdersGenerator gen(*env_, options);
+  ASSERT_TRUE(gen.Produce(800).ok());
+
+  Config defaults = SupervisedDefaults();
+  defaults.SetInt(cfg::kContainerRestartMax, 32);
+  defaults.Set(cfg::kTaskDelivery, "exactly-once");
+  defaults.Set(cfg::kCheckpointTopic, "__cp_eo_chaos");
+  defaults.Set(cfg::kExecutorMode, "threaded");
+  executor_ = std::make_unique<QueryExecutor>(env_, defaults);
+  auto submitted = executor_->Execute(kTumblingStream);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  JobRunner* job = executor_->job(submitted.value().job_index);
+  ASSERT_NE(job, nullptr);
+
+  std::atomic<bool> load_done{false};
+  std::thread load([&] {
+    for (int i = 0; i < 8; ++i) {
+      auto produced = gen.Produce(100);
+      EXPECT_TRUE(produced.ok()) << produced.status().ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    load_done.store(true);
+  });
+
+  // Chaos: seed-scheduled kills of random containers plus one mid-run
+  // zombie registration stealing a live task's producer name. Kills may
+  // land mid-batch, between rounds, or on an already-dead slot — all fine.
+  std::atomic<bool> chaos_done{false};
+  std::thread chaos([&] {
+    std::mt19937_64 rng(0xc4a05ull + static_cast<uint64_t>(seed));
+    for (int i = 0; i < 4; ++i) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1 + static_cast<int>(rng() % 4)));
+      (void)job->KillContainer(static_cast<int32_t>(rng() % 2));
+      if (i == 1) {
+        Producer zombie(env_->broker);
+        EXPECT_TRUE(
+            zombie.EnableIdempotence(job->job_name() + ".Partition 1").ok());
+      }
+    }
+    chaos_done.store(true);
+  });
+
+  // Drive to quiescence repeatedly until both threads finish — a run can go
+  // quiescent while more input or kills are still on the way. Collect any
+  // error and join before asserting so the threads never outlive the test.
+  Status run_error;
+  while (!load_done.load() || !chaos_done.load()) {
+    auto ran = executor_->RunJobsUntilQuiescent();
+    if (!ran.ok()) {
+      run_error = ran.status();
+      break;
+    }
+  }
+  load.join();
+  chaos.join();
+  ASSERT_TRUE(run_error.ok()) << run_error.ToString();
+
+  // All input is on the log now: close every window, compute the oracle
+  // over the complete history, and drain the streaming job.
+  last_rowtime_ = gen.last_rowtime();
+  ProduceWatermarkSentinels(3'600'000);
+  std::set<std::string> expected = OracleWindows();
+  auto ran = executor_->RunJobsUntilQuiescent();
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  EXPECT_GE(job->TotalRestarts(), 1);
+
+  auto rows = executor_->ReadOutputRows(submitted.value().output_topic);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  std::multiset<std::string> got = MultisetNonSentinel(rows.value());
+  EXPECT_EQ(got.size(), expected.size());
+  EXPECT_EQ(std::set<std::string>(got.begin(), got.end()), expected);
+  EXPECT_GT(expected.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, eo_threaded_chaos, ::testing::Range(0, 4));
 
 // ---------------------------------------------------------------------------
 // Seeded soak: random fault storm + adversarial kill, 8 seeds.

@@ -11,6 +11,59 @@
 namespace sqs::core {
 namespace {
 
+// Scheduler interface (docs/EXECUTION.md "Threaded execution"):
+// executor.mode picks the scheduler, and a bad mode surfaces as
+// RunJobsUntilQuiescent's error (the scheduler is built lazily there).
+TEST(SchedulerTest, ModesParseAndBadModeSurfacesOnRun) {
+  EXPECT_EQ(ParseExecutorMode("serial").value(), ExecutorMode::kSerial);
+  EXPECT_EQ(ParseExecutorMode("threaded").value(), ExecutorMode::kThreaded);
+  EXPECT_FALSE(ParseExecutorMode("fibers").ok());
+
+  auto env = SamzaSqlEnvironment::Make();
+  ASSERT_TRUE(workload::SetupPaperSources(*env, 4).ok());
+  workload::OrdersGenerator gen(*env, {});
+  ASSERT_TRUE(gen.Produce(1'000).ok());
+  Config defaults;
+  defaults.Set(cfg::kExecutorMode, "fibers");
+  QueryExecutor executor(env, defaults);
+  auto submitted = executor.Execute("SELECT STREAM orderId FROM Orders");
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto ran = executor.RunJobsUntilQuiescent();
+  ASSERT_FALSE(ran.ok());
+  EXPECT_NE(ran.status().message().find("unknown executor.mode"),
+            std::string::npos)
+      << ran.status().ToString();
+}
+
+// Serial mode is the debugging baseline: same results as the threaded
+// default, just single-threaded.
+TEST(SchedulerTest, SerialModeMatchesThreadedDefault) {
+  auto run_mode = [](const char* mode) {
+    auto env = SamzaSqlEnvironment::Make();
+    EXPECT_TRUE(workload::SetupPaperSources(*env, 4).ok());
+    workload::OrdersGenerator gen(*env, {});
+    EXPECT_TRUE(gen.Produce(5'000).ok());
+    Config defaults;
+    defaults.SetInt(cfg::kContainerCount, 2);
+    if (mode != nullptr) defaults.Set(cfg::kExecutorMode, mode);
+    QueryExecutor executor(env, defaults);
+    auto submitted = executor.Execute(
+        "SELECT STREAM orderId, units FROM Orders WHERE units > 40");
+    EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+    auto ran = executor.RunJobsUntilQuiescent();
+    EXPECT_TRUE(ran.ok()) << ran.status().ToString();
+    auto rows = executor.ReadOutputRows(submitted.value().output_topic);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    std::multiset<std::string> out;
+    for (const Row& r : rows.value()) out.insert(RowToString(r));
+    return out;
+  };
+  std::multiset<std::string> serial = run_mode("serial");
+  std::multiset<std::string> threaded = run_mode(nullptr);  // default
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+}
+
 TEST(StressTest, ThreadedContainersMatchOracle) {
   auto env = SamzaSqlEnvironment::Make();
   ASSERT_TRUE(workload::SetupPaperSources(*env, 8).ok());
