@@ -11,12 +11,22 @@
 //    then replay the uncheckpointed suffix. In exactly-once mode the replay
 //    re-sends the same sequences and the broker's dups_dropped count shows
 //    the dedup absorbing it.
+//  - BM_Durable_Append: raw broker append throughput with the durable log
+//    off vs on at each fsync policy (never / interval / always). The
+//    off-vs-never delta prices the framing+write path; never-vs-always
+//    prices the fsync itself.
+//  - BM_Cold_Restart: append a durable log, drop the broker, and time a
+//    fresh broker's EnableDurability — the full segment scan (CRC check on
+//    every frame, offset/dedup/high-watermark rebuild). The disk-recovery
+//    counterpart of BM_Recovery_Latency's changelog replay.
 // Numbers are recorded in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
 
 #include "bench_common.h"
+#include "log/broker.h"
 #include "task/api.h"
 
 namespace sqs::bench {
@@ -100,9 +110,136 @@ void BM_Recovery_Latency(benchmark::State& state) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Durable-log arms (docs/DURABILITY.md)
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kDurableMessages = 10'000;
+
+// A scratch segment directory per benchmark arm, wiped on entry.
+std::string BenchLogDir(const std::string& arm) {
+  std::string dir = std::filesystem::temp_directory_path() / ("sqs_bench_" + arm);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+DurableLogOptions BenchDurable(const std::string& dir, FsyncPolicy fsync) {
+  DurableLogOptions o;
+  o.enabled = true;
+  o.dir = dir;
+  o.segment_bytes = 8 << 20;
+  o.fsync = fsync;
+  return o;
+}
+
+Message BenchMsg(int64_t i) {
+  Message m;
+  m.key = ToBytes("key-" + std::to_string(i % 64));
+  m.value = ToBytes(std::string(100, 'x'));  // the paper's ~100-byte payload
+  return m;
+}
+
+const char* DurabilityArmName(int arm) {
+  switch (arm) {
+    case 0: return "off";
+    case 1: return "fsync=never";
+    case 2: return "fsync=interval";
+    default: return "fsync=always";
+  }
+}
+
+// state.range(0): 0 = log.durable=off (heap only), 1..3 = durable with
+// fsync never / interval(50ms) / always. Single partition, so the numbers
+// are the per-partition serial append cost — the unit the fsync policy
+// actually taxes.
+void BM_Durable_Append(benchmark::State& state) {
+  const int arm = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Broker broker;
+    if (arm > 0) {
+      FsyncPolicy fsync = arm == 1   ? FsyncPolicy::kNever
+                          : arm == 2 ? FsyncPolicy::kInterval
+                                     : FsyncPolicy::kAlways;
+      Status st = broker.EnableDurability(
+          BenchDurable(BenchLogDir("append_" + std::to_string(arm)), fsync));
+      if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    }
+    TopicConfig one;
+    one.num_partitions = 1;
+    Status st = broker.CreateTopic("bench", one);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < kDurableMessages; ++i) {
+      auto appended = broker.Append({"bench", 0}, BenchMsg(i));
+      if (!appended.ok()) state.SkipWithError(appended.status().ToString().c_str());
+    }
+    st = broker.SyncDurableLog();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double tput = static_cast<double>(kDurableMessages) / secs;
+    state.counters["appends_per_s"] = tput;
+    std::printf("DurableAppend mode=%-16s %.0f appends/s\n",
+                DurabilityArmName(arm), tput);
+    std::fflush(stdout);
+  }
+}
+
+// state.range(0): messages in the log before the cold restart. Times a fresh
+// broker's EnableDurability over the surviving segments: full CRC scan plus
+// offset/producer-dedup/high-watermark rebuild.
+void BM_Cold_Restart(benchmark::State& state) {
+  const int64_t messages = state.range(0);
+  for (auto _ : state) {
+    const std::string dir = BenchLogDir("cold_restart");
+    {
+      Broker writer;
+      Status st = writer.EnableDurability(BenchDurable(dir, FsyncPolicy::kNever));
+      if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+      TopicConfig one;
+      one.num_partitions = 1;
+      st = writer.CreateTopic("bench", one);
+      if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+      for (int64_t i = 0; i < messages; ++i) {
+        auto appended = writer.Append({"bench", 0}, BenchMsg(i));
+        if (!appended.ok()) state.SkipWithError(appended.status().ToString().c_str());
+      }
+      st = writer.SyncDurableLog();
+      if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    }
+
+    Broker recovered;
+    const auto t0 = std::chrono::steady_clock::now();
+    Status st = recovered.EnableDurability(BenchDurable(dir, FsyncPolicy::kNever));
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    auto end = recovered.EndOffset({"bench", 0});
+    if (!end.ok() || end.value() != messages) {
+      state.SkipWithError("cold restart lost records");
+    }
+
+    const double recover_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    state.counters["recover_ms"] = recover_ms;
+    state.counters["recovered_msgs_per_s"] =
+        static_cast<double>(messages) / (recover_ms / 1000.0);
+    std::printf("ColdRestart msgs=%-8lld recover=%.2f ms  (%.0f msgs/s)\n",
+                static_cast<long long>(messages), recover_ms,
+                static_cast<double>(messages) / (recover_ms / 1000.0));
+    std::fflush(stdout);
+  }
+}
+
 BENCHMARK(BM_Delivery_Throughput)->Arg(0)->Arg(1)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Recovery_Latency)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Durable_Append)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cold_Restart)->Arg(20'000)->Arg(100'000)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

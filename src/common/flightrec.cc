@@ -5,11 +5,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -139,6 +139,9 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kCrashDump: return "crash_dump";
     case FlightEventType::kSloBreach: return "slo_breach";
     case FlightEventType::kSloCleared: return "slo_cleared";
+    case FlightEventType::kSegmentRoll: return "segment_roll";
+    case FlightEventType::kFsync: return "fsync";
+    case FlightEventType::kRecoveryTruncation: return "recovery_truncation";
   }
   return "unknown";
 }
@@ -271,10 +274,26 @@ void FlightRecorder::DumpToFd(int fd) const {
 
 bool FlightRecorder::DumpToPath(const std::string& path,
                                 std::string_view scope_prefix) const {
-  std::ofstream out(path);
-  if (!out.good()) return false;
-  out << DumpJsonLines(scope_prefix);
-  return out.good();
+  // POSIX I/O rather than ofstream so the dump can be fsynced: this path
+  // runs from std::terminate and shutdown forensics, where the process (or
+  // machine) may die immediately after — the dump must be durable, not
+  // merely buffered.
+  int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::string body = DumpJsonLines(scope_prefix);
+  size_t off = 0;
+  while (off < body.size()) {
+    ssize_t n = write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  bool synced = fsync(fd) == 0;
+  close(fd);
+  return synced;
 }
 
 int64_t FlightRecorder::dropped() const {
@@ -359,6 +378,12 @@ void CrashSignalHandler(int sig) {
       int fd = open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
       if (fd >= 0) {
         FlightRecorder::Instance().DumpToFd(fd);
+        // The process dies on the re-raise below without ever returning to
+        // code that could flush: without an fsync the dump sits in page
+        // cache, and a machine-level crash right after would lose the one
+        // artifact explaining it (the same torn-write window the durable
+        // log closes for data — docs/DURABILITY.md).
+        fsync(fd);
         close(fd);
       }
     }

@@ -44,6 +44,9 @@ enum class FlightEventType : uint8_t {
   kCrashDump,
   kSloBreach,
   kSloCleared,
+  kSegmentRoll,
+  kFsync,
+  kRecoveryTruncation,
 };
 
 // Stable lowercase identifier ("commit", "batch_run", ...), used in dumps.

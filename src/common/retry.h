@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/config.h"
 #include "common/flightrec.h"
 #include "common/metrics.h"
@@ -28,12 +29,18 @@ inline constexpr const char* kRetryMaxAttempts = "retry.max.attempts";
 // Initial backoff before the first retry; doubles per retry up to the cap.
 inline constexpr const char* kRetryBackoffMs = "retry.backoff.ms";
 inline constexpr const char* kRetryBackoffMaxMs = "retry.backoff.max.ms";
+// Total elapsed wall-time budget per operation in milliseconds (0 = no
+// deadline). Attempt-count budgets bound work; during a broker cold restart
+// the relevant bound is time — a caller must give up before its own SLO
+// burns, no matter how many cheap attempts fit in the window.
+inline constexpr const char* kRetryDeadlineMs = "retry.deadline.ms";
 }  // namespace cfg
 
 struct RetryPolicy {
   int32_t max_attempts = 1;  // 1 = retries disabled
   int64_t backoff_ms = 10;
   int64_t backoff_max_ms = 1000;
+  int64_t deadline_ms = 0;  // 0 = unbounded elapsed time
 
   static RetryPolicy FromConfig(const Config& config) {
     RetryPolicy p;
@@ -41,9 +48,11 @@ struct RetryPolicy {
         static_cast<int32_t>(config.GetInt(cfg::kRetryMaxAttempts, 1));
     p.backoff_ms = config.GetInt(cfg::kRetryBackoffMs, 10);
     p.backoff_max_ms = config.GetInt(cfg::kRetryBackoffMaxMs, 1000);
+    p.deadline_ms = config.GetInt(cfg::kRetryDeadlineMs, 0);
     if (p.max_attempts < 1) p.max_attempts = 1;
     if (p.backoff_ms < 0) p.backoff_ms = 0;
     if (p.backoff_max_ms < p.backoff_ms) p.backoff_max_ms = p.backoff_ms;
+    if (p.deadline_ms < 0) p.deadline_ms = 0;
     return p;
   }
 
@@ -62,17 +71,28 @@ class Retrier {
   const RetryPolicy& policy() const { return policy_; }
 
   // Optional counters: `retries` increments once per re-attempt, `giveups`
-  // once per operation that exhausts its budget and surfaces the error.
-  void BindMetrics(Counter* retries, Counter* giveups) {
+  // once per operation that exhausts its attempt budget, `giveup_deadline`
+  // once per operation that gives up because its elapsed-time budget
+  // (retry.deadline.ms) ran out with attempts still remaining.
+  void BindMetrics(Counter* retries, Counter* giveups,
+                   Counter* giveup_deadline = nullptr) {
     retries_ = retries;
     giveups_ = giveups;
+    giveup_deadline_ = giveup_deadline;
   }
 
-  // fn: () -> Status. Retries while fn returns Unavailable and attempts
-  // remain; any other status (or Ok) is returned as-is immediately.
+  // fn: () -> Status. Retries while fn returns Unavailable and both budgets
+  // (attempts, elapsed wall time) remain; any other status (or Ok) is
+  // returned as-is immediately. The deadline is checked after each failed
+  // attempt: an in-flight fn() is never interrupted, so one attempt can
+  // overshoot the budget, but no backoff sleep starts past it.
   template <typename Fn>
   Status Run(Fn&& fn) {
     int64_t backoff = policy_.backoff_ms;
+    const int64_t deadline_ns =
+        policy_.deadline_ms > 0
+            ? MonotonicNanos() + policy_.deadline_ms * 1'000'000
+            : 0;
     for (int32_t attempt = 1;; ++attempt) {
       Status st = fn();
       if (st.ok() || st.code() != ErrorCode::kUnavailable) return st;
@@ -80,6 +100,12 @@ class Retrier {
         if (giveups_ != nullptr) giveups_->Inc();
         FlightRecorder::Record(FlightEventType::kRetryGiveup, "retry",
                                st.ToString(), attempt);
+        return st;
+      }
+      if (deadline_ns != 0 && MonotonicNanos() >= deadline_ns) {
+        if (giveup_deadline_ != nullptr) giveup_deadline_->Inc();
+        FlightRecorder::Record(FlightEventType::kRetryGiveup, "retry.deadline",
+                               st.ToString(), attempt, policy_.deadline_ms);
         return st;
       }
       if (retries_ != nullptr) retries_->Inc();
@@ -104,6 +130,7 @@ class Retrier {
   RetryPolicy policy_;
   Counter* retries_ = nullptr;
   Counter* giveups_ = nullptr;
+  Counter* giveup_deadline_ = nullptr;
   uint64_t jitter_state_ = 0x853c49e6748fea9bull;
 };
 

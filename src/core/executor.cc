@@ -13,6 +13,8 @@
 #include "common/profiler.h"
 #include "common/tracing.h"
 #include "core/task.h"
+#include "io/crashpoint.h"
+#include "log/durable_log.h"
 #include "ops/router.h"
 #include "sql/lexer.h"
 #include "sql/optimizer.h"
@@ -334,6 +336,27 @@ QueryExecutor::QueryExecutor(EnvironmentPtr env, Config job_defaults)
   double profile_hz = static_cast<double>(defaults_.GetInt(cfg::kProfileHz, 0));
   if (profile_hz > 0 && !Profiler::Instance().sampling()) {
     (void)Profiler::Instance().StartSampling(profile_hz);
+  }
+  // Crash points (io/crashpoint.h) arm process-wide; the kill-restart-verify
+  // harness passes `crash.point=<name>` to die at an exact write boundary.
+  std::string crash_point = defaults_.Get(cfg::kCrashPoint);
+  if (!crash_point.empty()) {
+    Status armed = io::ArmCrashPoint(crash_point);
+    if (!armed.ok()) {
+      SQS_WARNC("executor", "crash point not armed", {"error", armed.message()});
+    }
+  }
+  // Durable log (docs/DURABILITY.md): `log.durable=true` + `log.dir` switch
+  // the broker onto disk-backed segments, recovering any existing image.
+  auto durable_options = DurableLogOptions::FromConfig(defaults_);
+  if (!durable_options.ok()) {
+    SQS_WARNC("executor", "durable log config rejected",
+              {"error", durable_options.status().message()});
+  } else if (durable_options.value().enabled) {
+    Status enabled = env_->broker->EnableDurability(durable_options.value());
+    if (!enabled.ok()) {
+      SQS_WARNC("executor", "durable log disabled", {"error", enabled.message()});
+    }
   }
   monitor_ = std::make_unique<MonitorServer>(
       defaults_, [this] { return CollectJobViews(); }, env_->clock);

@@ -1,0 +1,88 @@
+#include "io/crashpoint.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace sqs::io {
+
+namespace {
+
+// Armed state: one point at a time (the harness restarts the process per
+// point anyway). `countdown` is the remaining hits before firing.
+std::mutex g_mu;
+std::string g_armed;
+std::atomic<int64_t> g_countdown{0};
+
+}  // namespace
+
+const std::vector<std::string>& RegisteredCrashPoints() {
+  static const std::vector<std::string> points = {
+      "segment.append.before_write",   // record not yet on disk
+      kTornAppendPoint,                // half the frame on disk
+      "segment.append.after_write",    // written, not fsynced
+      "segment.fsync.before",          // dirty data about to be fsynced
+      "segment.fsync.after",           // record durable
+      "segment.roll.before_open",      // old segment full, new one missing
+      "segment.roll.after_open",       // new segment exists, empty
+      "segment.rewrite.before_commit", // retention rewrite staged in .tmp
+      "segment.rewrite.after_commit",  // new generation renamed in, old not yet removed
+      "checkpoint.barrier.before_sync",// commit record precedes the data sync
+      "checkpoint.barrier.after_sync", // data durable, checkpoint record not yet
+  };
+  return points;
+}
+
+Status ArmCrashPoint(const std::string& spec) {
+  std::string name = spec;
+  int64_t nth = 1;
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    nth = std::atoll(spec.c_str() + colon + 1);
+    if (nth < 1) return Status::InvalidArgument("crash.point hit count must be >= 1: " + spec);
+  }
+  const auto& points = RegisteredCrashPoints();
+  bool known = false;
+  for (const auto& p : points) known = known || p == name;
+  if (!known) return Status::InvalidArgument("unknown crash.point: " + name);
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed = name;
+  g_countdown.store(nth, std::memory_order_release);
+  return Status::Ok();
+}
+
+void DisarmCrashPoints() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed.clear();
+  g_countdown.store(0, std::memory_order_release);
+}
+
+bool CrashPointFires(const char* name) {
+  // Fast path: nothing armed — one relaxed load, no lock on the data path.
+  if (g_countdown.load(std::memory_order_relaxed) <= 0) return false;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_armed != name) return false;
+  return g_countdown.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+void CrashNow(const char* name) {
+  // Stderr only (async-safe write, no allocation): the whole point is to
+  // die without flushing anything that would not survive a real kill.
+  char buf[160];
+  int n = std::snprintf(buf, sizeof(buf), "samzasql: crash point fired: %s\n", name);
+  if (n > 0) {
+    ssize_t ignored = write(STDERR_FILENO, buf, static_cast<size_t>(n));
+    (void)ignored;
+  }
+  _exit(kCrashPointExitCode);
+}
+
+void MaybeCrashAt(const char* name) {
+  if (CrashPointFires(name)) CrashNow(name);
+}
+
+}  // namespace sqs::io

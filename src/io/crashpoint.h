@@ -1,0 +1,48 @@
+// Crash-point registry for the kill-restart-verify harness
+// (docs/DURABILITY.md). The durable-log write path is studded with named
+// points (SQS_CRASH_POINT sites); arming one via `crash.point=<name>` (or
+// `<name>:<n>` for the n-th hit) makes the process _exit at that boundary —
+// no destructors, no flushes, no crash dump, exactly what an abrupt kill
+// leaves behind. Tests run the workload in a death-test child with a point
+// armed, then cold-restart from the surviving segment files in the parent
+// and verify against the batch oracle.
+//
+// A special point, kTornAppendPoint, is handled inside the segment writer:
+// it writes only the first half of the record frame before exiting, so a
+// genuinely torn record lands on disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqs::io {
+
+// Exit code used by MaybeCrashAt so death tests can assert the exit was the
+// armed crash point and not an unrelated abort.
+inline constexpr int kCrashPointExitCode = 86;
+
+// Mid-frame torn-write point (see segment.cc).
+inline constexpr const char* kTornAppendPoint = "segment.append.torn_write";
+
+// Every compiled-in crash point name, for matrix tests to iterate.
+const std::vector<std::string>& RegisteredCrashPoints();
+
+// Arm `spec` = "<name>" or "<name>:<n>" (crash on the n-th hit, n >= 1).
+// Unknown names are an error so a typo cannot silently disarm a test.
+Status ArmCrashPoint(const std::string& spec);
+void DisarmCrashPoints();
+
+// True if `name` is armed and this call consumed its final countdown tick.
+// Split from MaybeCrashAt for sites (the torn-write point) that must do
+// half-work before dying.
+bool CrashPointFires(const char* name);
+
+// _exit(kCrashPointExitCode) if the armed point's countdown hits zero.
+void MaybeCrashAt(const char* name);
+
+// Exits the process the way an armed point does (used after half-writes).
+[[noreturn]] void CrashNow(const char* name);
+
+}  // namespace sqs::io

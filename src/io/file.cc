@@ -1,0 +1,177 @@
+#include "io/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace sqs::io {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::StateError(op + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixLogFile : public LogFile {
+ public:
+  PosixLogFile(int fd, std::string path, int64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+  ~PosixLogFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const auto* p = static_cast<const uint8_t*>(data);
+    size_t left = n;
+    while (left > 0) {
+      ssize_t w = ::write(fd_, p, left);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        // A short write may have landed before the failure; account for it
+        // so the owner's torn-tail repair truncates from the right place.
+        return Errno("write", path_);
+      }
+      p += w;
+      left -= static_cast<size_t>(w);
+      size_ += w;
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::Ok();
+  }
+
+  Status Truncate(int64_t size) override {
+    if (size > size_) {
+      return Status::InvalidArgument("truncate past end of " + path_);
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("ftruncate", path_);
+    }
+    size_ = size;
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Errno("close", path_);
+    return Status::Ok();
+  }
+
+  int64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  int64_t size_;
+};
+
+}  // namespace
+
+FileFactoryPtr PosixFileFactory::Instance() {
+  static FileFactoryPtr factory = std::make_shared<PosixFileFactory>();
+  return factory;
+}
+
+Result<LogFilePtr> PosixFileFactory::OpenAppend(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Errno("fstat", path);
+  }
+  return LogFilePtr(new PosixLogFile(fd, path, static_cast<int64_t>(st.st_size)));
+}
+
+Result<Bytes> PosixFileFactory::ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  Bytes out;
+  uint8_t buf[1 << 16];
+  while (true) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (r == 0) break;
+    out.insert(out.end(), buf, buf + r);
+  }
+  ::close(fd);
+  return out;
+}
+
+Status PosixFileFactory::CreateDirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Status::StateError("mkdir " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> PosixFileFactory::ListDir(const std::string& path) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+  }
+  if (ec) return Status::StateError("listdir " + path + ": " + ec.message());
+  return names;
+}
+
+Result<std::vector<std::string>> PosixFileFactory::ListSubdirs(const std::string& path) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+    if (entry.is_directory()) names.push_back(entry.path().filename().string());
+  }
+  if (ec) return Status::StateError("listdirs " + path + ": " + ec.message());
+  return names;
+}
+
+Status PosixFileFactory::RemoveFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) return Status::StateError("remove " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status PosixFileFactory::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) return Status::StateError("rename " + from + " -> " + to + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status PosixFileFactory::RemoveAllUnder(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  if (ec) return Status::StateError("remove_all " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+bool PosixFileFactory::Exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Status PosixFileFactory::SyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", path);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir", path);
+  return Status::Ok();
+}
+
+}  // namespace sqs::io

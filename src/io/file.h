@@ -1,0 +1,83 @@
+// File layer under the durable log (src/log/segment.h): an append-only
+// LogFile handle plus the FileFactory that opens it and performs the
+// directory operations segment management needs. The layer exists so the
+// fault harness (io/fault_file.h) can interpose on every byte that claims
+// to be durable — the broker and segment code never touch POSIX directly.
+//
+// Durability contract: bytes passed to Append are guaranteed on stable
+// storage only after a successful Sync(). Close() flushes to the OS (so
+// data survives a process exit) but does NOT fsync — only power loss can
+// take it, which is exactly the window the torn-write harness simulates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sqs::io {
+
+// Append-only handle to one file. Not thread-safe; the owning SegmentLog
+// serializes access.
+class LogFile {
+ public:
+  virtual ~LogFile() = default;
+
+  virtual Status Append(const void* data, size_t n) = 0;
+  // Force everything appended so far onto stable storage.
+  virtual Status Sync() = 0;
+  // Cut the file back to `size` logical bytes (torn-tail repair). `size`
+  // must not exceed the current logical size.
+  virtual Status Truncate(int64_t size) = 0;
+  virtual Status Close() = 0;
+  // Logical size: every byte accepted by Append (synced or not).
+  virtual int64_t size() const = 0;
+};
+
+using LogFilePtr = std::unique_ptr<LogFile>;
+
+// Opens LogFiles and manages segment directories. Thread-safe.
+class FileFactory {
+ public:
+  virtual ~FileFactory() = default;
+
+  // Open for appending, creating the file if missing; positioned at the end.
+  virtual Result<LogFilePtr> OpenAppend(const std::string& path) = 0;
+  // Whole-file read (segment scans happen once, at recovery).
+  virtual Result<Bytes> ReadFile(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& path) = 0;
+  // Entry names (not paths) of regular files in `path`.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+  // Entry names (not paths) of subdirectories of `path`.
+  virtual Result<std::vector<std::string>> ListSubdirs(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveAllUnder(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  // Make a rename/unlink in `path` durable (fsync of the directory fd).
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+using FileFactoryPtr = std::shared_ptr<FileFactory>;
+
+// Real POSIX files: open/write/fsync/ftruncate.
+class PosixFileFactory : public FileFactory {
+ public:
+  static FileFactoryPtr Instance();
+
+  Result<LogFilePtr> OpenAppend(const std::string& path) override;
+  Result<Bytes> ReadFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListSubdirs(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveAllUnder(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+};
+
+}  // namespace sqs::io

@@ -63,8 +63,9 @@ class ChangelogBackedStore : public KeyValueStore {
   // Transient (Unavailable) changelog append/fetch failures are retried
   // under this policy; default is no retry.
   void SetRetryPolicy(RetryPolicy policy) { retrier_.SetPolicy(policy); }
-  void BindRetryMetrics(Counter* retries, Counter* giveups) {
-    retrier_.BindMetrics(retries, giveups);
+  void BindRetryMetrics(Counter* retries, Counter* giveups,
+                        Counter* giveup_deadline = nullptr) {
+    retrier_.BindMetrics(retries, giveups, giveup_deadline);
   }
 
   // Attach write-volume instruments (scoped `changelog_writes` /

@@ -2,12 +2,23 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "io/crashpoint.h"
 
 #include <chrono>
+#include <limits>
 #include <map>
+#include <set>
 #include <thread>
 
 namespace sqs {
+
+Broker::~Broker() {
+  // Clean shutdown leaves the disk image fully synced; the SegmentLog
+  // destructors close (and therefore flush) each partition behind this.
+  if (durable_.load(std::memory_order_acquire)) {
+    (void)Broker::SyncDurableLog();
+  }
+}
 
 Status Broker::CreateTopic(const std::string& name, TopicConfig config) {
   if (name.empty()) return Status::InvalidArgument("empty topic name");
@@ -22,7 +33,17 @@ Status Broker::CreateTopic(const std::string& name, TopicConfig config) {
   for (int32_t i = 0; i < config.num_partitions; ++i) {
     topic->partitions.push_back(std::make_unique<Partition>());
   }
+  Topic* created = topic.get();
   topics_[name] = std::move(topic);
+  if (durable_.load(std::memory_order_acquire)) {
+    Status st = BootstrapTopicToDisk(name, created);
+    if (!st.ok()) {
+      // Keep heap and disk in agreement: a topic the disk could not accept
+      // does not exist.
+      topics_.erase(name);
+      return st;
+    }
+  }
   SQS_DEBUGC("broker", "topic created", {"topic", name},
              {"partitions", std::to_string(config.num_partitions)},
              {"compacted", config.compacted ? "true" : "false"});
@@ -69,6 +90,13 @@ Result<ProducerIdentity> Broker::RegisterProducer(const std::string& name) {
     if (entry.pid == 0) entry.pid = next_pid_++;
     ++entry.epoch;  // first registration: -1 -> 0
     id = entry;
+  }
+  // The identity must be durable before the producer can stamp data with
+  // it: a post-restart recovery that finds a pid in a partition log but not
+  // in the producer meta log could not rebuild the fencing state.
+  if (durable_.load(std::memory_order_acquire)) {
+    SQS_RETURN_IF_ERROR(AppendMeta(
+        producers_meta_.get(), EncodeProducerMeta({name, id.pid, id.epoch})));
   }
   // Publish the new epoch through the pid's cell. Appends stamped with an
   // older epoch observe the bump on their next fencing check; the release
@@ -117,6 +145,23 @@ Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
   SQS_ASSIGN_OR_RETURN(part, GetPartition(sp));
   int64_t msg_bytes = static_cast<int64_t>(message.key.size()) +
                       static_cast<int64_t>(message.value.size());
+  // Commit barrier (docs/DURABILITY.md): a record on a barrier topic (the
+  // checkpoint topics) must never be durable while data it covers is still
+  // in page cache, so every dirty partition log is synced before this
+  // append can proceed. Done before taking part->mu — the barrier locks
+  // other partitions one at a time and must not nest inside this one.
+  // Appends racing in behind the barrier are not covered by this
+  // checkpoint (they happen-after its creation), so the gap is harmless.
+  bool barrier = false;
+  if (durable_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    barrier = part->fsync_barrier && part->dlog != nullptr;
+  }
+  if (barrier) {
+    io::MaybeCrashAt("checkpoint.barrier.before_sync");
+    SQS_RETURN_IF_ERROR(SyncDurableLog());
+    io::MaybeCrashAt("checkpoint.barrier.after_sync");
+  }
   if (message.producer_id != 0) {
     std::lock_guard<std::mutex> lock(part->mu);
     ProducerSeqState& st = part->producers[message.producer_id];
@@ -155,6 +200,12 @@ Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
       }
     }
     int64_t offset = part->log_start + static_cast<int64_t>(part->entries.size());
+    // Disk before heap: a record the disk refused was never appended, so a
+    // failed write leaves no heap state for a retry to collide with.
+    if (part->dlog) {
+      SQS_RETURN_IF_ERROR(part->dlog->Append(offset, message));
+      if (part->fsync_barrier) SQS_RETURN_IF_ERROR(part->dlog->Sync());
+    }
     st.last_seq = message.sequence;
     st.last_offset = offset;
     part->entries.push_back(std::move(message));
@@ -163,6 +214,10 @@ Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
   }
   std::lock_guard<std::mutex> lock(part->mu);
   int64_t offset = part->log_start + static_cast<int64_t>(part->entries.size());
+  if (part->dlog) {
+    SQS_RETURN_IF_ERROR(part->dlog->Append(offset, message));
+    if (part->fsync_barrier) SQS_RETURN_IF_ERROR(part->dlog->Sync());
+  }
   part->entries.push_back(std::move(message));
   ExtendByteLedger(part->cum_bytes, part->bytes_base, msg_bytes);
   return offset;
@@ -238,6 +293,9 @@ Status Broker::EnforceRetention(const std::string& topic) {
       part->cum_bytes.erase(part->cum_bytes.begin(),
                             part->cum_bytes.begin() + excess);
       part->log_start += excess;
+      if (part->dlog) {
+        SQS_RETURN_IF_ERROR(part->dlog->Rewrite(part->entries, part->log_start));
+      }
     }
   }
   return Status::Ok();
@@ -290,6 +348,9 @@ Status Broker::Compact(const std::string& topic) {
                        static_cast<int64_t>(m.key.size()) +
                            static_cast<int64_t>(m.value.size()));
     }
+    if (part->dlog) {
+      SQS_RETURN_IF_ERROR(part->dlog->Rewrite(part->entries, part->log_start));
+    }
   }
   return Status::Ok();
 }
@@ -330,7 +391,291 @@ Status Broker::DeleteTopic(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = topics_.find(name);
   if (it == topics_.end()) return Status::NotFound("no topic: " + name);
+  if (durable_.load(std::memory_order_acquire)) {
+    TopicMetaRecord record;
+    record.deleted = true;
+    record.name = name;
+    SQS_RETURN_IF_ERROR(AppendMeta(topics_meta_.get(), EncodeTopicMeta(record)));
+  }
+  // Destroys the partitions first (closing their segment files), then
+  // removes the directory. A crash between the meta append and the removal
+  // leaves an orphan dir that the recovery sweep deletes.
   topics_.erase(it);
+  if (durable_.load(std::memory_order_acquire)) {
+    SQS_RETURN_IF_ERROR(durable_options_.factory->RemoveAllUnder(
+        durable_options_.dir + "/" + TopicDirName(name)));
+  }
+  return Status::Ok();
+}
+
+SegmentLogOptions Broker::MakeSegmentOptions(const std::string& scope) const {
+  SegmentLogOptions options;
+  options.factory = durable_options_.factory;
+  options.segment_bytes = durable_options_.segment_bytes;
+  options.fsync = durable_options_.fsync;
+  options.fsync_interval_ms = durable_options_.fsync_interval_ms;
+  options.scope = scope;
+  return options;
+}
+
+Status Broker::AppendMeta(SegmentLog* meta, Bytes payload) {
+  // Meta records (topic creates/deletes, producer registrations) are rare
+  // and small: always write-through, whatever the data fsync policy.
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  SQS_RETURN_IF_ERROR(meta->Append(payload, 0));
+  return meta->Sync();
+}
+
+Status Broker::WirePartition(const std::string& topic_name,
+                             const TopicConfig& config, int32_t partition,
+                             Partition* part, bool replace_heap) {
+  const std::string dir = durable_options_.dir + "/" + TopicDirName(topic_name) +
+                          "/" + std::to_string(partition);
+  const std::string scope =
+      topic_name + "[" + std::to_string(partition) + "]";
+  auto dlog = std::make_shared<DurablePartitionLog>(dir, MakeSegmentOptions(scope));
+  std::vector<std::pair<int64_t, Message>> records;
+  int64_t base_offset = -1;
+  SegmentRecovery recovery;
+  SQS_RETURN_IF_ERROR(dlog->Open(&records, &base_offset, &recovery));
+  if (recovery.truncated_bytes > 0 || recovery.dropped_segments > 0) {
+    SQS_INFOC("broker", "durable log repaired at recovery", {"partition", scope},
+             {"truncated_bytes", std::to_string(recovery.truncated_bytes)},
+             {"dropped_segments", std::to_string(recovery.dropped_segments)});
+  }
+
+  std::lock_guard<std::mutex> lock(part->mu);
+  if (replace_heap) {
+    part->entries.clear();
+    part->cum_bytes.clear();
+    part->producers.clear();
+    part->bytes_base = 0;
+    // An empty partition still recovers its log-start offset from the
+    // segment file name (retention can empty a partition without resetting
+    // its offsets).
+    part->log_start =
+        records.empty() ? std::max<int64_t>(base_offset, 0) : records.front().first;
+    part->entries.reserve(records.size());
+    for (auto& [offset, message] : records) {
+      int64_t msg_bytes = static_cast<int64_t>(message.key.size()) +
+                          static_cast<int64_t>(message.value.size());
+      if (message.producer_id != 0 && message.sequence >= 0) {
+        // Rebuild exactly-once dedup state: sequences ascend within a pid,
+        // so the last record scanned is the producer's frontier.
+        ProducerSeqState& st = part->producers[message.producer_id];
+        if (message.sequence > st.last_seq) {
+          st.last_seq = message.sequence;
+          st.last_offset = offset;
+        }
+      }
+      part->entries.push_back(std::move(message));
+      ExtendByteLedger(part->cum_bytes, part->bytes_base, msg_bytes);
+    }
+  } else {
+    // Bootstrap: the heap contents predate durability; dump them.
+    for (size_t i = 0; i < part->entries.size(); ++i) {
+      SQS_RETURN_IF_ERROR(dlog->Append(
+          part->log_start + static_cast<int64_t>(i), part->entries[i]));
+    }
+    if (dlog->dirty()) SQS_RETURN_IF_ERROR(dlog->Sync());
+  }
+  part->dlog = std::move(dlog);
+  part->fsync_barrier = config.fsync_barrier;
+  return Status::Ok();
+}
+
+Status Broker::BootstrapTopicToDisk(const std::string& name, Topic* topic) {
+  TopicMetaRecord record;
+  record.name = name;
+  record.num_partitions = static_cast<int32_t>(topic->partitions.size());
+  record.retention_messages = topic->config.retention_messages;
+  record.compacted = topic->config.compacted;
+  record.fsync_barrier = topic->config.fsync_barrier;
+  SQS_RETURN_IF_ERROR(AppendMeta(topics_meta_.get(), EncodeTopicMeta(record)));
+  // A stale dir can only exist after a crash between a delete's meta append
+  // and its dir removal; this create supersedes it.
+  SQS_RETURN_IF_ERROR(durable_options_.factory->RemoveAllUnder(
+      durable_options_.dir + "/" + TopicDirName(name)));
+  for (size_t p = 0; p < topic->partitions.size(); ++p) {
+    SQS_RETURN_IF_ERROR(WirePartition(name, topic->config,
+                                      static_cast<int32_t>(p),
+                                      topic->partitions[p].get(),
+                                      /*replace_heap=*/false));
+  }
+  return Status::Ok();
+}
+
+Status Broker::RecoverFromDir() {
+  auto& factory = *durable_options_.factory;
+  const std::string& root = durable_options_.dir;
+  SQS_RETURN_IF_ERROR(factory.CreateDirs(root));
+
+  SegmentLogOptions meta_options = MakeSegmentOptions("__meta");
+  // Meta logs never roll (AppendMeta names every roll target offset 0) and
+  // sync explicitly per record.
+  meta_options.segment_bytes = std::numeric_limits<int64_t>::max();
+  meta_options.fsync = FsyncPolicy::kNever;
+  topics_meta_ =
+      std::make_unique<SegmentLog>(root + "/__meta/topics", meta_options);
+  producers_meta_ =
+      std::make_unique<SegmentLog>(root + "/__meta/producers", meta_options);
+  std::vector<Bytes> topic_payloads;
+  std::vector<Bytes> producer_payloads;
+  SQS_RETURN_IF_ERROR(topics_meta_->Open(&topic_payloads, nullptr));
+  SQS_RETURN_IF_ERROR(producers_meta_->Open(&producer_payloads, nullptr));
+
+  // Topic registry: replay create/delete in order.
+  std::map<std::string, TopicMetaRecord> live;
+  for (const auto& payload : topic_payloads) {
+    SQS_ASSIGN_OR_RETURN(record, DecodeTopicMeta(payload));
+    if (record.deleted) {
+      live.erase(record.name);
+    } else {
+      live[record.name] = record;
+    }
+  }
+
+  // Producer registry: keep the highest epoch seen per name (concurrent
+  // registrations can land their records out of order).
+  std::map<std::string, ProducerMetaRecord> producers;
+  for (const auto& payload : producer_payloads) {
+    SQS_ASSIGN_OR_RETURN(record, DecodeProducerMeta(payload));
+    ProducerMetaRecord& entry = producers[record.name];
+    if (entry.name.empty() || record.epoch > entry.epoch) entry = record;
+  }
+  {
+    std::lock_guard<std::mutex> plock(producers_mu_);
+    if (!producers.empty() && !producers_by_name_.empty()) {
+      return Status::StateError(
+          "cannot recover producer identities from " + root +
+          " into a broker that already registered producers: the pid spaces "
+          "cannot be reconciled (enable durability before registering)");
+    }
+    for (const auto& [name, record] : producers) {
+      producers_by_name_[name] = {record.pid, record.epoch};
+      if (record.pid >= next_pid_) next_pid_ = record.pid + 1;
+      EpochShard& shard = epoch_shards_[record.pid % kEpochShards];
+      std::lock_guard<std::mutex> slock(shard.mu);
+      std::unique_ptr<EpochCell>& cell = shard.cells[record.pid];
+      if (!cell) cell = std::make_unique<EpochCell>();
+      cell->epoch.store(record.epoch, std::memory_order_release);
+    }
+  }
+
+  // Disk topics are authoritative: rebuild their heap state from segments.
+  for (const auto& [name, meta] : live) {
+    TopicConfig config;
+    config.num_partitions = meta.num_partitions;
+    config.retention_messages = meta.retention_messages;
+    config.compacted = meta.compacted;
+    config.fsync_barrier = meta.fsync_barrier;
+    Topic* topic;
+    auto it = topics_.find(name);
+    if (it == topics_.end()) {
+      auto fresh = std::make_unique<Topic>();
+      topic = fresh.get();
+      topics_[name] = std::move(fresh);
+    } else {
+      topic = it->second.get();
+      topic->partitions.clear();
+    }
+    topic->config = config;
+    topic->partitions.reserve(config.num_partitions);
+    for (int32_t p = 0; p < config.num_partitions; ++p) {
+      topic->partitions.push_back(std::make_unique<Partition>());
+    }
+    for (int32_t p = 0; p < config.num_partitions; ++p) {
+      SQS_RETURN_IF_ERROR(WirePartition(name, config, p,
+                                        topic->partitions[p].get(),
+                                        /*replace_heap=*/true));
+    }
+  }
+
+  // Sweep orphan topic dirs: deleted topics whose dir removal was cut short
+  // by a crash, or dirs of a generation this meta log never knew.
+  std::set<std::string> keep{"__meta"};
+  for (const auto& [name, meta] : live) keep.insert(TopicDirName(name));
+  SQS_ASSIGN_OR_RETURN(subdirs, factory.ListSubdirs(root));
+  for (const auto& name : subdirs) {
+    if (keep.count(name)) continue;
+    SQS_RETURN_IF_ERROR(factory.RemoveAllUnder(root + "/" + name));
+  }
+
+  // Heap-only topics (created before durability was enabled) go to disk.
+  for (auto& [name, topic] : topics_) {
+    if (live.count(name)) continue;
+    SQS_RETURN_IF_ERROR(BootstrapTopicToDisk(name, topic.get()));
+  }
+  // Heap-only producers likewise (only reachable when the disk image had
+  // none — the conflict check above).
+  if (producers.empty()) {
+    std::vector<ProducerMetaRecord> to_dump;
+    {
+      std::lock_guard<std::mutex> plock(producers_mu_);
+      for (const auto& [name, id] : producers_by_name_) {
+        to_dump.push_back({name, id.pid, id.epoch});
+      }
+    }
+    for (const auto& record : to_dump) {
+      SQS_RETURN_IF_ERROR(
+          AppendMeta(producers_meta_.get(), EncodeProducerMeta(record)));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Broker::EnableDurability(DurableLogOptions options) {
+  if (!options.enabled) return Status::Ok();
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("durable log requires log.dir");
+  }
+  if (!options.factory) options.factory = io::PosixFileFactory::Instance();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_.load(std::memory_order_acquire)) {
+    if (options.dir != durable_options_.dir) {
+      return Status::InvalidArgument("durable log already enabled at " +
+                                     durable_options_.dir +
+                                     ", cannot switch to " + options.dir);
+    }
+    return Status::Ok();  // idempotent re-enable (job resubmission path)
+  }
+  durable_options_ = std::move(options);
+  Status st = RecoverFromDir();
+  if (!st.ok()) {
+    // Leave the broker fully non-durable: no half-wired partitions.
+    topics_meta_.reset();
+    producers_meta_.reset();
+    for (auto& [name, topic] : topics_) {
+      for (auto& part : topic->partitions) {
+        std::lock_guard<std::mutex> plock(part->mu);
+        part->dlog.reset();
+        part->fsync_barrier = false;
+      }
+    }
+    return st;
+  }
+  durable_.store(true, std::memory_order_release);
+  SQS_INFOC("broker", "durable log enabled", {"dir", durable_options_.dir},
+           {"fsync", FsyncPolicyName(durable_options_.fsync)},
+           {"segment_bytes", std::to_string(durable_options_.segment_bytes)});
+  return Status::Ok();
+}
+
+Status Broker::SyncDurableLog() {
+  std::vector<Partition*> parts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!durable_.load(std::memory_order_acquire)) return Status::Ok();
+    for (auto& [name, topic] : topics_) {
+      for (auto& part : topic->partitions) parts.push_back(part.get());
+    }
+  }
+  for (Partition* part : parts) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    if (part->dlog && part->dlog->dirty()) {
+      SQS_RETURN_IF_ERROR(part->dlog->Sync());
+    }
+  }
   return Status::Ok();
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "log/durable_log.h"
 #include "log/message.h"
 
 namespace sqs {
@@ -24,6 +25,11 @@ struct TopicConfig {
   // Log-compacted topic (changelogs): retain only the newest message per
   // key when Compact() runs.
   bool compacted = false;
+  // Commit-barrier topic (checkpoint topics): when the durable log is on,
+  // an append here first forces every dirty partition log to stable storage
+  // and then fsyncs its own record — a checkpoint can never be durable
+  // while output it covers is still in page cache (docs/DURABILITY.md).
+  bool fsync_barrier = false;
 };
 
 // Backlog of one partition beyond a consumer's position: how many messages
@@ -48,7 +54,8 @@ struct ProducerIdentity {
 // operation; the in-process implementation below is the default.
 class Broker {
  public:
-  virtual ~Broker() = default;
+  // Out of line: best-effort final sync of the durable log.
+  virtual ~Broker();
 
   // Simulated network round-trip cost charged on every Fetch call. A real
   // Kafka fetch pays a broker RTT regardless of how much data it returns;
@@ -127,6 +134,21 @@ class Broker {
 
   virtual Status DeleteTopic(const std::string& name);
 
+  // --- durable log (docs/DURABILITY.md) ---
+  // Turn on the disk-backed log. With a non-empty `options.dir` image this
+  // recovers: topic configs and producer identities replay from the meta
+  // logs, partitions rebuild from their segments (truncating torn tails),
+  // and the disk image is authoritative for any topic present in both
+  // places. Heap-only topics and producers are bootstrapped to disk.
+  // Idempotent for the same directory; a second directory is an error, and
+  // so is recovering a non-empty producer image into a broker that already
+  // handed out producer ids (the pid spaces cannot be reconciled).
+  // `options.enabled == false` is a no-op.
+  virtual Status EnableDurability(DurableLogOptions options);
+  // Force every dirty partition log to stable storage (commit barrier).
+  virtual Status SyncDurableLog();
+  virtual bool durable() const { return durable_.load(std::memory_order_acquire); }
+
  private:
   // Newest epoch of one producer id, published by RegisterProducer and read
   // lock-free on the append data path. Cells live in a sharded registry and
@@ -155,6 +177,11 @@ class Broker {
     // values to price any suffix in O(1).
     std::vector<int64_t> cum_bytes;
     int64_t bytes_base = 0;  // cumulative bytes before entries[0]
+    // Disk image of this partition (null while durability is off). Written
+    // under `mu`; shared_ptr so the handle moves without the header needing
+    // the complete type's destructor at every use site.
+    std::shared_ptr<DurablePartitionLog> dlog;
+    bool fsync_barrier = false;  // copied from TopicConfig at wiring time
   };
   struct Topic {
     TopicConfig config;
@@ -167,6 +194,20 @@ class Broker {
   // stays valid for the broker's lifetime.
   EpochCell* FindEpochCell(uint64_t pid) const;
   void Spin(int64_t nanos) const;
+
+  // --- durable-log internals (require mu_ unless noted) ---
+  SegmentLogOptions MakeSegmentOptions(const std::string& scope) const;
+  // Append + fsync one record to a meta log (takes meta_mu_ only).
+  Status AppendMeta(SegmentLog* meta, Bytes payload);
+  // Replay the meta logs and partition segments under durable_options_.dir
+  // into heap state; sweeps orphan topic dirs and staged rewrites.
+  Status RecoverFromDir();
+  // Write one heap-resident topic (config + all partition contents) to a
+  // fresh disk image and wire its partitions' dlogs.
+  Status BootstrapTopicToDisk(const std::string& name, Topic* topic);
+  // Open (or create) the segment directory of one partition and wire it.
+  Status WirePartition(const std::string& topic_name, const TopicConfig& config,
+                       int32_t partition, Partition* part, bool replace_heap);
 
   mutable std::mutex mu_;  // guards the topic map, not partition contents
   std::map<std::string, std::unique_ptr<Topic>> topics_;
@@ -191,6 +232,15 @@ class Broker {
   mutable EpochShard epoch_shards_[kEpochShards];
   std::atomic<int64_t> dups_dropped_{0};
   std::atomic<int64_t> fenced_appends_{0};
+
+  // Durable-log state. `durable_` is the fast-path flag (acquire/release
+  // paired with EnableDurability's store); the options and meta logs only
+  // change under mu_ while it is false.
+  std::atomic<bool> durable_{false};
+  DurableLogOptions durable_options_;
+  mutable std::mutex meta_mu_;  // serializes the two meta logs
+  std::unique_ptr<SegmentLog> topics_meta_;
+  std::unique_ptr<SegmentLog> producers_meta_;
 };
 
 using BrokerPtr = std::shared_ptr<Broker>;

@@ -28,8 +28,9 @@ class Consumer {
   // this policy; default is no retry. Metadata reads (CaughtUp/Lag) are not
   // retried — they are cheap and their callers tolerate an error round.
   void SetRetryPolicy(RetryPolicy policy) { retrier_.SetPolicy(policy); }
-  void BindRetryMetrics(Counter* retries, Counter* giveups) {
-    retrier_.BindMetrics(retries, giveups);
+  void BindRetryMetrics(Counter* retries, Counter* giveups,
+                        Counter* giveup_deadline = nullptr) {
+    retrier_.BindMetrics(retries, giveups, giveup_deadline);
   }
 
   // Cap messages returned per partition per poll (Kafka's

@@ -148,6 +148,14 @@ class FaultInjectingBroker : public Broker {
     return inner_->DeleteTopic(name);
   }
 
+  // Durability is broker state: delegate so the disk image lives behind the
+  // shared inner broker regardless of which handle enabled it.
+  Status EnableDurability(DurableLogOptions options) override {
+    return inner_->EnableDurability(std::move(options));
+  }
+  Status SyncDurableLog() override { return inner_->SyncDurableLog(); }
+  bool durable() const override { return inner_->durable(); }
+
  private:
   bool TopicCovered(const std::string& topic) const;
   bool CorruptionCovers(const std::string& topic) const;

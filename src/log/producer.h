@@ -30,8 +30,9 @@ class Producer {
   // Transient (Unavailable) append failures are retried under this policy;
   // default is no retry. Counters are optional (see Retrier::BindMetrics).
   void SetRetryPolicy(RetryPolicy policy) { retrier_.SetPolicy(policy); }
-  void BindRetryMetrics(Counter* retries, Counter* giveups) {
-    retrier_.BindMetrics(retries, giveups);
+  void BindRetryMetrics(Counter* retries, Counter* giveups,
+                        Counter* giveup_deadline = nullptr) {
+    retrier_.BindMetrics(retries, giveups, giveup_deadline);
   }
 
   // Acquire an idempotent identity from the broker under `name`. A producer

@@ -1,0 +1,358 @@
+#include "log/segment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/crc32c.h"
+#include "common/flightrec.h"
+#include "io/crashpoint.h"
+
+namespace sqs {
+
+namespace {
+
+void StoreLE32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+std::string SegmentFileName(uint32_t generation, int64_t base_offset) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%010u-%020lld.seg", generation,
+                static_cast<long long>(base_offset));
+  return buf;
+}
+
+bool ParseSegmentName(const std::string& name, uint32_t* generation,
+                      int64_t* base_offset) {
+  unsigned gen = 0;
+  long long base = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "%10u-%20lld.seg%n", &gen, &base, &consumed) != 2) {
+    return false;
+  }
+  if (static_cast<size_t>(consumed) != name.size()) return false;
+  *generation = gen;
+  *base_offset = base;
+  return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "interval") return FsyncPolicy::kInterval;
+  if (name == "never") return FsyncPolicy::kNever;
+  return Status::InvalidArgument("log.fsync must be always|interval|never, got: " + name);
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kNever: return "never";
+  }
+  return "unknown";
+}
+
+void AppendFrame(Bytes* out, const uint8_t* payload, size_t n) {
+  uint8_t header[8];
+  StoreLE32(header, static_cast<uint32_t>(n));
+  StoreLE32(header + 4, Crc32c(payload, n));
+  out->insert(out->end(), header, header + 8);
+  out->insert(out->end(), payload, payload + n);
+}
+
+SegmentScan ScanFrames(const Bytes& data) {
+  SegmentScan out;
+  const uint8_t* d = data.data();
+  size_t pos = 0;
+  while (true) {
+    size_t left = data.size() - pos;
+    if (left == 0) {
+      out.tail = SegmentScan::Tail::kCleanEnd;
+      break;
+    }
+    if (left < 8) {
+      out.tail = SegmentScan::Tail::kTornLength;
+      break;
+    }
+    uint32_t len = LoadLE32(d + pos);
+    uint32_t crc = LoadLE32(d + pos + 4);
+    if (left - 8 < len) {
+      // Also reached by a corrupted length field that overruns the file;
+      // indistinguishable from a torn payload, handled identically.
+      out.tail = SegmentScan::Tail::kTornPayload;
+      break;
+    }
+    if (Crc32c(d + pos + 8, len) != crc) {
+      out.tail = SegmentScan::Tail::kBadCrc;
+      break;
+    }
+    out.records.emplace_back(d + pos + 8, d + pos + 8 + len);
+    pos += 8 + len;
+    out.good_bytes = static_cast<int64_t>(pos);
+  }
+  return out;
+}
+
+const char* SegmentTailName(SegmentScan::Tail tail) {
+  switch (tail) {
+    case SegmentScan::Tail::kCleanEnd: return "clean_end";
+    case SegmentScan::Tail::kTornLength: return "torn_length";
+    case SegmentScan::Tail::kTornPayload: return "torn_payload";
+    case SegmentScan::Tail::kBadCrc: return "bad_crc";
+  }
+  return "unknown";
+}
+
+SegmentLog::SegmentLog(std::string dir, SegmentLogOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {
+  if (!options_.factory) options_.factory = io::PosixFileFactory::Instance();
+}
+
+SegmentLog::~SegmentLog() { (void)Close(); }
+
+Status SegmentLog::Open(std::vector<Bytes>* payloads, SegmentRecovery* recovery) {
+  SegmentRecovery local;
+  if (!recovery) recovery = &local;
+  auto& factory = *options_.factory;
+  SQS_RETURN_IF_ERROR(factory.CreateDirs(dir_));
+  SQS_ASSIGN_OR_RETURN(names, factory.ListDir(dir_));
+
+  struct Seg {
+    uint32_t generation;
+    int64_t base_offset;
+    std::string name;
+  };
+  std::vector<Seg> segments;
+  uint32_t max_generation = 0;
+  bool dirty_dir = false;
+  for (const auto& name : names) {
+    if (EndsWith(name, ".tmp")) {
+      // A staged rewrite that never committed; the previous generation is
+      // still complete, so the stage is garbage.
+      SQS_RETURN_IF_ERROR(factory.RemoveFile(dir_ + "/" + name));
+      ++recovery->removed_tmp_files;
+      dirty_dir = true;
+      continue;
+    }
+    uint32_t generation = 0;
+    int64_t base_offset = 0;
+    if (!ParseSegmentName(name, &generation, &base_offset)) continue;
+    segments.push_back({generation, base_offset, name});
+    max_generation = std::max(max_generation, generation);
+  }
+  // Keep only the newest complete generation: a crash between a rewrite's
+  // commit rename and its old-generation cleanup leaves both on disk.
+  std::vector<Seg> live;
+  for (auto& seg : segments) {
+    if (seg.generation != max_generation) {
+      SQS_RETURN_IF_ERROR(factory.RemoveFile(dir_ + "/" + seg.name));
+      ++recovery->stale_generations;
+      dirty_dir = true;
+    } else {
+      live.push_back(std::move(seg));
+    }
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Seg& a, const Seg& b) { return a.base_offset < b.base_offset; });
+
+  generation_ = max_generation;
+  if (!live.empty()) recovery->first_base_offset = live.front().base_offset;
+  bool torn = false;
+  for (const auto& seg : live) {
+    const std::string path = dir_ + "/" + seg.name;
+    if (torn) {
+      // Everything past the first tear is beyond the durable prefix.
+      SQS_RETURN_IF_ERROR(factory.RemoveFile(path));
+      ++recovery->dropped_segments;
+      dirty_dir = true;
+      continue;
+    }
+    SQS_ASSIGN_OR_RETURN(bytes, factory.ReadFile(path));
+    SegmentScan scan = ScanFrames(bytes);
+    recovery->records += static_cast<int64_t>(scan.records.size());
+    for (auto& record : scan.records) payloads->push_back(std::move(record));
+    if (scan.tail != SegmentScan::Tail::kCleanEnd) {
+      torn = true;
+      const int64_t torn_bytes = static_cast<int64_t>(bytes.size()) - scan.good_bytes;
+      SQS_ASSIGN_OR_RETURN(file, factory.OpenAppend(path));
+      SQS_RETURN_IF_ERROR(file->Truncate(scan.good_bytes));
+      recovery->truncated_bytes += torn_bytes;
+      FlightRecorder::Record(FlightEventType::kRecoveryTruncation, options_.scope,
+                             SegmentTailName(scan.tail), torn_bytes, scan.good_bytes);
+      // The repaired file becomes the active segment.
+      active_ = std::move(file);
+      active_name_ = seg.name;
+      good_bytes_ = scan.good_bytes;
+    }
+  }
+  if (!torn && !live.empty()) {
+    SQS_RETURN_IF_ERROR(OpenSegment(generation_, live.back().base_offset));
+  }
+  if (dirty_dir) SQS_RETURN_IF_ERROR(factory.SyncDir(dir_));
+  dirty_ = false;
+  last_sync_ns_ = MonotonicNanos();
+  return Status::Ok();
+}
+
+Status SegmentLog::OpenSegment(uint32_t generation, int64_t base_offset) {
+  active_name_ = SegmentFileName(generation, base_offset);
+  SQS_ASSIGN_OR_RETURN(file, options_.factory->OpenAppend(dir_ + "/" + active_name_));
+  good_bytes_ = file->size();
+  active_ = std::move(file);
+  return Status::Ok();
+}
+
+Status SegmentLog::Roll(int64_t next_offset) {
+  io::MaybeCrashAt("segment.roll.before_open");
+  if (active_) {
+    // Sync before rolling regardless of policy: if the new segment became
+    // durable while the old one's tail was still in page cache, a power cut
+    // would leave a gap in the middle of the log.
+    SQS_RETURN_IF_ERROR(SyncNow("roll"));
+    SQS_RETURN_IF_ERROR(active_->Close());
+    active_.reset();
+  }
+  SQS_RETURN_IF_ERROR(OpenSegment(generation_, next_offset));
+  io::MaybeCrashAt("segment.roll.after_open");
+  FlightRecorder::Record(FlightEventType::kSegmentRoll, options_.scope,
+                         active_name_, next_offset);
+  return Status::Ok();
+}
+
+Status SegmentLog::Repair() {
+  if (!active_) return Status::Ok();
+  return active_->Truncate(good_bytes_);
+}
+
+Status SegmentLog::Append(const Bytes& payload, int64_t offset) {
+  if (!active_ || good_bytes_ >= options_.segment_bytes) {
+    SQS_RETURN_IF_ERROR(Roll(offset));
+  }
+  Bytes frame;
+  frame.reserve(8 + payload.size());
+  AppendFrame(&frame, payload.data(), payload.size());
+
+  io::MaybeCrashAt("segment.append.before_write");
+  if (io::CrashPointFires(io::kTornAppendPoint)) {
+    // Land half the frame, then die: the restart must find and cut a
+    // genuinely torn record. _exit preserves page-cache writes, so the
+    // half-frame survives the process.
+    (void)active_->Append(frame.data(), std::max<size_t>(1, frame.size() / 2));
+    io::CrashNow(io::kTornAppendPoint);
+  }
+  Status written = active_->Append(frame.data(), frame.size());
+  if (!written.ok()) {
+    // A short write may have landed a partial frame; cut back to the last
+    // frame boundary so the next append cannot interleave with the wreck.
+    Status repaired = Repair();
+    if (!repaired.ok()) {
+      return Status::StateError("segment append failed (" + written.message() +
+                                ") and repair failed: " + repaired.message());
+    }
+    return written;
+  }
+  good_bytes_ += FrameSize(payload.size());
+  dirty_ = true;
+  io::MaybeCrashAt("segment.append.after_write");
+
+  switch (options_.fsync) {
+    case FsyncPolicy::kAlways:
+      return SyncNow("always");
+    case FsyncPolicy::kInterval:
+      if (MonotonicNanos() - last_sync_ns_ >=
+          options_.fsync_interval_ms * 1'000'000) {
+        return SyncNow("interval");
+      }
+      return Status::Ok();
+    case FsyncPolicy::kNever:
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status SegmentLog::Sync() { return SyncNow("barrier"); }
+
+Status SegmentLog::SyncNow(const char* reason) {
+  if (!dirty_ || !active_) return Status::Ok();
+  io::MaybeCrashAt("segment.fsync.before");
+  SQS_RETURN_IF_ERROR(active_->Sync());
+  io::MaybeCrashAt("segment.fsync.after");
+  dirty_ = false;
+  last_sync_ns_ = MonotonicNanos();
+  FlightRecorder::Record(FlightEventType::kFsync, options_.scope, reason,
+                         good_bytes_);
+  return Status::Ok();
+}
+
+Status SegmentLog::Rewrite(const std::vector<Bytes>& records, int64_t base_offset) {
+  auto& factory = *options_.factory;
+  const uint32_t next_generation = generation_ + 1;
+  const std::string final_name = SegmentFileName(next_generation, base_offset);
+  const std::string tmp_path = dir_ + "/" + final_name + ".tmp";
+
+  Bytes staged;
+  for (const auto& record : records) {
+    AppendFrame(&staged, record.data(), record.size());
+  }
+  {
+    SQS_ASSIGN_OR_RETURN(file, factory.OpenAppend(tmp_path));
+    Status st = staged.empty() ? Status::Ok()
+                               : file->Append(staged.data(), staged.size());
+    if (st.ok()) st = file->Sync();
+    Status closed = file->Close();
+    if (!st.ok()) return st;
+    if (!closed.ok()) return closed;
+  }
+  io::MaybeCrashAt("segment.rewrite.before_commit");
+
+  if (active_) {
+    SQS_RETURN_IF_ERROR(active_->Close());
+    active_.reset();
+  }
+  SQS_RETURN_IF_ERROR(factory.Rename(tmp_path, dir_ + "/" + final_name));
+  SQS_RETURN_IF_ERROR(factory.SyncDir(dir_));
+  io::MaybeCrashAt("segment.rewrite.after_commit");
+
+  // The new generation is committed; everything else is garbage.
+  SQS_ASSIGN_OR_RETURN(names, factory.ListDir(dir_));
+  for (const auto& name : names) {
+    if (name == final_name) continue;
+    if (EndsWith(name, ".seg") || EndsWith(name, ".tmp")) {
+      SQS_RETURN_IF_ERROR(factory.RemoveFile(dir_ + "/" + name));
+    }
+  }
+  SQS_RETURN_IF_ERROR(factory.SyncDir(dir_));
+
+  generation_ = next_generation;
+  SQS_RETURN_IF_ERROR(OpenSegment(generation_, base_offset));
+  dirty_ = false;
+  return Status::Ok();
+}
+
+Status SegmentLog::Close() {
+  if (!active_) return Status::Ok();
+  Status synced = SyncNow("close");
+  Status closed = active_->Close();
+  active_.reset();
+  if (!synced.ok()) return synced;
+  return closed;
+}
+
+}  // namespace sqs

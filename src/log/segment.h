@@ -1,0 +1,142 @@
+// Segment files for the durable log (docs/DURABILITY.md). One SegmentLog
+// owns one directory — the on-disk image of one partition (or meta log) —
+// holding rolling segment files named
+//
+//     <generation %010u>-<base offset %020lld>.seg
+//
+// Each file is a run of frames:
+//
+//     [u32 len][u32 crc32c(payload)][payload: len bytes]     (little-endian)
+//
+// The CRC covers the payload only; the length is implicitly validated by
+// the scan (a corrupt length either overruns the file — a torn tail — or
+// misaligns the next frame's CRC). Recovery truncates the log at the first
+// frame that fails to parse and discards everything after it, so a restart
+// never sees a gap: a prefix of the acknowledged-and-synced log, exactly.
+//
+// Retention and compaction rewrite the whole partition under a bumped
+// generation: stage `<gen+1>-<base>.seg.tmp`, sync it, rename to `.seg`,
+// fsync the directory, then delete the old generation. A crash anywhere in
+// that window leaves either generation fully intact; recovery keeps only
+// the newest complete generation and deletes the rest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "io/file.h"
+
+namespace sqs {
+
+// How often appended frames are forced to stable storage (`log.fsync`).
+enum class FsyncPolicy {
+  kAlways,    // every append — maximal durability, one fsync per record
+  kInterval,  // at most every `log.fsync.interval.ms` — bounded-loss window
+  kNever,     // only at explicit barriers (checkpoint commit) and shutdown
+};
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+// Serialize one frame onto `out`.
+void AppendFrame(Bytes* out, const uint8_t* payload, size_t n);
+inline int64_t FrameSize(size_t payload_n) {
+  return static_cast<int64_t>(8 + payload_n);
+}
+
+// Result of scanning one segment file's bytes.
+struct SegmentScan {
+  enum class Tail {
+    kCleanEnd,     // file ends exactly on a frame boundary
+    kTornLength,   // fewer than 8 header bytes after the last good frame
+    kTornPayload,  // header present, payload shorter than its length
+    kBadCrc,       // full frame present, CRC mismatch (bit rot / torn body)
+  };
+  std::vector<Bytes> records;  // payloads of every good frame, in order
+  Tail tail = Tail::kCleanEnd;
+  int64_t good_bytes = 0;  // file offset just past the last good frame
+};
+
+SegmentScan ScanFrames(const Bytes& data);
+
+const char* SegmentTailName(SegmentScan::Tail tail);
+
+struct SegmentLogOptions {
+  io::FileFactoryPtr factory;  // defaults to PosixFileFactory
+  int64_t segment_bytes = 64 << 20;
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  int64_t fsync_interval_ms = 50;
+  // Scope string for flight-recorder events ("<topic>[<p>]").
+  std::string scope;
+};
+
+// Recovery summary for one directory, reported up to the broker so the
+// flight recorder and logs can tell a clean restart from a repaired one.
+struct SegmentRecovery {
+  int64_t records = 0;
+  int64_t truncated_bytes = 0;    // torn-tail bytes physically removed
+  int64_t dropped_segments = 0;   // segments discarded after a tear
+  int64_t removed_tmp_files = 0;  // staged rewrites swept away
+  int64_t stale_generations = 0;  // older generations swept away
+  // Base offset parsed from the oldest live segment's name (-1 when the
+  // directory held none): the log-start offset survives restarts through
+  // the filename even when the partition is empty.
+  int64_t first_base_offset = -1;
+};
+
+// Writer/recoverer for one partition directory. Not thread-safe; the
+// owning DurablePartitionLog serializes access.
+class SegmentLog {
+ public:
+  SegmentLog(std::string dir, SegmentLogOptions options);
+  ~SegmentLog();
+
+  // Scan the directory (creating it if missing): sweep .tmp files and stale
+  // generations, replay every good frame into `payloads`, physically
+  // truncate a torn tail, and position the writer at the end. `recovery`
+  // may be null.
+  Status Open(std::vector<Bytes>* payloads, SegmentRecovery* recovery);
+
+  // Append one frame; `offset` names the segment created if this append
+  // rolls. Honors the fsync policy and the segment.* crash points. A failed
+  // write repairs the file (truncates back to the last good frame) before
+  // returning, so the next append lands on a frame boundary.
+  Status Append(const Bytes& payload, int64_t offset);
+
+  // Force everything appended so far to stable storage (no-op when clean).
+  Status Sync();
+
+  bool dirty() const { return dirty_; }
+
+  // Replace the entire on-disk log with `records` under a bumped
+  // generation; `base_offset` names the new segment. Used by retention and
+  // compaction. Crash-safe: either generation survives, never a mix.
+  Status Rewrite(const std::vector<Bytes>& records, int64_t base_offset);
+
+  Status Close();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Status OpenSegment(uint32_t generation, int64_t base_offset);
+  Status Roll(int64_t next_offset);
+  // Truncate the active file back to the last good frame boundary after a
+  // failed or short write.
+  Status Repair();
+  Status SyncNow(const char* reason);
+
+  std::string dir_;
+  SegmentLogOptions options_;
+
+  io::LogFilePtr active_;
+  std::string active_name_;
+  uint32_t generation_ = 0;
+  int64_t good_bytes_ = 0;  // frame-aligned logical size of active_
+  bool dirty_ = false;
+  int64_t last_sync_ns_ = 0;
+};
+
+}  // namespace sqs

@@ -14,6 +14,10 @@ Status CheckpointManager::Start() {
   TopicConfig config;
   config.num_partitions = 1;
   config.compacted = true;
+  // Commit barrier: when the durable log is on, a checkpoint record must
+  // not reach stable storage ahead of the output it covers
+  // (docs/DURABILITY.md, "Write ordering").
+  config.fsync_barrier = true;
   Status st = broker_->CreateTopic(topic_, config);
   if (st.code() == ErrorCode::kAlreadyExists) return Status::Ok();
   return st;

@@ -69,8 +69,9 @@ class CheckpointManager {
   // Transient (Unavailable) append/fetch failures on the checkpoint topic
   // are retried under this policy; default is no retry.
   void SetRetryPolicy(RetryPolicy policy) { retrier_.SetPolicy(policy); }
-  void BindRetryMetrics(Counter* retries, Counter* giveups) {
-    retrier_.BindMetrics(retries, giveups);
+  void BindRetryMetrics(Counter* retries, Counter* giveups,
+                        Counter* giveup_deadline = nullptr) {
+    retrier_.BindMetrics(retries, giveups, giveup_deadline);
   }
 
   // Attach write instruments (scoped `checkpoint_writes` /

@@ -189,7 +189,8 @@ Status Container::InitTask(TaskInstance& task) {
   if (delivery_ == DeliveryMode::kExactlyOnce) {
     task.producer = std::make_unique<Producer>(broker_, clock_);
     task.producer->SetRetryPolicy(retry_policy_);
-    task.producer->BindRetryMetrics(m_send_retries_, m_send_giveups_);
+    task.producer->BindRetryMetrics(m_send_retries_, m_send_giveups_,
+                                    m_send_giveup_deadline_);
     task.producer->BindFencingMetric(m_fenced_);
     // Registering under the task name bumps the epoch past any pre-crash
     // incarnation of this task: its in-flight appends are fenced from here.
@@ -236,7 +237,8 @@ Status Container::InitTask(TaskInstance& task) {
     store->BindMetrics(&store_scope.counter("changelog_writes"),
                        &store_scope.counter("changelog_bytes"));
     store->SetRetryPolicy(retry_policy_);
-    store->BindRetryMetrics(m_changelog_retries_, m_changelog_giveups_);
+    store->BindRetryMetrics(m_changelog_retries_, m_changelog_giveups_,
+                            m_changelog_giveup_deadline_);
     // Exactly-once truncates the replay at the checkpointed high-watermark:
     // changelog records appended after the last commit belong to input the
     // restart will reprocess, so replaying them would double-apply state.
@@ -396,27 +398,34 @@ Status Container::Start() {
   ScopedMetrics send_scope = rscope.Sub("send");
   m_send_retries_ = &send_scope.counter("retries");
   m_send_giveups_ = &send_scope.counter("giveups");
+  m_send_giveup_deadline_ = &send_scope.counter("giveup_deadline");
   ScopedMetrics fetch_scope = rscope.Sub("fetch");
   m_fetch_retries_ = &fetch_scope.counter("retries");
   m_fetch_giveups_ = &fetch_scope.counter("giveups");
+  m_fetch_giveup_deadline_ = &fetch_scope.counter("giveup_deadline");
   ScopedMetrics changelog_scope = rscope.Sub("changelog");
   m_changelog_retries_ = &changelog_scope.counter("retries");
   m_changelog_giveups_ = &changelog_scope.counter("giveups");
+  m_changelog_giveup_deadline_ = &changelog_scope.counter("giveup_deadline");
   ScopedMetrics checkpoint_scope = rscope.Sub("checkpoint");
   m_checkpoint_retries_ = &checkpoint_scope.counter("retries");
   m_checkpoint_giveups_ = &checkpoint_scope.counter("giveups");
+  m_checkpoint_giveup_deadline_ = &checkpoint_scope.counter("giveup_deadline");
   m_fenced_ = &cscope.counter("producer_fenced");
   m_corrupt_ = &cscope.counter("corrupt_records");
   m_dups_dropped_ = &cscope.gauge("broker_dups_dropped");
   producer_->SetRetryPolicy(retry_policy_);
-  producer_->BindRetryMetrics(m_send_retries_, m_send_giveups_);
+  producer_->BindRetryMetrics(m_send_retries_, m_send_giveups_,
+                              m_send_giveup_deadline_);
   producer_->BindFencingMetric(m_fenced_);
   for (Consumer* c : {consumer_.get(), bootstrap_consumer_.get()}) {
     c->SetRetryPolicy(retry_policy_);
-    c->BindRetryMetrics(m_fetch_retries_, m_fetch_giveups_);
+    c->BindRetryMetrics(m_fetch_retries_, m_fetch_giveups_,
+                        m_fetch_giveup_deadline_);
   }
   checkpoints_->SetRetryPolicy(retry_policy_);
-  checkpoints_->BindRetryMetrics(m_checkpoint_retries_, m_checkpoint_giveups_);
+  checkpoints_->BindRetryMetrics(m_checkpoint_retries_, m_checkpoint_giveups_,
+                                 m_checkpoint_giveup_deadline_);
 
   int64_t report_interval = config_.GetInt(cfg::kMetricsReporterIntervalMs, 0);
   if (report_interval > 0) {

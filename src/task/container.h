@@ -237,16 +237,21 @@ class Container {
   // stride keeps the distribution while shedding histogram writes from the
   // hot path. Not batch-aligned, so no bias toward batch heads.
   uint64_t dwell_sample_seq_ = 0;
-  // Per-operation retry pressure (`<scope>.retry.<op>.{retries,giveups}`,
+  // Per-operation retry pressure
+  // (`<scope>.retry.<op>.{retries,giveups,giveup_deadline}`,
   // op = send|fetch|changelog|checkpoint) — labeled in /metrics.
   Counter* m_send_retries_ = nullptr;
   Counter* m_send_giveups_ = nullptr;
+  Counter* m_send_giveup_deadline_ = nullptr;
   Counter* m_fetch_retries_ = nullptr;
   Counter* m_fetch_giveups_ = nullptr;
+  Counter* m_fetch_giveup_deadline_ = nullptr;
   Counter* m_changelog_retries_ = nullptr;
   Counter* m_changelog_giveups_ = nullptr;
+  Counter* m_changelog_giveup_deadline_ = nullptr;
   Counter* m_checkpoint_retries_ = nullptr;
   Counter* m_checkpoint_giveups_ = nullptr;
+  Counter* m_checkpoint_giveup_deadline_ = nullptr;
   // Exactly-once + integrity instruments.
   Counter* m_fenced_ = nullptr;          // producer_fenced
   Counter* m_corrupt_ = nullptr;         // corrupt_records

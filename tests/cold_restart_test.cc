@@ -1,0 +1,398 @@
+// Kill-restart-verify harness for the durable log (docs/DURABILITY.md):
+//  - crash matrix: one death test per registered crash point — the child
+//    runs a durable workload with the point armed and _exits at that exact
+//    boundary; the parent cold-restarts from the surviving segment files and
+//    verifies the recovered log is a contiguous, uncorrupted prefix of the
+//    acknowledged sequence (no gap, no duplicate, no fabricated record);
+//  - torn-write soak: seeded power-loss storms through the fault-injecting
+//    file layer across several broker generations, with the same prefix
+//    invariant checked after every recovery;
+//  - SQL-level cold restarts: a windowed exactly-once query killed mid-run
+//    resumes from the recovered checkpoint/changelog/output topics in a
+//    brand-new process image and its final output is byte-equal to the
+//    batch oracle.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "io/crashpoint.h"
+#include "io/fault_file.h"
+#include "workload/generators.h"
+
+namespace sqs::core {
+namespace {
+
+constexpr int32_t kPartitions = 4;
+
+constexpr const char* kTumblingStream =
+    "SELECT STREAM productId, START(rowtime) AS ws, COUNT(*) AS c, SUM(units) AS su "
+    "FROM Orders GROUP BY TUMBLE(rowtime, INTERVAL '10' SECOND), productId";
+constexpr const char* kTumblingBatch =
+    "SELECT productId, START(rowtime) AS ws, COUNT(*) AS c, SUM(units) AS su "
+    "FROM Orders GROUP BY TUMBLE(rowtime, INTERVAL '10' SECOND), productId";
+
+// Deterministic per-test scratch dir. Death-test children (threadsafe style)
+// re-execute the test preamble, so the path must be a pure function of the
+// test identity: parent and child land on the same directory, and the wipe
+// in the child happens before any crash artifacts exist.
+std::string TestDir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("sqs_cold_" + std::string(info->test_suite_name()) + "_" +
+                     std::string(info->name()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Message Msg(const std::string& key, const std::string& value) {
+  Message m;
+  m.key = ToBytes(key);
+  m.value = ToBytes(value);
+  return m;
+}
+
+DurableLogOptions DurableAt(const std::string& dir,
+                            FsyncPolicy fsync = FsyncPolicy::kAlways,
+                            io::FileFactoryPtr factory = nullptr,
+                            int64_t segment_bytes = 256) {
+  DurableLogOptions o;
+  o.enabled = true;
+  o.dir = dir;
+  o.segment_bytes = segment_bytes;
+  o.fsync = fsync;
+  o.factory = std::move(factory);
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Crash matrix: every registered crash point, kill-restart-verify
+// ---------------------------------------------------------------------------
+
+class CrashMatrix : public ::testing::TestWithParam<std::string> {};
+
+// The workload the child dies inside. It deterministically drives every
+// registered crash point at least once: appends (write + fsync + the initial
+// roll), a segment roll under a tiny segment budget, a retention rewrite,
+// and a checkpoint-barrier append. Exit codes: 86 = armed point fired (the
+// only pass), 97 = setup failed, 99 = the armed point never fired.
+[[noreturn]] void RunCrashWorkload(const std::string& dir, const std::string& point) {
+  Broker broker;
+  if (!broker.EnableDurability(DurableAt(dir)).ok()) _exit(97);
+  TopicConfig data;
+  data.num_partitions = 1;
+  data.retention_messages = 4;
+  if (!broker.CreateTopic("data", data).ok()) _exit(97);
+  TopicConfig cp;
+  cp.num_partitions = 1;
+  cp.fsync_barrier = true;
+  if (!broker.CreateTopic("cp", cp).ok()) _exit(97);
+  // Armed only after setup: the point then fires on the data path below,
+  // not inside topic-creation metadata appends.
+  if (!io::ArmCrashPoint(point).ok()) _exit(97);
+  for (int i = 0; i < 10; ++i) {
+    (void)broker.Append({"data", 0}, Msg("k", "v" + std::to_string(i)));
+  }
+  (void)broker.EnforceRetention("data");
+  (void)broker.Append({"cp", 0}, Msg("task-0", "offsets"));
+  _exit(99);
+}
+
+TEST_P(CrashMatrix, ColdRestartAfterCrashIsPrefixConsistent) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string point = GetParam();
+  const std::string dir = TestDir();
+
+  EXPECT_EXIT(RunCrashWorkload(dir, point),
+              ::testing::ExitedWithCode(io::kCrashPointExitCode), "");
+
+  // Cold restart in the parent, from exactly the bytes the dead process
+  // left behind. Recovery itself must succeed at every crash point.
+  Broker recovered;
+  ASSERT_TRUE(recovered.EnableDurability(DurableAt(dir)).ok()) << point;
+  ASSERT_TRUE(recovered.HasTopic("data")) << point;
+  ASSERT_TRUE(recovered.HasTopic("cp")) << point;
+
+  // The oracle: append i carried value "v<i>" at offset i (one partition,
+  // sequential appends). Whatever survived must be a contiguous,
+  // value-faithful range [begin, end) of that sequence — no gap, no
+  // duplicate, no torn record surfaced as data.
+  auto begin = recovered.BeginOffset({"data", 0});
+  auto end = recovered.EndOffset({"data", 0});
+  ASSERT_TRUE(begin.ok() && end.ok()) << point;
+  ASSERT_LE(begin.value(), end.value()) << point;
+  ASSERT_LE(end.value(), 10) << point;
+  auto fetched = recovered.Fetch({"data", 0}, begin.value(), 100);
+  ASSERT_TRUE(fetched.ok()) << point;
+  ASSERT_EQ(static_cast<int64_t>(fetched.value().size()),
+            end.value() - begin.value())
+      << point;
+  int64_t expect_offset = begin.value();
+  for (const auto& im : fetched.value()) {
+    EXPECT_EQ(im.offset, expect_offset) << point;
+    EXPECT_EQ(FromBytes(im.message.value), "v" + std::to_string(im.offset)) << point;
+    ++expect_offset;
+  }
+
+  // The recovered log is live: the next append lands at the high watermark.
+  auto next = recovered.Append({"data", 0}, Msg("k", "after-restart"));
+  ASSERT_TRUE(next.ok()) << point;
+  EXPECT_EQ(next.value(), end.value()) << point;
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, CrashMatrix,
+                         ::testing::ValuesIn(io::RegisteredCrashPoints()));
+
+// ---------------------------------------------------------------------------
+// Torn-write soak: seeded power loss across broker generations
+// ---------------------------------------------------------------------------
+
+class TornWriteSoak : public ::testing::TestWithParam<int> {};
+
+TEST_P(TornWriteSoak, RecoveryIsPrefixConsistentAcrossPowerLossGenerations) {
+  const int seed = GetParam();
+  const std::string dir = TestDir();
+  io::FileFaultPolicy policy;
+  policy.seed = 0xbeefULL + static_cast<uint64_t>(seed);
+  auto fault = std::make_shared<io::FaultInjectingFileFactory>(policy);
+  std::mt19937_64 rng(static_cast<uint64_t>(seed) * 7919 + 13);
+
+  // acked = offsets handed out by the (now dead) broker; synced = offsets
+  // known durable at the last commit barrier. Recovery must surface a count
+  // in [synced, acked]: nothing durable lost, nothing unacked fabricated.
+  int64_t acked = 0;
+  int64_t synced = 0;
+
+  for (int generation = 0; generation < 5; ++generation) {
+    auto broker = std::make_unique<Broker>();
+    ASSERT_TRUE(
+        broker->EnableDurability(DurableAt(dir, FsyncPolicy::kNever, fault, 128))
+            .ok())
+        << "generation " << generation;
+    if (generation == 0) {
+      TopicConfig one;
+      one.num_partitions = 1;
+      ASSERT_TRUE(broker->CreateTopic("t", one).ok());
+    } else {
+      ASSERT_TRUE(broker->HasTopic("t"));
+      int64_t end = broker->EndOffset({"t", 0}).value();
+      ASSERT_GE(end, synced) << "durably-synced records lost, generation "
+                             << generation;
+      ASSERT_LE(end, acked) << "records fabricated, generation " << generation;
+      auto rows = broker->Fetch({"t", 0}, 0, 1 << 20);
+      ASSERT_TRUE(rows.ok());
+      ASSERT_EQ(static_cast<int64_t>(rows.value().size()), end);
+      for (const auto& im : rows.value()) {
+        ASSERT_EQ(FromBytes(im.message.value), "v" + std::to_string(im.offset))
+            << "generation " << generation;
+      }
+      // Unsynced-unrecovered suffix = in-flight sends that were never
+      // acked durable; the producer re-sends them, renumbered from `end`.
+      acked = end;
+      synced = end;
+    }
+
+    const int appends = 20 + static_cast<int>(rng() % 30);
+    const int sync_at = static_cast<int>(rng() % appends);
+    for (int i = 0; i < appends; ++i) {
+      auto r = broker->Append({"t", 0}, Msg("k", "v" + std::to_string(acked)));
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(r.value(), acked);
+      ++acked;
+      if (i == sync_at) {
+        ASSERT_TRUE(broker->SyncDurableLog().ok());
+        synced = acked;
+      }
+    }
+
+    // Power loss: unsynced tails vanish, except a seeded torn prefix per
+    // dirty file. The dying broker's destructor runs against the dead
+    // machine (best-effort, all failures swallowed).
+    fault->CrashAndDropUnsynced(/*torn_rate=*/0.8);
+    broker.reset();
+    fault->Revive();
+  }
+  // The storm actually tore files (seeded, hence deterministic per seed).
+  EXPECT_GE(fault->torn_files() + fault->injected_bitflips(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TornWriteSoak, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// SQL-level cold restart: exactly-once windowed query vs. batch oracle
+// ---------------------------------------------------------------------------
+
+class ColdRestartSql : public ::testing::Test {
+ protected:
+  static Config DurableDefaults() {
+    Config defaults;
+    defaults.SetInt(cfg::kContainerCount, 2);
+    defaults.SetInt(cfg::kCommitEveryMessages, 50);
+    defaults.Set(cfg::kTaskDelivery, "exactly-once");
+    defaults.Set(cfg::kCheckpointTopic, "__cp_cold");
+    defaults.SetInt(cfg::kRetryMaxAttempts, 3);
+    defaults.SetInt(cfg::kRetryBackoffMs, 1);
+    defaults.SetInt(cfg::kRetryBackoffMaxMs, 2);
+    defaults.SetInt(cfg::kContainerRestartMax, 5);
+    defaults.SetInt(cfg::kContainerRestartBackoffMs, 1);
+    defaults.SetInt(cfg::kContainerRestartBackoffMaxMs, 4);
+    return defaults;
+  }
+
+  // Fresh environment wired to the durable log at `dir` (recovering whatever
+  // a previous incarnation left there), with the paper sources registered.
+  EnvironmentPtr MakeDurableEnv(const std::string& dir) {
+    EnvironmentPtr env = SamzaSqlEnvironment::Make();
+    EXPECT_TRUE(
+        env->broker->EnableDurability(DurableAt(dir, FsyncPolicy::kAlways, nullptr,
+                                                /*segment_bytes=*/16 << 10))
+            .ok());
+    EXPECT_TRUE(workload::SetupPaperSources(*env, kPartitions).ok());
+    return env;
+  }
+
+  void ProduceOrders(SamzaSqlEnvironment& env, int64_t count) {
+    workload::OrdersGeneratorOptions options;
+    options.num_products = 20;
+    workload::OrdersGenerator gen(env, options);
+    ASSERT_TRUE(gen.Produce(count).ok());
+    last_rowtime_ = gen.last_rowtime();
+  }
+
+  void ProduceWatermarkSentinels(EnvironmentPtr& env) {
+    auto schema = env->catalog->GetSource("Orders").value().schema;
+    AvroRowSerde serde(schema);
+    Producer producer(env->broker, env->clock);
+    for (int32_t p = 0; p < kPartitions; ++p) {
+      Row row{Value(last_rowtime_ + 3'600'000), Value(int32_t{9999}),
+              Value(int64_t{-1}), Value(int32_t{0}), Value("sentinel")};
+      ASSERT_TRUE(
+          producer.SendTo({"Orders", p}, Bytes{}, serde.SerializeToBytes(row)).ok());
+    }
+  }
+
+  static std::multiset<std::string> NonSentinel(const std::vector<Row>& rows) {
+    std::multiset<std::string> out;
+    for (const Row& r : rows) {
+      if (r[0] == Value(int32_t{9999})) continue;
+      out.insert(RowToString(r));
+    }
+    return out;
+  }
+
+  int64_t last_rowtime_ = 0;
+};
+
+// Full run, then cold restart: the output topic read back from a recovered
+// broker in a fresh process image is byte-equal to what the job produced.
+TEST_F(ColdRestartSql, CompletedJobOutputSurvivesColdRestartByteEqual) {
+  const std::string dir = TestDir();
+  std::multiset<std::string> expected;
+  std::string output_topic;
+  std::map<int32_t, int64_t> input_ends;
+  {
+    EnvironmentPtr env = MakeDurableEnv(dir);
+    ProduceOrders(*env, 600);
+    ProduceWatermarkSentinels(env);
+    {
+      QueryExecutor oracle(env);
+      auto result = oracle.Execute(kTumblingBatch);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      expected = NonSentinel(result.value().rows);
+    }
+    ASSERT_GT(expected.size(), 10u);
+
+    QueryExecutor executor(env, DurableDefaults());
+    auto submitted = executor.Execute(kTumblingStream);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    output_topic = submitted.value().output_topic;
+    ASSERT_TRUE(executor.RunJobsUntilQuiescent().ok());
+    auto rows = executor.ReadOutputRows(output_topic);
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(NonSentinel(rows.value()), expected);
+    for (int32_t p = 0; p < kPartitions; ++p) {
+      input_ends[p] = env->broker->EndOffset({"Orders", p}).value();
+    }
+    // Environment (and with it the heap broker) dies here: a cold stop.
+  }
+
+  EnvironmentPtr env = MakeDurableEnv(dir);
+  // Input, checkpoint, and output topics all came back from segments.
+  for (int32_t p = 0; p < kPartitions; ++p) {
+    EXPECT_EQ(env->broker->EndOffset({"Orders", p}).value(), input_ends[p]);
+  }
+  EXPECT_GT(env->broker->EndOffset({"__cp_cold", 0}).value(), 0);
+  // Resume the completed query (the schema registry is heap state, so the
+  // resubmission re-registers the output schema). The recovered checkpoints
+  // say all input is consumed: the job replays nothing, emits nothing, and
+  // the output topic still holds exactly the pre-restart rows.
+  const int64_t output_end_before =
+      env->broker->EndOffset({output_topic, 0}).value();
+  QueryExecutor executor(env, DurableDefaults());
+  auto submitted = executor.Execute(kTumblingStream);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  ASSERT_EQ(submitted.value().output_topic, output_topic);
+  ASSERT_TRUE(executor.RunJobsUntilQuiescent().ok());
+  EXPECT_EQ(env->broker->EndOffset({output_topic, 0}).value(), output_end_before);
+  auto rows = executor.ReadOutputRows(output_topic);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(NonSentinel(rows.value()), expected);
+}
+
+// Kill mid-run, cold restart, resume: the second incarnation picks up from
+// the recovered checkpoints (same deterministic job name), replays through
+// the recovered producer-dedup state, and the combined output is byte-equal
+// to the oracle — exactly-once across a process boundary.
+TEST_F(ColdRestartSql, InterruptedJobResumesAfterColdRestartByteEqual) {
+  const std::string dir = TestDir();
+  std::multiset<std::string> expected;
+  std::string output_topic;
+  {
+    EnvironmentPtr env = MakeDurableEnv(dir);
+    ProduceOrders(*env, 600);
+    ProduceWatermarkSentinels(env);
+    {
+      QueryExecutor oracle(env);
+      auto result = oracle.Execute(kTumblingBatch);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      expected = NonSentinel(result.value().rows);
+    }
+    ASSERT_GT(expected.size(), 10u);
+
+    QueryExecutor executor(env, DurableDefaults());
+    auto submitted = executor.Execute(kTumblingStream);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    output_topic = submitted.value().output_topic;
+    JobRunner* job = executor.job(submitted.value().job_index);
+    ASSERT_NE(job, nullptr);
+    // Partial progress past at least one commit, then the "process" dies
+    // with the job incomplete (fsync=always: every acked append is already
+    // on stable storage; no explicit final sync).
+    ASSERT_TRUE(job->container(0)->RunUntilCaughtUp(200).ok());
+  }
+
+  EnvironmentPtr env = MakeDurableEnv(dir);
+  // The first incarnation's commits came back from disk.
+  EXPECT_GT(env->broker->EndOffset({"__cp_cold", 0}).value(), 0);
+
+  QueryExecutor executor(env, DurableDefaults());
+  auto submitted = executor.Execute(kTumblingStream);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  // Deterministic naming: the resumed query is the same job, reading the
+  // same checkpoint keys and writing the same output topic.
+  ASSERT_EQ(submitted.value().output_topic, output_topic);
+  ASSERT_TRUE(executor.RunJobsUntilQuiescent().ok());
+
+  auto rows = executor.ReadOutputRows(output_topic);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(NonSentinel(rows.value()), expected);
+}
+
+}  // namespace
+}  // namespace sqs::core

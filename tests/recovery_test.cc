@@ -163,6 +163,48 @@ TEST(RetrierTest, RetriesOnlyUnavailableAndCountsOutcomes) {
   EXPECT_EQ(giveups.Get(), 1);
 }
 
+// retry.deadline.ms: a wall-clock budget orthogonal to max_attempts. With a
+// huge attempt budget but a tiny deadline, a permanently-Unavailable call
+// gives up quickly via the deadline path — counted separately from
+// attempt-budget giveups so dashboards can tell the two pressures apart.
+TEST(RetrierTest, DeadlineBudgetStopsRetriesBeforeAttemptBudget) {
+  MetricsRegistry registry;
+  Counter& retries = ScopedMetrics(&registry, "t").counter("retries");
+  Counter& giveups = ScopedMetrics(&registry, "t").counter("giveups");
+  Counter& deadline = ScopedMetrics(&registry, "t").counter("giveup_deadline");
+  Retrier retrier(RetryPolicy{
+      .max_attempts = 1'000'000, .backoff_ms = 5, .backoff_max_ms = 10,
+      .deadline_ms = 40});
+  retrier.BindMetrics(&retries, &giveups, &deadline);
+
+  int calls = 0;
+  int64_t start = MonotonicNanos();
+  Status st = retrier.Run([&]() -> Status {
+    ++calls;
+    return Status::Unavailable("down hard");
+  });
+  int64_t elapsed_ms = (MonotonicNanos() - start) / 1'000'000;
+  EXPECT_EQ(st.code(), ErrorCode::kUnavailable);
+  // Far fewer calls than the attempt budget, and no runaway wall time: the
+  // deadline is checked between attempts, so an in-flight call is never cut
+  // short but no new backoff starts past the budget.
+  EXPECT_LT(calls, 1000);
+  EXPECT_GE(calls, 2);  // at least one retry happened before the deadline
+  EXPECT_LT(elapsed_ms, 5000);
+  EXPECT_EQ(giveups.Get(), 0);
+  EXPECT_EQ(deadline.Get(), 1);
+
+  // deadline_ms parses from config next to the other retry.* knobs, and 0
+  // (the default) means no deadline.
+  Config config;
+  config.SetInt(cfg::kRetryMaxAttempts, 7);
+  config.SetInt(cfg::kRetryDeadlineMs, 250);
+  RetryPolicy parsed = RetryPolicy::FromConfig(config);
+  EXPECT_EQ(parsed.max_attempts, 7);
+  EXPECT_EQ(parsed.deadline_ms, 250);
+  EXPECT_EQ(RetryPolicy{}.deadline_ms, 0);
+}
+
 TEST(RetrierTest, ProducerSendSurvivesTransientAppendFailures) {
   auto inner = std::make_shared<Broker>();
   ASSERT_TRUE(inner->CreateTopic("t", {.num_partitions = 1}).ok());
