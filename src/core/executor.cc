@@ -348,14 +348,28 @@ QueryExecutor::QueryExecutor(EnvironmentPtr env, Config job_defaults)
   }
   // Durable log (docs/DURABILITY.md): `log.durable=true` + `log.dir` switch
   // the broker onto disk-backed segments, recovering any existing image.
+  // When durability was asked for, failing to get it is fatal — running on
+  // while nothing persists would betray exactly the crash-safety the user
+  // opted into. The constructor cannot return a Status, so the error is
+  // latched and every Execute/RunJobsUntilQuiescent call fails with it.
   auto durable_options = DurableLogOptions::FromConfig(defaults_);
   if (!durable_options.ok()) {
-    SQS_WARNC("executor", "durable log config rejected",
-              {"error", durable_options.status().message()});
+    if (defaults_.GetBool(cfg::kLogDurable, false)) {
+      startup_error_ = durable_options.status();
+      SQS_ERRORC("executor", "durable log config rejected",
+                 {"error", durable_options.status().message()});
+    } else {
+      SQS_WARNC("executor", "durable log config rejected",
+                {"error", durable_options.status().message()});
+    }
   } else if (durable_options.value().enabled) {
     Status enabled = env_->broker->EnableDurability(durable_options.value());
     if (!enabled.ok()) {
-      SQS_WARNC("executor", "durable log disabled", {"error", enabled.message()});
+      startup_error_ = Status::StateError(
+          "log.durable=true but durability could not be enabled: " +
+          enabled.message());
+      SQS_ERRORC("executor", "durable log startup failed",
+                 {"error", enabled.message()});
     }
   }
   monitor_ = std::make_unique<MonitorServer>(
@@ -401,6 +415,7 @@ std::vector<MonitorJobView> QueryExecutor::CollectJobViews() const {
 
 Result<QueryExecutor::ExecutionResult> QueryExecutor::Execute(
     const std::string& statement_sql) {
+  SQS_RETURN_IF_ERROR(startup_error_);
   SQS_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(statement_sql));
 
   if (stmt.create_view) {
@@ -729,6 +744,7 @@ Result<QueryExecutor::ExecutionResult> QueryExecutor::SubmitStreamingJob(
 }
 
 Result<int64_t> QueryExecutor::RunJobsUntilQuiescent() {
+  SQS_RETURN_IF_ERROR(startup_error_);
   if (!scheduler_) {
     SQS_ASSIGN_OR_RETURN(scheduler, MakeScheduler(defaults_));
     scheduler_ = std::move(scheduler);

@@ -83,6 +83,11 @@ class QueryExecutor {
 
   const EnvironmentPtr& env() const { return env_; }
 
+  // Fatal constructor-time failure (e.g. log.durable=true but the durable
+  // log could not be enabled). Every Execute / RunJobsUntilQuiescent call
+  // returns this error until it is Ok.
+  const Status& startup_error() const { return startup_error_; }
+
  private:
   Result<ExecutionResult> SubmitStreamingJob(const sql::SelectStmt& select,
                                              const std::string& insert_target,
@@ -99,6 +104,9 @@ class QueryExecutor {
   EnvironmentPtr env_;
   Config defaults_;
   std::string factory_name_;
+  // Set when a requested-and-required startup step failed (durable log);
+  // latched because the constructor cannot return a Status.
+  Status startup_error_ = Status::Ok();
   // Guards jobs_ between the submitting thread and the monitor's HTTP
   // worker, which calls CollectJobViews() concurrently.
   mutable std::mutex jobs_mu_;

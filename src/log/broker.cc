@@ -39,7 +39,19 @@ Status Broker::CreateTopic(const std::string& name, TopicConfig config) {
     Status st = BootstrapTopicToDisk(name, created);
     if (!st.ok()) {
       // Keep heap and disk in agreement: a topic the disk could not accept
-      // does not exist.
+      // does not exist. The create record may already be durable in the meta
+      // log (the bootstrap can fail wiring a partition after the append), so
+      // write a tombstone too — otherwise a restart would resurrect a topic
+      // the caller was told failed to create.
+      TopicMetaRecord tombstone;
+      tombstone.deleted = true;
+      tombstone.name = name;
+      Status tombed =
+          AppendMeta(topics_meta_.get(), EncodeTopicMeta(tombstone));
+      if (!tombed.ok()) {
+        SQS_WARNC("broker", "tombstone for failed topic create not durable",
+                  {"topic", name}, {"error", tombed.message()});
+      }
       topics_.erase(name);
       return st;
     }
@@ -200,11 +212,12 @@ Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
       }
     }
     int64_t offset = part->log_start + static_cast<int64_t>(part->entries.size());
-    // Disk before heap: a record the disk refused was never appended, so a
-    // failed write leaves no heap state for a retry to collide with.
+    // Disk before heap: a record the disk refused was never appended (a
+    // failed write or sync rolls the frame back off the file), so a failed
+    // append leaves no durable state for a retry to collide with.
     if (part->dlog) {
-      SQS_RETURN_IF_ERROR(part->dlog->Append(offset, message));
-      if (part->fsync_barrier) SQS_RETURN_IF_ERROR(part->dlog->Sync());
+      SQS_RETURN_IF_ERROR(
+          part->dlog->Append(offset, message, part->fsync_barrier));
     }
     st.last_seq = message.sequence;
     st.last_offset = offset;
@@ -215,8 +228,8 @@ Result<int64_t> Broker::Append(const StreamPartition& sp, Message message) {
   std::lock_guard<std::mutex> lock(part->mu);
   int64_t offset = part->log_start + static_cast<int64_t>(part->entries.size());
   if (part->dlog) {
-    SQS_RETURN_IF_ERROR(part->dlog->Append(offset, message));
-    if (part->fsync_barrier) SQS_RETURN_IF_ERROR(part->dlog->Sync());
+    SQS_RETURN_IF_ERROR(
+        part->dlog->Append(offset, message, part->fsync_barrier));
   }
   part->entries.push_back(std::move(message));
   ExtendByteLedger(part->cum_bytes, part->bytes_base, msg_bytes);

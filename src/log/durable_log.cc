@@ -40,8 +40,12 @@ Result<DurableLogOptions> DurableLogOptions::FromConfig(const Config& config) {
 }
 
 std::string TopicDirName(const std::string& topic) {
-  std::string out;
-  out.reserve(topic.size());
+  // The "t_" prefix keeps topic data dirs disjoint from every reserved name:
+  // no topic — whatever its characters — can alias the "__meta" dir or a
+  // path component ("." / ".." would otherwise escape log.dir entirely and
+  // DeleteTopic would RemoveAllUnder its parent).
+  std::string out = "t_";
+  out.reserve(2 + topic.size());
   for (char c : topic) {
     if (DirSafe(c)) {
       out.push_back(c);
@@ -179,9 +183,18 @@ Status DurablePartitionLog::Open(std::vector<std::pair<int64_t, Message>>* recor
   int64_t expect = -1;
   for (const auto& payload : payloads) {
     SQS_ASSIGN_OR_RETURN(decoded, DecodeLogRecord(payload));
-    // Offsets must be dense: every append, rewrite, and truncation preserves
-    // contiguity, so a hole means the files were tampered with or a codec
-    // bug slipped a record.
+    if (expect >= 0 && decoded.first == expect - 1) {
+      // A duplicate of the previous offset: an append whose frame reached
+      // the file but whose fsync failed (and whose rollback truncation also
+      // failed), re-appended by the producer's retry. Keep the last record
+      // for the offset — the retry is the acknowledged one.
+      ++recovery->duplicate_records;
+      records->back() = std::move(decoded);
+      continue;
+    }
+    // Otherwise offsets must be dense: every append, rewrite, and truncation
+    // preserves contiguity, so a hole means the files were tampered with or
+    // a codec bug slipped a record.
     if (expect >= 0 && decoded.first != expect) {
       return Status::StateError(
           "offset discontinuity in " + segments_.dir() + ": got " +
@@ -193,8 +206,9 @@ Status DurablePartitionLog::Open(std::vector<std::pair<int64_t, Message>>* recor
   return Status::Ok();
 }
 
-Status DurablePartitionLog::Append(int64_t offset, const Message& message) {
-  return segments_.Append(EncodeLogRecord(offset, message), offset);
+Status DurablePartitionLog::Append(int64_t offset, const Message& message,
+                                   bool sync_now) {
+  return segments_.Append(EncodeLogRecord(offset, message), offset, sync_now);
 }
 
 Status DurablePartitionLog::Sync() { return segments_.Sync(); }

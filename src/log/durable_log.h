@@ -8,9 +8,11 @@
 //
 //     <log.dir>/__meta/topics/     topic create/delete records
 //     <log.dir>/__meta/producers/  producer name -> (pid, epoch), last wins
-//     <log.dir>/<topic>/<p>/       one SegmentLog per partition
+//     <log.dir>/t_<topic>/<p>/     one SegmentLog per partition
 //
-// Topic names are percent-escaped into directory names. A partition record
+// Topic names are percent-escaped into directory names under a "t_" prefix
+// that keeps them disjoint from "__meta" and from path components like
+// "." / "..". A partition record
 // carries the assigned offset plus every Message field except the trace
 // context (traces are sampled observability state, not data).
 #pragma once
@@ -59,7 +61,8 @@ struct DurableLogOptions {
   static Result<DurableLogOptions> FromConfig(const Config& config);
 };
 
-// Directory-safe encoding of a topic name: [A-Za-z0-9._-] pass through,
+// Directory-safe encoding of a topic name: a fixed "t_" prefix (so no name
+// can alias "__meta", "." or ".."), then [A-Za-z0-9._-] pass through and
 // everything else becomes %XX.
 std::string TopicDirName(const std::string& topic);
 
@@ -100,11 +103,16 @@ class DurablePartitionLog {
   // Recover: replay every record in offset order. `base_offset` reports the
   // base offset of the oldest live segment (-1 when the directory held no
   // segments) — it carries the log-start offset across restarts even when
-  // retention left the partition empty.
+  // retention left the partition empty. A duplicate of the preceding offset
+  // (a retried append whose first frame survived a failed fsync) is
+  // collapsed keep-last; any other discontinuity is an error.
   Status Open(std::vector<std::pair<int64_t, Message>>* records,
               int64_t* base_offset, SegmentRecovery* recovery);
 
-  Status Append(int64_t offset, const Message& message);
+  // `sync_now` forces the frame to stable storage regardless of the fsync
+  // policy (the checkpoint-barrier topics); like a policy-driven sync, a
+  // sync failure rolls the frame back off the file before returning.
+  Status Append(int64_t offset, const Message& message, bool sync_now = false);
   Status Sync();
   bool dirty() const { return segments_.dirty(); }
 

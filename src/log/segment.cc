@@ -241,7 +241,7 @@ Status SegmentLog::Repair() {
   return active_->Truncate(good_bytes_);
 }
 
-Status SegmentLog::Append(const Bytes& payload, int64_t offset) {
+Status SegmentLog::Append(const Bytes& payload, int64_t offset, bool force_sync) {
   if (!active_ || good_bytes_ >= options_.segment_bytes) {
     SQS_RETURN_IF_ERROR(Roll(offset));
   }
@@ -272,17 +272,38 @@ Status SegmentLog::Append(const Bytes& payload, int64_t offset) {
   dirty_ = true;
   io::MaybeCrashAt("segment.append.after_write");
 
-  switch (options_.fsync) {
-    case FsyncPolicy::kAlways:
-      return SyncNow("always");
-    case FsyncPolicy::kInterval:
-      if (MonotonicNanos() - last_sync_ns_ >=
-          options_.fsync_interval_ms * 1'000'000) {
-        return SyncNow("interval");
-      }
-      return Status::Ok();
-    case FsyncPolicy::kNever:
-      return Status::Ok();
+  Status synced = Status::Ok();
+  if (force_sync) {
+    synced = SyncNow("barrier");
+  } else {
+    switch (options_.fsync) {
+      case FsyncPolicy::kAlways:
+        synced = SyncNow("always");
+        break;
+      case FsyncPolicy::kInterval:
+        if (MonotonicNanos() - last_sync_ns_ >=
+            options_.fsync_interval_ms * 1'000'000) {
+          synced = SyncNow("interval");
+        }
+        break;
+      case FsyncPolicy::kNever:
+        break;
+    }
+  }
+  if (!synced.ok()) {
+    // The frame is already on the file, but the caller treats this append as
+    // failed and will retry it; cut the frame back off so the retry cannot
+    // land a duplicate offset. Earlier (acknowledged) frames stay: only this
+    // record's ack is being withdrawn.
+    const int64_t with_frame = good_bytes_;
+    good_bytes_ = with_frame - FrameSize(payload.size());
+    if (!Repair().ok()) {
+      // The orphan frame stays on disk while the heap never sees the record;
+      // recovery collapses the duplicate the retry produces
+      // (DurablePartitionLog::Open, keep-last).
+      good_bytes_ = with_frame;
+    }
+    return synced;
   }
   return Status::Ok();
 }

@@ -81,6 +81,7 @@ struct SegmentRecovery {
   int64_t dropped_segments = 0;   // segments discarded after a tear
   int64_t removed_tmp_files = 0;  // staged rewrites swept away
   int64_t stale_generations = 0;  // older generations swept away
+  int64_t duplicate_records = 0;  // same-offset re-appends collapsed keep-last
   // Base offset parsed from the oldest live segment's name (-1 when the
   // directory held none): the log-start offset survives restarts through
   // the filename even when the partition is empty.
@@ -101,10 +102,13 @@ class SegmentLog {
   Status Open(std::vector<Bytes>* payloads, SegmentRecovery* recovery);
 
   // Append one frame; `offset` names the segment created if this append
-  // rolls. Honors the fsync policy and the segment.* crash points. A failed
-  // write repairs the file (truncates back to the last good frame) before
-  // returning, so the next append lands on a frame boundary.
-  Status Append(const Bytes& payload, int64_t offset);
+  // rolls. Honors the fsync policy (`force_sync` overrides it to sync this
+  // frame immediately — the checkpoint-barrier path) and the segment.*
+  // crash points. A failed write repairs the file (truncates back to the
+  // last good frame) before returning, so the next append lands on a frame
+  // boundary; a failed post-write sync likewise truncates the frame back
+  // off, so the caller's retry cannot land a duplicate offset.
+  Status Append(const Bytes& payload, int64_t offset, bool force_sync = false);
 
   // Force everything appended so far to stable storage (no-op when clean).
   Status Sync();

@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <random>
 #include <set>
 #include <string>
@@ -392,6 +393,45 @@ TEST_F(ColdRestartSql, InterruptedJobResumesAfterColdRestartByteEqual) {
   auto rows = executor.ReadOutputRows(output_topic);
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
   EXPECT_EQ(NonSentinel(rows.value()), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Durability startup failures are fatal, never a silent downgrade
+// ---------------------------------------------------------------------------
+
+// log.durable=true promises crash safety; if the durable log cannot come up,
+// running on heap-only (as the executor once did, with a warning) would
+// silently break that promise. The constructor latches the error and every
+// Execute / RunJobsUntilQuiescent call fails with it.
+TEST(DurableStartup, FailedEnableDurabilityIsFatal) {
+  const std::string dir = TestDir();
+  // log.dir nested under a regular file: CreateDirs cannot succeed.
+  { std::ofstream(dir + "/blocker") << "x"; }
+  EnvironmentPtr env = SamzaSqlEnvironment::Make();
+  Config defaults;
+  defaults.Set(cfg::kLogDurable, "true");
+  defaults.Set(cfg::kLogDir, dir + "/blocker/segments");
+  QueryExecutor executor(env, defaults);
+  EXPECT_FALSE(executor.startup_error().ok());
+  EXPECT_FALSE(executor.Execute("SELECT 1 FROM Orders").ok());
+  EXPECT_FALSE(executor.RunJobsUntilQuiescent().ok());
+  EXPECT_FALSE(env->broker->durable());
+}
+
+TEST(DurableStartup, RejectedLogConfigIsFatalOnlyWhenDurableRequested) {
+  EnvironmentPtr env = SamzaSqlEnvironment::Make();
+  Config no_dir;
+  no_dir.Set(cfg::kLogDurable, "true");  // missing log.dir
+  QueryExecutor executor(env, no_dir);
+  EXPECT_FALSE(executor.startup_error().ok());
+  EXPECT_FALSE(executor.Execute("SELECT 1 FROM Orders").ok());
+
+  // The same family of bad keys without log.durable merely warns: the user
+  // never asked for durability, so nothing is silently lost.
+  Config off;
+  off.Set(cfg::kLogFsync, "bogus");
+  QueryExecutor tolerant(env, off);
+  EXPECT_TRUE(tolerant.startup_error().ok());
 }
 
 }  // namespace

@@ -363,11 +363,28 @@ TEST(DurableCodecTest, TopicAndProducerMetaRoundTrip) {
 }
 
 TEST(DurableCodecTest, TopicDirNameEscapesUnsafeCharacters) {
-  EXPECT_EQ(TopicDirName("plain-topic_1.x"), "plain-topic_1.x");
+  EXPECT_EQ(TopicDirName("plain-topic_1.x"), "t_plain-topic_1.x");
   std::string escaped = TopicDirName("a/b c");
   EXPECT_EQ(escaped.find('/'), std::string::npos);
   EXPECT_EQ(escaped.find(' '), std::string::npos);
   EXPECT_NE(TopicDirName("a/b"), TopicDirName("a_b"));
+}
+
+TEST(DurableCodecTest, TopicDirNameNeverAliasesReservedNames) {
+  // "." and ".." would escape log.dir (DeleteTopic runs RemoveAllUnder on
+  // the topic dir); "__meta" would collide with the meta-log directory.
+  EXPECT_EQ(TopicDirName("."), "t_.");
+  EXPECT_EQ(TopicDirName(".."), "t_..");
+  EXPECT_EQ(TopicDirName("__meta"), "t___meta");
+  for (const std::string name : {".", "..", "__meta", "%2E%2E", "t_x"}) {
+    std::string dir = TopicDirName(name);
+    EXPECT_NE(dir, ".");
+    EXPECT_NE(dir, "..");
+    EXPECT_NE(dir, "__meta");
+    EXPECT_EQ(dir.find('/'), std::string::npos) << name;
+  }
+  // Distinct names stay distinct even with the prefix.
+  EXPECT_NE(TopicDirName("t_x"), TopicDirName("x"));
 }
 
 TEST(DurableCodecTest, OptionsFromConfigValidates) {
@@ -753,6 +770,226 @@ TEST(DurableBrokerTest, FsyncBarrierTopicFlushesAllDirtyPartitions) {
   EXPECT_GT(fault->total_unsynced_bytes(), 0);
   ASSERT_TRUE(broker.SyncDurableLog().ok());
   EXPECT_EQ(fault->total_unsynced_bytes(), 0);
+}
+
+TEST(SegmentLogTest, FailedFsyncRollsTheFrameBackOff) {
+  std::string dir = TestDir();
+  auto fault = std::make_shared<io::FaultInjectingFileFactory>(io::FileFaultPolicy{});
+  SegmentLogOptions o;
+  o.factory = fault;
+  o.fsync = FsyncPolicy::kAlways;
+  {
+    SegmentLog log(dir, o);
+    std::vector<Bytes> payloads;
+    ASSERT_TRUE(log.Open(&payloads, nullptr).ok());
+    ASSERT_TRUE(log.Append(Payload("a"), 0).ok());
+    // The frame write lands, the fsync fails: the append must fail AND cut
+    // the frame back off, so the caller's retry is the only surviving copy.
+    fault->FailNextFsyncs(1);
+    EXPECT_FALSE(log.Append(Payload("b"), 1).ok());
+    ASSERT_TRUE(log.Append(Payload("b"), 1).ok());
+    // Same contract on the force_sync (checkpoint barrier) path.
+    fault->FailNextFsyncs(1);
+    EXPECT_FALSE(log.Append(Payload("c"), 2, /*force_sync=*/true).ok());
+    ASSERT_TRUE(log.Append(Payload("c"), 2, /*force_sync=*/true).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  SegmentLog reopened(dir, o);
+  std::vector<Bytes> payloads;
+  ASSERT_TRUE(reopened.Open(&payloads, nullptr).ok());
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(FromBytes(payloads[0]), "a");
+  EXPECT_EQ(FromBytes(payloads[1]), "b");
+  EXPECT_EQ(FromBytes(payloads[2]), "c");
+  ASSERT_TRUE(reopened.Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// DurablePartitionLog: duplicate-offset tolerance at recovery
+// ---------------------------------------------------------------------------
+
+TEST(DurablePartitionLogTest, DuplicateTrailingOffsetCollapsesKeepLast) {
+  std::string dir = TestDir();
+  SegmentLogOptions o;
+  {
+    // Hand-build the poisoned image: the first offset-1 frame survived a
+    // failed fsync whose rollback truncation also failed, and the producer's
+    // retry appended the offset again.
+    SegmentLog raw(dir, o);
+    std::vector<Bytes> payloads;
+    ASSERT_TRUE(raw.Open(&payloads, nullptr).ok());
+    ASSERT_TRUE(raw.Append(EncodeLogRecord(0, Msg("k", "v0")), 0).ok());
+    ASSERT_TRUE(raw.Append(EncodeLogRecord(1, Msg("k", "stale")), 1).ok());
+    ASSERT_TRUE(raw.Append(EncodeLogRecord(1, Msg("k", "v1")), 1).ok());
+    ASSERT_TRUE(raw.Append(EncodeLogRecord(2, Msg("k", "v2")), 2).ok());
+    ASSERT_TRUE(raw.Close().ok());
+  }
+  DurablePartitionLog log(dir, o);
+  std::vector<std::pair<int64_t, Message>> records;
+  int64_t base = -1;
+  SegmentRecovery recovery;
+  ASSERT_TRUE(log.Open(&records, &base, &recovery).ok());
+  EXPECT_EQ(recovery.duplicate_records, 1);
+  ASSERT_EQ(records.size(), 3u);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(records[static_cast<size_t>(i)].first, i);
+  EXPECT_EQ(FromBytes(records[1].second.value), "v1");  // keep-last
+  ASSERT_TRUE(log.Close().ok());
+}
+
+TEST(DurablePartitionLogTest, OffsetGapStillFailsRecovery) {
+  std::string dir = TestDir();
+  SegmentLogOptions o;
+  {
+    SegmentLog raw(dir, o);
+    std::vector<Bytes> payloads;
+    ASSERT_TRUE(raw.Open(&payloads, nullptr).ok());
+    ASSERT_TRUE(raw.Append(EncodeLogRecord(0, Msg("k", "v0")), 0).ok());
+    ASSERT_TRUE(raw.Append(EncodeLogRecord(2, Msg("k", "v2")), 2).ok());
+    ASSERT_TRUE(raw.Close().ok());
+  }
+  DurablePartitionLog log(dir, o);
+  std::vector<std::pair<int64_t, Message>> records;
+  int64_t base = -1;
+  EXPECT_FALSE(log.Open(&records, &base, nullptr).ok());
+}
+
+// A failed fsync on the broker's exactly-once-adjacent append path: the
+// producer retries, the retry must land at the same offset exactly once, and
+// the cold restart must not see an offset discontinuity (the pre-fix failure
+// mode permanently poisoned the partition).
+TEST(DurableBrokerTest, FailedFsyncThenRetryDoesNotPoisonRecovery) {
+  std::string dir = TestDir();
+  auto fault = std::make_shared<io::FaultInjectingFileFactory>(io::FileFaultPolicy{});
+  {
+    Broker broker;
+    ASSERT_TRUE(
+        broker.EnableDurability(DurableAt(dir, FsyncPolicy::kAlways, fault)).ok());
+    ASSERT_TRUE(broker.CreateTopic("t", {.num_partitions = 1}).ok());
+    ASSERT_EQ(broker.Append({"t", 0}, Msg("k", "v0")).value(), 0);
+    fault->FailNextFsyncs(1);
+    EXPECT_FALSE(broker.Append({"t", 0}, Msg("k", "v1")).ok());
+    EXPECT_EQ(broker.EndOffset({"t", 0}).value(), 1);  // heap never advanced
+    ASSERT_EQ(broker.Append({"t", 0}, Msg("k", "v1")).value(), 1);
+    ASSERT_EQ(broker.Append({"t", 0}, Msg("k", "v2")).value(), 2);
+  }
+  Broker restarted;
+  ASSERT_TRUE(restarted.EnableDurability(DurableAt(dir)).ok());
+  EXPECT_EQ(restarted.BeginOffset({"t", 0}).value(), 0);
+  EXPECT_EQ(restarted.EndOffset({"t", 0}).value(), 3);
+  auto fetched = restarted.Fetch({"t", 0}, 0, 10);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched.value().size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(FromBytes(fetched.value()[i].message.value), "v" + std::to_string(i));
+  }
+}
+
+// Reserved / path-hostile topic names must stay ordinary topics: "." and
+// ".." previously mapped to path components (DeleteTopic("..") removed
+// log.dir's parent wholesale) and "__meta" clobbered the meta-log segments.
+TEST(DurableBrokerTest, ReservedTopicNamesCannotEscapeOrClobberMeta) {
+  std::string root = TestDir();
+  const std::string dir = root + "/data";
+  { std::ofstream(root + "/sentinel") << "keep"; }
+  {
+    Broker broker;
+    ASSERT_TRUE(broker.EnableDurability(DurableAt(dir)).ok());
+    ASSERT_TRUE(broker.CreateTopic("normal", {.num_partitions = 1}).ok());
+    ASSERT_TRUE(broker.Append({"normal", 0}, Msg("k", "v")).ok());
+    for (const std::string name : {"..", ".", "__meta"}) {
+      ASSERT_TRUE(broker.CreateTopic(name, {.num_partitions = 1}).ok()) << name;
+      ASSERT_TRUE(broker.Append({name, 0}, Msg("k", "payload-" + name)).ok())
+          << name;
+    }
+    ASSERT_TRUE(broker.DeleteTopic("..").ok());
+  }
+  // Nothing outside log.dir was touched, and the real meta dir is intact.
+  EXPECT_TRUE(std::filesystem::exists(root + "/sentinel"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/__meta/topics"));
+
+  Broker restarted;
+  ASSERT_TRUE(restarted.EnableDurability(DurableAt(dir)).ok());
+  EXPECT_TRUE(restarted.HasTopic("normal"));
+  EXPECT_TRUE(restarted.HasTopic("."));
+  EXPECT_TRUE(restarted.HasTopic("__meta"));
+  EXPECT_FALSE(restarted.HasTopic(".."));  // the delete survived, nothing else
+  auto meta_topic = restarted.Fetch({"__meta", 0}, 0, 10);
+  ASSERT_TRUE(meta_topic.ok());
+  ASSERT_EQ(meta_topic.value().size(), 1u);
+  EXPECT_EQ(FromBytes(meta_topic.value()[0].message.value), "payload-__meta");
+  auto normal = restarted.Fetch({"normal", 0}, 0, 10);
+  ASSERT_TRUE(normal.ok());
+  ASSERT_EQ(normal.value().size(), 1u);
+  EXPECT_EQ(FromBytes(normal.value()[0].message.value), "v");
+}
+
+// Forwards everything to the real filesystem but refuses to create
+// directories whose path contains `needle` — fails topic-partition wiring
+// after the topic-create meta record is already durable.
+class FailDirFactory : public io::FileFactory {
+ public:
+  explicit FailDirFactory(std::string needle)
+      : inner_(io::PosixFileFactory::Instance()), needle_(std::move(needle)) {}
+
+  Result<io::LogFilePtr> OpenAppend(const std::string& path) override {
+    return inner_->OpenAppend(path);
+  }
+  Result<Bytes> ReadFile(const std::string& path) override {
+    return inner_->ReadFile(path);
+  }
+  Status CreateDirs(const std::string& path) override {
+    if (path.find(needle_) != std::string::npos) {
+      return Status::Unavailable("injected CreateDirs failure: " + path);
+    }
+    return inner_->CreateDirs(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return inner_->ListDir(path);
+  }
+  Result<std::vector<std::string>> ListSubdirs(const std::string& path) override {
+    return inner_->ListSubdirs(path);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return inner_->RemoveFile(path);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return inner_->Rename(from, to);
+  }
+  Status RemoveAllUnder(const std::string& path) override {
+    return inner_->RemoveAllUnder(path);
+  }
+  bool Exists(const std::string& path) override { return inner_->Exists(path); }
+  Status SyncDir(const std::string& path) override {
+    return inner_->SyncDir(path);
+  }
+
+ private:
+  io::FileFactoryPtr inner_;
+  std::string needle_;
+};
+
+// A topic create whose disk bootstrap fails after the create record reached
+// the meta log must leave a tombstone behind: the caller was told the create
+// failed, so a restart must not resurrect the topic.
+TEST(DurableBrokerTest, FailedTopicCreateIsTombstonedNotResurrected) {
+  std::string dir = TestDir();
+  {
+    Broker broker;
+    ASSERT_TRUE(broker
+                    .EnableDurability(DurableAt(
+                        dir, FsyncPolicy::kAlways,
+                        std::make_shared<FailDirFactory>("/t_doomed")))
+                    .ok());
+    ASSERT_TRUE(broker.CreateTopic("ok", {.num_partitions = 1}).ok());
+    EXPECT_FALSE(broker.CreateTopic("doomed", {.num_partitions = 1}).ok());
+    EXPECT_FALSE(broker.HasTopic("doomed"));
+  }
+  Broker restarted;
+  ASSERT_TRUE(restarted.EnableDurability(DurableAt(dir)).ok());
+  EXPECT_TRUE(restarted.HasTopic("ok"));
+  EXPECT_FALSE(restarted.HasTopic("doomed"));
+  // The name is free for reuse once the fault is gone.
+  EXPECT_TRUE(restarted.CreateTopic("doomed", {.num_partitions = 1}).ok());
 }
 
 TEST(DurableBrokerTest, DurableOffKeepsHeapOnlyBehavior) {
